@@ -1,0 +1,166 @@
+// ptabench regenerates the paper's evaluation (§6): Tables 2-6 over the
+// 17-benchmark suite, the livc function-pointer case study, and the
+// ablation comparisons described in DESIGN.md.
+//
+// Usage:
+//
+//	ptabench            # all tables
+//	ptabench -table 3   # one table
+//	ptabench -livc      # the function-pointer strategy experiment
+//	ptabench -ablation  # precision ablations (definite info, arrays, context)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/baseline"
+	"repro/internal/bench"
+	"repro/internal/pta"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		tableN   = flag.Int("table", 0, "print only the given table (2-6)")
+		livc     = flag.Bool("livc", false, "run the livc function-pointer experiment")
+		ablation = flag.Bool("ablation", false, "run the precision ablations")
+	)
+	flag.Parse()
+
+	switch {
+	case *livc:
+		runLivc()
+	case *ablation:
+		runAblation()
+	default:
+		runTables(*tableN)
+	}
+}
+
+func analyzeSuite(opts pta.Options) []*report.BenchStats {
+	var all []*report.BenchStats
+	for _, p := range bench.Suite {
+		prog, err := bench.Load(p.Name)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := pta.Analyze(prog, opts)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", p.Name, err))
+		}
+		bs := report.Compute(p.Name, res)
+		bs.Description = p.Description
+		all = append(all, bs)
+	}
+	return all
+}
+
+func runTables(n int) {
+	all := analyzeSuite(pta.Options{})
+	w := os.Stdout
+	switch n {
+	case 0:
+		report.WriteAll(w, all)
+	case 2:
+		report.WriteTable2(w, all)
+	case 3:
+		report.WriteTable3(w, all)
+	case 4:
+		report.WriteTable4(w, all)
+	case 5:
+		report.WriteTable5(w, all)
+	case 6:
+		report.WriteTable6(w, all)
+	default:
+		fatal(fmt.Errorf("no such table %d (want 2-6)", n))
+	}
+}
+
+func runLivc() {
+	prog, err := bench.Load("livc")
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("livc: %d functions, %d address-taken, 3 indirect call sites\n",
+		len(prog.Functions), baseline.AddrTakenCount(prog))
+	sizes, err := baseline.CompareFnPtrStrategies(prog)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("\nInvocation graph sizes by function-pointer strategy (paper: 203 / 589 / 619):")
+	fmt.Printf("  %-22s %6d nodes (R=%d A=%d)\n", "precise (points-to):",
+		sizes.Precise.Nodes, sizes.Precise.Recursive, sizes.Precise.Approximate)
+	fmt.Printf("  %-22s %6d nodes (R=%d A=%d)\n", "address-taken:",
+		sizes.AddrTaken.Nodes, sizes.AddrTaken.Recursive, sizes.AddrTaken.Approximate)
+	fmt.Printf("  %-22s %6d nodes (R=%d A=%d)\n", "all functions:",
+		sizes.AllFuncs.Nodes, sizes.AllFuncs.Recursive, sizes.AllFuncs.Approximate)
+}
+
+func runAblation() {
+	fmt.Println("Ablations: average points-to pairs per indirect reference (Table 3 Avg)")
+	fmt.Println("and definite resolutions (1D column), per configuration.")
+	fmt.Println()
+	configs := []struct {
+		name string
+		opts pta.Options
+	}{
+		{"paper algorithm", pta.Options{}},
+		{"no definite info", pta.Options{NoDefinite: true}},
+		{"single array loc", pta.Options{SingleArrayLoc: true}},
+		{"context-insensitive", pta.Options{ContextInsensitive: true}},
+	}
+	type row struct {
+		avg  float64
+		oneD int
+		rep  int
+	}
+	results := make(map[string][]row)
+	var names []string
+	for _, p := range bench.Suite {
+		names = append(names, p.Name)
+	}
+	for _, cfg := range configs {
+		all := analyzeSuite(cfg.opts)
+		for i, bs := range all {
+			results[names[i]] = append(results[names[i]], row{
+				avg:  bs.Indirect.Avg(),
+				oneD: bs.Indirect.Norm.OneD + bs.Indirect.Arr.OneD,
+				rep:  bs.Indirect.ScalarRep,
+			})
+		}
+	}
+	fmt.Printf("%-11s", "Benchmark")
+	for _, c := range configs {
+		fmt.Printf("  %-22s", c.name)
+	}
+	fmt.Println()
+	fmt.Printf("%-11s", "")
+	for range configs {
+		fmt.Printf("  %-22s", "avg / 1D / replace")
+	}
+	fmt.Println()
+	for _, n := range names {
+		fmt.Printf("%-11s", n)
+		for _, r := range results[n] {
+			fmt.Printf("  %-22s", fmt.Sprintf("%.2f / %d / %d", r.avg, r.oneD, r.rep))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nFlow-insensitive (Andersen-style) baseline: avg targets per indirect ref")
+	for _, n := range names {
+		prog, err := bench.Load(n)
+		if err != nil {
+			fatal(err)
+		}
+		and := baseline.Andersen(prog)
+		fmt.Printf("  %-11s %.2f (in %d passes)\n", n, and.AvgTargetsPerIndirectRef(), and.Iterations)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ptabench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,122 @@
+// Package alias derives traditional alias pairs from points-to sets (paper
+// §7.1, Figures 8 and 9): the alias pairs implied by a points-to set are
+// obtained by transitive closure over the points-to relationships, producing
+// pairs like (*x, y) for (x,y,·) and (**x, *y)/(**x, z) for chains.
+package alias
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/pta/loc"
+	"repro/internal/pta/ptset"
+)
+
+// Pair is one alias pair: two access paths that may denote the same
+// location.
+type Pair struct {
+	A, B string
+}
+
+func (p Pair) String() string { return fmt.Sprintf("(%s,%s)", p.A, p.B) }
+
+// normalize orders the two access paths deterministically.
+func normalize(a, b string) Pair {
+	if b < a {
+		a, b = b, a
+	}
+	return Pair{a, b}
+}
+
+// FromPointsTo computes the alias pairs implied by a points-to set by
+// transitive closure, up to maxDepth levels of dereference (the paper's
+// examples use two). For every chain x ->^i l and y ->^j l reaching the
+// same location l, the access paths *^i x and *^j y are aliased; and every
+// points-to pair (x, y) yields the basic alias (*x, y).
+func FromPointsTo(s ptset.Set, maxDepth int) []Pair {
+	if maxDepth < 1 {
+		maxDepth = 1
+	}
+	type reach struct {
+		src   *loc.Location
+		depth int
+	}
+	// reachers[l] = all (pointer, depth) that reach l via points-to chains.
+	reachers := make(map[*loc.Location][]reach)
+	// Seed: depth-1 reachability from the raw pairs.
+	cur := make(map[*loc.Location][]reach)
+	for _, t := range s.Triples() {
+		if t.Dst.Kind == loc.Null {
+			continue
+		}
+		r := reach{t.Src, 1}
+		reachers[t.Dst] = append(reachers[t.Dst], r)
+		cur[t.Dst] = append(cur[t.Dst], r)
+	}
+	for d := 2; d <= maxDepth; d++ {
+		next := make(map[*loc.Location][]reach)
+		for _, t := range s.Triples() {
+			if t.Dst.Kind == loc.Null {
+				continue
+			}
+			// Everything reaching t.Src at depth d-1 reaches t.Dst at d.
+			for _, r := range cur[t.Src] {
+				if r.depth == d-1 {
+					nr := reach{r.src, d}
+					reachers[t.Dst] = append(reachers[t.Dst], nr)
+					next[t.Dst] = append(next[t.Dst], nr)
+				}
+			}
+		}
+		cur = next
+	}
+
+	deref := func(name string, depth int) string {
+		if depth == 0 {
+			return name
+		}
+		return strings.Repeat("*", depth) + name
+	}
+
+	set := make(map[Pair]bool)
+	for l, rs := range reachers {
+		// Each reacher aliases the plain location (unless the location is
+		// anonymous like the heap).
+		for _, r := range rs {
+			if l.Kind == loc.Var || l.Kind == loc.Symbolic {
+				set[normalize(deref(r.src.Name(), r.depth), l.Name())] = true
+			}
+		}
+		// Each pair of distinct reachers aliases each other.
+		for i := 0; i < len(rs); i++ {
+			for j := i + 1; j < len(rs); j++ {
+				a, b := rs[i], rs[j]
+				if a.src == b.src && a.depth == b.depth {
+					continue
+				}
+				set[normalize(deref(a.src.Name(), a.depth), deref(b.src.Name(), b.depth))] = true
+			}
+		}
+	}
+	out := make([]Pair, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// Format renders pairs space-separated, like the paper's figures.
+func Format(pairs []Pair) string {
+	parts := make([]string, len(pairs))
+	for i, p := range pairs {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, " ")
+}

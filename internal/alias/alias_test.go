@@ -1,0 +1,154 @@
+package alias
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cc/parser"
+	"repro/internal/pta"
+	"repro/internal/simplify"
+)
+
+func analyzeAndClose(t *testing.T, src string, depth int) []Pair {
+	t.Helper()
+	tu, err := parser.Parse("test.c", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	prog, err := simplify.Simplify(tu)
+	if err != nil {
+		t.Fatalf("Simplify: %v", err)
+	}
+	res, err := pta.Analyze(prog, pta.Options{})
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	return FromPointsTo(res.MainOut, depth)
+}
+
+func contains(pairs []Pair, a, b string) bool {
+	want := normalize(a, b)
+	for _, p := range pairs {
+		if p == want {
+			return true
+		}
+	}
+	return false
+}
+
+// Figure 8 of the paper: at S3 the points-to closure must NOT contain the
+// spurious (**x, z) that the alias-pair algorithm reports.
+func TestFigure8NoSpuriousPair(t *testing.T) {
+	pairs := analyzeAndClose(t, `
+int main() {
+	int **x, *y, z, w;
+	x = &y;
+	y = &z;
+	y = &w;
+	return 0;
+}
+`, 2)
+	if contains(pairs, "**x", "z") {
+		t.Errorf("spurious pair (**x,z) present: %v", Format(pairs))
+	}
+	for _, want := range [][2]string{{"*x", "y"}, {"*y", "w"}, {"**x", "w"}, {"**x", "*y"}} {
+		if !contains(pairs, want[0], want[1]) {
+			t.Errorf("missing pair (%s,%s): %v", want[0], want[1], Format(pairs))
+		}
+	}
+}
+
+// Figure 9: the closure of (a,b,P) (b,c,P) implies the spurious (**a, c) —
+// the price of the points-to abstraction the paper discusses in §7.1.
+func TestFigure9SpuriousPairFromClosure(t *testing.T) {
+	pairs := analyzeAndClose(t, `
+int main() {
+	int **a, *b, c;
+	int cond;
+	if (cond)
+		a = &b;
+	else
+		b = &c;
+	return 0;
+}
+`, 2)
+	if !contains(pairs, "**a", "c") {
+		t.Errorf("expected the closure to imply (**a,c): %v", Format(pairs))
+	}
+	if !contains(pairs, "*a", "b") || !contains(pairs, "*b", "c") {
+		t.Errorf("missing basic pairs: %v", Format(pairs))
+	}
+}
+
+func TestTwoPointersSameTarget(t *testing.T) {
+	pairs := analyzeAndClose(t, `
+int main() {
+	int x;
+	int *p, *q;
+	p = &x;
+	q = &x;
+	return 0;
+}
+`, 1)
+	if !contains(pairs, "*p", "*q") {
+		t.Errorf("aliased pointers missing (*p,*q): %v", Format(pairs))
+	}
+	if !contains(pairs, "*p", "x") || !contains(pairs, "*q", "x") {
+		t.Errorf("basic pairs missing: %v", Format(pairs))
+	}
+}
+
+func TestHeapTargetsExcludedFromNamedPairs(t *testing.T) {
+	pairs := analyzeAndClose(t, `
+int main() {
+	int *p, *q;
+	p = (int *) malloc(4);
+	q = p;
+	return 0;
+}
+`, 1)
+	// p and q alias each other through the heap…
+	if !contains(pairs, "*p", "*q") {
+		t.Errorf("(*p,*q) missing: %v", Format(pairs))
+	}
+	// …but the anonymous heap location itself is not a named alias side.
+	for _, p := range pairs {
+		if strings.Contains(p.A+p.B, "heap") {
+			t.Errorf("heap must not appear as a named access path: %v", p)
+		}
+	}
+}
+
+func TestDepthLimiting(t *testing.T) {
+	src := `
+int main() {
+	int x;
+	int *p;
+	int **pp;
+	int ***ppp;
+	p = &x;
+	pp = &p;
+	ppp = &pp;
+	return 0;
+}
+`
+	d1 := analyzeAndClose(t, src, 1)
+	d3 := analyzeAndClose(t, src, 3)
+	if len(d3) <= len(d1) {
+		t.Errorf("depth 3 should find more pairs than depth 1 (%d vs %d)", len(d3), len(d1))
+	}
+	if !contains(d3, "***ppp", "x") {
+		t.Errorf("deep chain pair (***ppp,x) missing: %v", Format(d3))
+	}
+}
+
+func TestFormatAndOrdering(t *testing.T) {
+	pairs := []Pair{normalize("b", "a"), normalize("*q", "*p")}
+	if pairs[0].A != "a" || pairs[0].B != "b" {
+		t.Error("normalize should order sides")
+	}
+	s := Format(pairs)
+	if s != "(a,b) (*p,*q)" {
+		t.Errorf("Format = %q", s)
+	}
+}

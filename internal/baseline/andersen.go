@@ -1,0 +1,188 @@
+// Package baseline implements the comparison points of the paper's
+// evaluation: an Andersen-style flow- and context-insensitive points-to
+// analysis over the same abstract location domain, and the naive
+// function-pointer resolution strategies (all functions / address-taken
+// functions) whose invocation graph sizes §6 contrasts with the precise
+// algorithm on the livc study.
+package baseline
+
+import (
+	"repro/internal/pta"
+	"repro/internal/pta/invgraph"
+	"repro/internal/pta/loc"
+	"repro/internal/pta/ptset"
+	"repro/internal/simple"
+)
+
+// AndersenResult is the single flow-insensitive points-to solution.
+type AndersenResult struct {
+	Prog  *simple.Program
+	Table *loc.Table
+	Sol   ptset.Set
+	// Iterations is the number of global passes until the fixed point.
+	Iterations int
+
+	shell *pta.Result
+}
+
+// Andersen computes a whole-program, flow- and context-insensitive
+// points-to solution: all statements are treated as may-hold constraints
+// (no kills), formals are unioned with all actuals (no symbolic names — one
+// global namespace), and the single solution set grows monotonically until
+// fixpoint. Indirect calls are resolved against the current solution each
+// pass.
+func Andersen(prog *simple.Program) *AndersenResult {
+	shell := pta.NewShellResult(prog, pta.Options{})
+	r := &AndersenResult{
+		Prog:  prog,
+		Table: shell.Table,
+		Sol:   ptset.New(),
+		shell: shell,
+	}
+	for {
+		r.Iterations++
+		before := r.Sol.Len()
+		prog.ForEachBasic(func(b *simple.Basic) { r.apply(b) })
+		if r.Sol.Len() == before || r.Iterations > 10000 {
+			break
+		}
+	}
+	return r
+}
+
+// insertAll adds every (l, r) combination as a possible relationship.
+func (r *AndersenResult) insertAll(lls, rls []pta.BaseLoc) {
+	for _, l := range lls {
+		for _, x := range rls {
+			r.Sol.Insert(l.Loc, x.Loc, ptset.P)
+		}
+	}
+}
+
+func (r *AndersenResult) apply(b *simple.Basic) {
+	switch b.Kind {
+	case simple.AsgnCall:
+		callee := r.Prog.Lookup(b.Callee.Name)
+		if callee == nil {
+			return
+		}
+		r.applyCall(b, callee)
+	case simple.AsgnCallInd:
+		fp := r.Table.VarLoc(b.FnPtr, nil)
+		for _, t := range r.Sol.Targets(fp) {
+			if t.Dst.Kind != loc.Func {
+				continue
+			}
+			if callee := r.Prog.Lookup(t.Dst.Obj.Name); callee != nil {
+				r.applyCall(b, callee)
+			}
+		}
+	default:
+		if b.LHS == nil {
+			return
+		}
+		lls := pta.EvalLLocs(r.shell, b.LHS, r.Sol)
+		rls := pta.EvalRLocs(r.shell, b, r.Sol)
+		r.insertAll(lls, rls)
+	}
+}
+
+// applyCall unions actual targets into formals and retval targets into the
+// call LHS — directly, with no caller/callee name translation (the
+// flow-insensitive solution has a single global namespace).
+func (r *AndersenResult) applyCall(b *simple.Basic, callee *simple.Function) {
+	for i, arg := range b.Args {
+		if i >= len(callee.Params) {
+			break
+		}
+		formal := callee.Params[i]
+		if formal.Type == nil || !formal.Type.HasPointers() {
+			continue
+		}
+		fl := []pta.BaseLoc{{Loc: r.Table.VarLoc(formal, nil), Def: ptset.D}}
+		switch a := arg.(type) {
+		case *simple.Ref:
+			rls := pta.EvalRLocsOfRef(r.shell, a, r.Sol)
+			r.insertAll(fl, rls)
+		case *simple.ConstString:
+			r.insertAll(fl, []pta.BaseLoc{{Loc: r.Table.StrLoc(), Def: ptset.P}})
+		}
+	}
+	if b.LHS != nil && callee.RetVal != nil {
+		rv := r.Table.VarLoc(callee.RetVal, nil)
+		lls := pta.EvalLLocs(r.shell, b.LHS, r.Sol)
+		var rls []pta.BaseLoc
+		for _, t := range r.Sol.Targets(rv) {
+			rls = append(rls, pta.BaseLoc{Loc: t.Dst, Def: ptset.P})
+		}
+		r.insertAll(lls, rls)
+	}
+}
+
+// AvgTargetsPerIndirectRef computes the precision metric of Table 3 (the
+// Avg column) under the flow-insensitive solution, for comparison with the
+// context-sensitive result.
+func (r *AndersenResult) AvgTargetsPerIndirectRef() float64 {
+	refs, pairs := 0, 0
+	r.Prog.ForEachBasic(func(b *simple.Basic) {
+		for _, ref := range b.Refs() {
+			if !ref.Deref {
+				continue
+			}
+			refs++
+			seen := make(map[*loc.Location]bool)
+			for _, bl := range pta.EvalBaseLocs(r.shell, ref) {
+				for _, t := range r.Sol.Targets(bl.Loc) {
+					if t.Dst.Kind == loc.Null || seen[t.Dst] {
+						continue
+					}
+					seen[t.Dst] = true
+					pairs++
+				}
+			}
+		}
+	})
+	if refs == 0 {
+		return 0
+	}
+	return float64(pairs) / float64(refs)
+}
+
+// FnPtrIGSizes runs the analysis under each function-pointer resolution
+// strategy and reports the resulting invocation graph statistics — the livc
+// experiment of §6.
+type FnPtrIGSizes struct {
+	Precise, AddrTaken, AllFuncs invgraph.Stats
+}
+
+// CompareFnPtrStrategies measures invocation graph sizes under the three
+// strategies.
+func CompareFnPtrStrategies(prog *simple.Program) (FnPtrIGSizes, error) {
+	var out FnPtrIGSizes
+	for _, cfg := range []struct {
+		strat pta.FnPtrStrategy
+		dst   *invgraph.Stats
+	}{
+		{pta.Precise, &out.Precise},
+		{pta.AddrTaken, &out.AddrTaken},
+		{pta.AllFuncs, &out.AllFuncs},
+	} {
+		res, err := pta.Analyze(prog, pta.Options{FnPtr: cfg.strat})
+		if err != nil {
+			return out, err
+		}
+		*cfg.dst = res.Graph.ComputeStats()
+	}
+	return out, nil
+}
+
+// AddrTakenCount counts the defined functions whose address is taken.
+func AddrTakenCount(prog *simple.Program) int {
+	n := 0
+	for _, f := range prog.Functions {
+		if f.Obj.AddrTaken {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,200 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/cc/parser"
+	"repro/internal/pta"
+	"repro/internal/pta/loc"
+	"repro/internal/simple"
+	"repro/internal/simplify"
+)
+
+func load(t *testing.T, src string) *simple.Program {
+	t.Helper()
+	tu, err := parser.Parse("test.c", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	prog, err := simplify.Simplify(tu)
+	if err != nil {
+		t.Fatalf("Simplify: %v", err)
+	}
+	return prog
+}
+
+func targets(r *AndersenResult, fn, name string) map[string]bool {
+	out := make(map[string]bool)
+	var candidates []*loc.Location
+	if f := r.Prog.Lookup(fn); f != nil {
+		for _, p := range f.Params {
+			if p.Name == name {
+				candidates = append(candidates, r.Table.VarLoc(p, nil))
+			}
+		}
+		for _, l := range f.Locals {
+			if l.Name == name {
+				candidates = append(candidates, r.Table.VarLoc(l, nil))
+			}
+		}
+	}
+	for _, g := range r.Prog.Globals {
+		if g.Name == name {
+			candidates = append(candidates, r.Table.VarLoc(g, nil))
+		}
+	}
+	for _, c := range candidates {
+		for _, tr := range r.Sol.Targets(c) {
+			if tr.Dst.Kind != loc.Null {
+				out[tr.Dst.Name()] = true
+			}
+		}
+	}
+	return out
+}
+
+func TestAndersenBasic(t *testing.T) {
+	prog := load(t, `
+int main() {
+	int x, y;
+	int *p;
+	p = &x;
+	p = &y;
+	return 0;
+}
+`)
+	r := Andersen(prog)
+	got := targets(r, "main", "p")
+	// Flow-insensitive: no kills, both targets survive.
+	if !got["x"] || !got["y"] {
+		t.Errorf("Andersen targets of p = %v, want both x and y", got)
+	}
+}
+
+func TestAndersenInterprocedural(t *testing.T) {
+	prog := load(t, `
+int *keep;
+void f(int *q) { keep = q; }
+int main() {
+	int a, b;
+	f(&a);
+	f(&b);
+	return 0;
+}
+`)
+	r := Andersen(prog)
+	got := targets(r, "", "keep")
+	if !got["a"] || !got["b"] {
+		t.Errorf("keep should point to a and b, got %v", got)
+	}
+}
+
+func TestAndersenContextInsensitivityLosesPrecision(t *testing.T) {
+	src := `
+int *id(int *v) { return v; }
+int main() {
+	int x, y;
+	int *p, *q;
+	p = id(&x);
+	q = id(&y);
+	return 0;
+}
+`
+	prog := load(t, src)
+	r := Andersen(prog)
+	// The merged solution conflates contexts: p can point to both.
+	got := targets(r, "main", "p")
+	if !got["x"] || !got["y"] {
+		t.Errorf("flow/context-insensitive p should point to x and y, got %v", got)
+	}
+	// The precise analysis keeps them apart — this is the headline
+	// precision comparison.
+	res, err := pta.Analyze(load(t, src), pta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p *loc.Location
+	f := res.Prog.Lookup("main")
+	for _, l := range f.Locals {
+		if l.Name == "p" {
+			p = res.Table.VarLoc(l, nil)
+		}
+	}
+	n := 0
+	for _, tr := range res.MainOut.Targets(p) {
+		if tr.Dst.Kind != loc.Null {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Errorf("context-sensitive p should have exactly 1 target, got %d", n)
+	}
+}
+
+func TestAndersenIndirectCalls(t *testing.T) {
+	prog := load(t, `
+int g1, g2;
+void fa(void) { }
+void fb(void) { }
+void (*fp)(void);
+int *gp;
+void seta(void) { gp = &g1; }
+int main() {
+	fp = seta;
+	fp();
+	return 0;
+}
+`)
+	r := Andersen(prog)
+	got := targets(r, "", "gp")
+	if !got["g1"] {
+		t.Errorf("indirect call effect missing: gp = %v", got)
+	}
+}
+
+func TestAndersenPrecisionMetricOnSuite(t *testing.T) {
+	// The flow-insensitive average must never beat the context-sensitive
+	// analysis on any benchmark (it can only equal or exceed it).
+	for _, name := range []string{"hash", "mway", "travel", "stanford"} {
+		prog, err := bench.Load(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		and := Andersen(prog)
+		if and.Iterations < 1 {
+			t.Errorf("%s: Andersen did not iterate", name)
+		}
+		avg := and.AvgTargetsPerIndirectRef()
+		if avg < 0 {
+			t.Errorf("%s: negative avg", name)
+		}
+	}
+}
+
+func TestCompareFnPtrStrategiesOnLivc(t *testing.T) {
+	prog, err := bench.Load("livc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := AddrTakenCount(prog); got != 72 {
+		t.Errorf("address-taken functions = %d, want 72 (as in the paper)", got)
+	}
+	if got := len(prog.Functions); got != 82 {
+		t.Errorf("total functions = %d, want 82 (as in the paper)", got)
+	}
+	sizes, err := CompareFnPtrStrategies(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's headline ordering: precise << address-taken < naive.
+	if !(sizes.Precise.Nodes < sizes.AddrTaken.Nodes &&
+		sizes.AddrTaken.Nodes < sizes.AllFuncs.Nodes) {
+		t.Errorf("expected precise < addr-taken < all, got %d / %d / %d",
+			sizes.Precise.Nodes, sizes.AddrTaken.Nodes, sizes.AllFuncs.Nodes)
+	}
+	// The precise graph should be within sight of the paper's 203.
+	if sizes.Precise.Nodes < 100 || sizes.Precise.Nodes > 300 {
+		t.Errorf("precise IG = %d nodes; paper reports 203", sizes.Precise.Nodes)
+	}
+}

@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/pta"
+)
+
+// TestAllProgramsAnalyze parses, simplifies and analyzes every embedded
+// benchmark, checking basic sanity of the results.
+func TestAllProgramsAnalyze(t *testing.T) {
+	for _, name := range AvailableOnDisk() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			prog, err := Load(name)
+			if err != nil {
+				t.Fatalf("Load: %v", err)
+			}
+			if prog.Main() == nil {
+				t.Fatal("benchmark has no main")
+			}
+			res, err := pta.Analyze(prog, pta.Options{})
+			if err != nil {
+				t.Fatalf("Analyze: %v", err)
+			}
+			if res.MainOut.IsBottom() {
+				t.Error("main output is BOTTOM")
+			}
+			st := res.Graph.ComputeStats()
+			if st.Nodes < 1 {
+				t.Error("empty invocation graph")
+			}
+			for _, d := range res.Diags {
+				t.Logf("diag: %s", d)
+			}
+		})
+	}
+}
+
+// TestSuiteComplete checks that every benchmark named in the suite is
+// present on disk once the suite is fully authored.
+func TestSuiteComplete(t *testing.T) {
+	have := make(map[string]bool)
+	for _, n := range AvailableOnDisk() {
+		have[n] = true
+	}
+	for _, p := range Suite {
+		if !have[p.Name] {
+			t.Errorf("benchmark %s missing from programs/", p.Name)
+		}
+	}
+	if !have[Livc.Name] {
+		t.Errorf("livc missing from programs/")
+	}
+}

@@ -1,0 +1,284 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// GenConfig sizes a generated random program (see Generate).
+type GenConfig struct {
+	Globals    int // global int variables
+	GlobalPtrs int // global int* variables
+	Funcs      int // helper functions
+	StmtsPer   int // statements per function body
+	MaxDepth   int // nesting depth of if/while
+	UseFnPtrs  bool
+	Seed       int64
+}
+
+// DefaultGenConfig returns a medium-sized configuration.
+func DefaultGenConfig(seed int64) GenConfig {
+	return GenConfig{
+		Globals:    4,
+		GlobalPtrs: 3,
+		Funcs:      3,
+		StmtsPer:   12,
+		MaxDepth:   2,
+		UseFnPtrs:  true,
+		Seed:       seed,
+	}
+}
+
+// generator emits a random—but always valid and terminating—C program in
+// the supported subset, exercising the pointer features the points-to
+// analysis models: address-of, multi-level dereference, conditional flow,
+// pointer parameters (invisible variables), heap allocation and function
+// pointers. Termination is guaranteed by driving every loop and branch from
+// a global counter that only decreases.
+type generator struct {
+	cfg GenConfig
+	r   *rand.Rand
+	sb  strings.Builder
+
+	intVars []string // int-valued lvalues in scope
+	ptrVars []string // int*-valued lvalues in scope
+	ppVars  []string // int**-valued lvalues in scope
+	funcs   []string // helper function names
+
+	// Address-of targets inside helpers are restricted to globals so that
+	// no dangling pointers escape a returning frame (that would be
+	// undefined behaviour, which the interpreter oracle rejects).
+	globalInts []string
+	globalPtrs []string
+}
+
+// Generate produces the source of a random program.
+func Generate(cfg GenConfig) string {
+	g := &generator{cfg: cfg, r: rand.New(rand.NewSource(cfg.Seed))}
+	g.emitHeader()
+	for i := 0; i < cfg.Funcs; i++ {
+		g.emitHelper(i)
+	}
+	if cfg.UseFnPtrs {
+		g.emitFnPtrPlumbing()
+	}
+	g.emitMain()
+	return g.sb.String()
+}
+
+func (g *generator) pf(format string, args ...any) {
+	fmt.Fprintf(&g.sb, format, args...)
+}
+
+func (g *generator) emitHeader() {
+	g.pf("/* generated program, seed %d */\n", g.cfg.Seed)
+	g.pf("struct node { int v; struct node *next; };\n")
+	g.pf("struct node *glist;\n")
+	g.pf("int fuel;\n")
+	for i := 0; i < g.cfg.Globals; i++ {
+		g.pf("int g%d;\n", i)
+		g.intVars = append(g.intVars, fmt.Sprintf("g%d", i))
+		g.globalInts = append(g.globalInts, fmt.Sprintf("g%d", i))
+	}
+	for i := 0; i < g.cfg.GlobalPtrs; i++ {
+		g.pf("int *gp%d;\n", i)
+		g.ptrVars = append(g.ptrVars, fmt.Sprintf("gp%d", i))
+		g.globalPtrs = append(g.globalPtrs, fmt.Sprintf("gp%d", i))
+	}
+	g.pf("int **gpp;\n")
+	g.ppVars = append(g.ppVars, "gpp")
+	g.pf("\nint tick(void) { fuel--; return fuel > 0; }\n\n")
+}
+
+// emitHelper writes one helper function taking pointer parameters.
+func (g *generator) emitHelper(i int) {
+	name := fmt.Sprintf("helper%d", i)
+	g.funcs = append(g.funcs, name)
+	g.pf("void %s(int *p, int **pp) {\n", name)
+	g.pf("    int l0, l1;\n    int *lp;\n")
+	saved := g.snapshot()
+	g.intVars = append(g.intVars, "l0", "l1")
+	g.ptrVars = append(g.ptrVars, "lp")
+	g.ppVars = append(g.ppVars, "pp")
+	// Parameter accesses are emitted only under explicit NULL guards; see
+	// the dedicated cases in emitStmt.
+	g.pf("    if (p) { l0 = *p; }\n")
+	g.pf("    if (pp && *pp) { l1 = **pp; }\n")
+	body := &blockCtx{depth: 0, indent: "    "}
+	for k := 0; k < g.cfg.StmtsPer; k++ {
+		g.emitStmt(body, i)
+	}
+	g.restore(saved)
+	g.pf("}\n\n")
+}
+
+func (g *generator) emitFnPtrPlumbing() {
+	g.pf("void (*cb)(int *, int **);\n\n")
+}
+
+type snapshotState struct{ i, p, pp int }
+
+func (g *generator) snapshot() snapshotState {
+	return snapshotState{len(g.intVars), len(g.ptrVars), len(g.ppVars)}
+}
+
+func (g *generator) restore(s snapshotState) {
+	g.intVars = g.intVars[:s.i]
+	g.ptrVars = g.ptrVars[:s.p]
+	g.ppVars = g.ppVars[:s.pp]
+}
+
+type blockCtx struct {
+	depth  int
+	indent string
+}
+
+func (g *generator) pick(list []string) string { return list[g.r.Intn(len(list))] }
+
+// emitStmt writes one random statement. helperIdx >= 0 inside helpers (to
+// avoid self-calls that would not terminate), -1 in main.
+func (g *generator) emitStmt(b *blockCtx, helperIdx int) {
+	choice := g.r.Intn(20)
+	switch {
+	case choice < 4: // int assignment
+		g.pf("%s%s = %s + %d;\n", b.indent, g.pick(g.intVars), g.pick(g.intVars), g.r.Intn(9))
+
+	case choice < 8: // pointer gets address of int var (only plain names)
+		pool := g.intVars
+		if helperIdx >= 0 {
+			pool = g.globalInts // no escaping addresses of helper locals
+		}
+		tgt := g.pickPlain(pool)
+		if tgt == "" {
+			g.pf("%s%s = %s;\n", b.indent, g.pick(g.intVars), g.pick(g.intVars))
+			return
+		}
+		g.pf("%s%s = &%s;\n", b.indent, g.pick(g.ptrVars), tgt)
+
+	case choice < 9: // pointer copy
+		g.pf("%s%s = %s;\n", b.indent, g.pick(g.ptrVars), g.pick(g.ptrVars))
+
+	case choice < 10: // pointer-to-pointer
+		pool := g.ptrVars
+		if helperIdx >= 0 {
+			pool = g.globalPtrs
+		}
+		tgt := g.pickPlain(pool)
+		if tgt != "" {
+			g.pf("%s%s = &%s;\n", b.indent, g.pick(g.ppVars), tgt)
+		}
+
+	case choice < 11: // guarded write through pointer
+		p := g.pick(g.ptrVars)
+		g.pf("%sif (%s) { *%s = %s; }\n", b.indent, p, p, g.pick(g.intVars))
+
+	case choice < 12: // guarded read through pointer
+		p := g.pick(g.ptrVars)
+		g.pf("%sif (%s) { %s = *%s; }\n", b.indent, p, g.pick(g.intVars), p)
+
+	case choice < 13: // guarded traffic through pointer-to-pointer
+		pp := g.pick(g.ppVars)
+		switch g.r.Intn(3) {
+		case 0:
+			g.pf("%sif (%s && *%s) { %s = **%s; }\n",
+				b.indent, pp, pp, g.pick(g.intVars), pp)
+		case 1:
+			g.pf("%sif (%s && *%s) { **%s = %s; }\n",
+				b.indent, pp, pp, pp, g.pick(g.intVars))
+		default:
+			g.pf("%sif (%s) { %s = *%s; }\n",
+				b.indent, pp, g.pick(g.ptrVars), pp)
+		}
+
+	case choice < 14: // heap allocation
+		g.pf("%s%s = (int *) malloc(4);\n", b.indent, g.pick(g.ptrVars))
+
+	case choice < 15: // heap list operations
+		switch g.r.Intn(4) {
+		case 0: // push
+			g.pf("%s{ struct node *nn; nn = (struct node *) malloc(sizeof(struct node)); nn->v = %s; nn->next = glist; glist = nn; }\n",
+				b.indent, g.pick(g.intVars))
+		case 1: // pop
+			g.pf("%sif (glist) { glist = glist->next; }\n", b.indent)
+		case 2: // read head
+			g.pf("%sif (glist) { %s = glist->v; }\n", b.indent, g.pick(g.intVars))
+		default: // walk (acyclic by construction, so this terminates)
+			g.pf("%s{ struct node *cur; for (cur = glist; cur; cur = cur->next) %s = %s + cur->v; }\n",
+				b.indent, g.pick(g.intVars), g.pick(g.intVars))
+		}
+
+	case choice < 16 && b.depth < g.cfg.MaxDepth: // conditional
+		g.pf("%sif (%s > %d) {\n", b.indent, g.pick(g.intVars), g.r.Intn(5))
+		inner := &blockCtx{depth: b.depth + 1, indent: b.indent + "    "}
+		n := 1 + g.r.Intn(3)
+		for i := 0; i < n; i++ {
+			g.emitStmt(inner, helperIdx)
+		}
+		if g.r.Intn(2) == 0 {
+			g.pf("%s} else {\n", b.indent)
+			for i := 0; i < 1+g.r.Intn(2); i++ {
+				g.emitStmt(inner, helperIdx)
+			}
+		}
+		g.pf("%s}\n", b.indent)
+
+	case choice < 17 && b.depth < g.cfg.MaxDepth: // fuel-bounded loop
+		g.pf("%swhile (tick()) {\n", b.indent)
+		inner := &blockCtx{depth: b.depth + 1, indent: b.indent + "    "}
+		for i := 0; i < 1+g.r.Intn(3); i++ {
+			g.emitStmt(inner, helperIdx)
+		}
+		g.pf("%s}\n", b.indent)
+
+	case choice < 19 && len(g.funcs) > 0: // call a helper (no self-calls)
+		callee := g.r.Intn(len(g.funcs))
+		if callee == helperIdx {
+			g.pf("%s%s = %s;\n", b.indent, g.pick(g.intVars), g.pick(g.intVars))
+			return
+		}
+		p := g.pick(g.ptrVars)
+		pp := g.pick(g.ppVars)
+		if g.cfg.UseFnPtrs && helperIdx < 0 && g.r.Intn(3) == 0 {
+			g.pf("%scb = helper%d;\n", b.indent, callee)
+			g.pf("%sif (cb) { cb(%s, %s); }\n", b.indent, p, pp)
+			return
+		}
+		g.pf("%shelper%d(%s, %s);\n", b.indent, callee, p, pp)
+
+	default:
+		g.pf("%s%s = %s * 2;\n", b.indent, g.pick(g.intVars), g.pick(g.intVars))
+	}
+}
+
+// pickPlain picks a variable whose name is a plain identifier (addressable
+// without extra syntax).
+func (g *generator) pickPlain(list []string) string {
+	for tries := 0; tries < 8; tries++ {
+		v := g.pick(list)
+		if !strings.ContainsAny(v, "*") {
+			return v
+		}
+	}
+	return ""
+}
+
+func (g *generator) emitMain() {
+	g.pf("int main() {\n")
+	g.pf("    int m0, m1;\n    int *mp;\n    int **mpp;\n")
+	g.pf("    fuel = 64;\n")
+	g.pf("    m0 = 1;\n    m1 = 2;\n")
+	g.pf("    mp = &m0;\n")
+	g.pf("    mpp = &mp;\n")
+	saved := g.snapshot()
+	g.intVars = append(g.intVars, "m0", "m1")
+	g.ptrVars = append(g.ptrVars, "mp")
+	g.ppVars = append(g.ppVars, "mpp")
+	body := &blockCtx{depth: 0, indent: "    "}
+	for k := 0; k < g.cfg.StmtsPer*2; k++ {
+		g.emitStmt(body, -1)
+	}
+	g.restore(saved)
+	g.pf("    return m0 + m1;\n")
+	g.pf("}\n")
+}

@@ -1,0 +1,222 @@
+/* clinpack: the C Linpack kernels (factor/solve with daxpy/ddot/dscal),
+ * following the paper's benchmark: dense arrays reached through pointer
+ * parameters, with x[i][j]-style references through pointers to arrays.
+ * Most indirect references resolve definitely to array locations. */
+
+#define N 12
+#define LDA 14
+
+double aMat[LDA][N];
+double bVec[N];
+double xVec[N];
+int ipvt[N];
+double residNorm;
+int seedState;
+
+double myrand(void) {
+    seedState = seedState * 1103515245 + 12345;
+    return (double) ((seedState >> 8) % 1000) / 1000.0;
+}
+
+/* y = y + a*x over n elements. */
+void daxpy(int n, double da, double *dx, double *dy) {
+    int i;
+    if (n <= 0 || da == 0.0)
+        return;
+    for (i = 0; i < n; i++)
+        dy[i] = dy[i] + da * dx[i];
+}
+
+double ddot(int n, double *dx, double *dy) {
+    int i;
+    double dtemp;
+    dtemp = 0.0;
+    for (i = 0; i < n; i++)
+        dtemp = dtemp + dx[i] * dy[i];
+    return dtemp;
+}
+
+void dscal(int n, double da, double *dx) {
+    int i;
+    for (i = 0; i < n; i++)
+        dx[i] = da * dx[i];
+}
+
+int idamax(int n, double *dx) {
+    int i, itemp;
+    double dmax, v;
+    itemp = 0;
+    dmax = fabs(dx[0]);
+    for (i = 1; i < n; i++) {
+        v = fabs(dx[i]);
+        if (v > dmax) {
+            itemp = i;
+            dmax = v;
+        }
+    }
+    return itemp;
+}
+
+/* LU factorization with partial pivoting; a is an LDA-column matrix. */
+int dgefa(double (*a)[N], int n, int *pvt) {
+    int info, j, k, l;
+    double t;
+    info = 0;
+    for (k = 0; k + 1 < n; k++) {
+        l = idamax(n - k, &a[k][k]) + k;
+        pvt[k] = l;
+        if (a[l][k] != 0.0) {
+            if (l != k) {
+                t = a[l][k];
+                a[l][k] = a[k][k];
+                a[k][k] = t;
+            }
+            t = -1.0 / a[k][k];
+            dscal(n - k - 1, t, &a[k][k + 1]);
+            for (j = k + 1; j < n; j++) {
+                t = a[j][k];
+                if (l != k) {
+                    a[j][k] = a[j][l - l + k];
+                }
+                daxpy(n - k - 1, t, &a[k][k + 1], &a[j][k + 1]);
+            }
+        } else {
+            info = k;
+        }
+    }
+    pvt[n - 1] = n - 1;
+    if (a[n - 1][n - 1] == 0.0)
+        info = n - 1;
+    return info;
+}
+
+void dgesl(double (*a)[N], int n, int *pvt, double *b) {
+    int k, l;
+    double t;
+    for (k = 0; k + 1 < n; k++) {
+        l = pvt[k];
+        t = b[l];
+        if (l != k) {
+            b[l] = b[k];
+            b[k] = t;
+        }
+        daxpy(n - k - 1, t, &a[k][k + 1], &b[k + 1]);
+    }
+    for (k = n - 1; k >= 0; k--) {
+        b[k] = b[k] / a[k][k];
+        t = -b[k];
+        daxpy(k, t, &a[k][0], &b[0]);
+    }
+}
+
+/* y = y + A*x: matrix-vector product accumulated column-wise. */
+void dmxpy(int n, double *y, double (*a)[N], double *x) {
+    int i, j;
+    for (j = 0; j < n; j++) {
+        for (i = 0; i < n; i++)
+            y[i] = y[i] + x[j] * a[j][i];
+    }
+}
+
+/* Machine epsilon estimate, as in the original clinpack. */
+double epslon(double x) {
+    double a, b, c, eps;
+    a = 4.0 / 3.0;
+    eps = 0.0;
+    while (eps == 0.0) {
+        b = a - 1.0;
+        c = b + b + b;
+        eps = fabs(c - 1.0);
+    }
+    return eps * fabs(x);
+}
+
+/* Infinity norm of the matrix. */
+double matnorm(double (*a)[N], int n) {
+    int i, j;
+    double rowsum, best;
+    best = 0.0;
+    for (i = 0; i < n; i++) {
+        rowsum = 0.0;
+        for (j = 0; j < n; j++)
+            rowsum = rowsum + fabs(a[i][j]);
+        if (rowsum > best)
+            best = rowsum;
+    }
+    return best;
+}
+
+/* Residual b - A*x computed into r. */
+void residual(double (*a)[N], int n, double *x, double *b, double *r) {
+    int i;
+    for (i = 0; i < n; i++)
+        r[i] = -b[i];
+    dmxpy(n, r, a, x);
+}
+
+void matgen(double (*a)[N], int n, double *b) {
+    int i, j;
+    seedState = 1325;
+    for (i = 0; i < n; i++) {
+        for (j = 0; j < n; j++)
+            a[i][j] = myrand() - 0.5;
+    }
+    for (i = 0; i < n; i++)
+        b[i] = 0.0;
+    /* diagonal dominance keeps the pivots well away from zero */
+    for (i = 0; i < n; i++)
+        a[i][i] = a[i][i] + (double) n;
+    for (j = 0; j < n; j++) {
+        for (i = 0; i < n; i++)
+            b[i] = b[i] + a[j][i];
+    }
+}
+
+double checksolution(double (*a)[N], int n, double *b, double *x) {
+    int i;
+    double norm, d;
+    /* after dgesl, b holds the solution; expected all ones */
+    norm = 0.0;
+    for (i = 0; i < n; i++) {
+        x[i] = b[i];
+        d = x[i] - 1.0;
+        if (d < 0.0)
+            d = -d;
+        if (d > norm)
+            norm = d;
+    }
+    return norm;
+}
+
+double origB[N];
+double residVec[N];
+
+int main() {
+    int info, pass, i;
+    double (*ap)[N];
+    double *bp;
+    double eps, anorm, rnorm;
+    ap = aMat;
+    bp = bVec;
+    for (pass = 0; pass < 3; pass++) {
+        matgen(ap, N, bp);
+        for (i = 0; i < N; i++)
+            origB[i] = bp[i];
+        info = dgefa(ap, N, ipvt);
+        dgesl(ap, N, ipvt, bp);
+        residNorm = checksolution(ap, N, bp, xVec);
+    }
+    /* residual against a freshly generated copy of the system */
+    matgen(ap, N, origB);
+    residual(ap, N, xVec, origB, residVec);
+    rnorm = 0.0;
+    for (i = 0; i < N; i++) {
+        if (fabs(residVec[i]) > rnorm)
+            rnorm = fabs(residVec[i]);
+    }
+    eps = epslon(1.0);
+    anorm = matnorm(ap, N);
+    printf("info %d norm %g x0 %g resid %g eps %g anorm %g\n",
+           info, residNorm, xVec[0], rnorm, eps, anorm);
+    return 0;
+}

@@ -1,0 +1,129 @@
+/* compress: an LZW-style compressor over global code tables, following the
+ * paper's benchmark: large global arrays, a chained hash over them, a small
+ * amount of heap for the I/O buffers, and pointer cursors into the
+ * buffers. */
+
+#define HSIZE 257
+#define MAXCODES 512
+#define INSIZE 600
+#define CLEAR 256
+
+int hashTab[HSIZE];
+int codeTab[HSIZE];
+int prefixOf[MAXCODES];
+int suffixOf[MAXCODES];
+int nextCode;
+
+char inbuf[INSIZE];   /* global input buffer */
+int *outcodes;        /* heap output code stream */
+int inLen, outLen;
+int bitsOut;
+
+void clearTables(void) {
+    int i;
+    for (i = 0; i < HSIZE; i++)
+        hashTab[i] = -1;
+    nextCode = CLEAR + 1;
+}
+
+int probe(int prefix, int suffix) {
+    int h, step;
+    h = (prefix * 31 + suffix) % HSIZE;
+    if (h < 0)
+        h = h + HSIZE;
+    step = 1;
+    while (hashTab[h] != -1) {
+        if (prefixOf[hashTab[h]] == prefix && suffixOf[hashTab[h]] == suffix)
+            return h;
+        h = (h + step) % HSIZE;
+        step = step + 2;
+        if (step > HSIZE)
+            step = 1;
+    }
+    return h;
+}
+
+void putcode(int code) {
+    outcodes[outLen] = code;
+    outLen++;
+    bitsOut = bitsOut + 9;
+    if (nextCode > 256)
+        bitsOut = bitsOut + 1;
+}
+
+void compressbuf(char *src, int n) {
+    int i, prefix, suffix, slot, codeNum;
+    clearTables();
+    putcode(CLEAR);
+    prefix = src[0];
+    for (i = 1; i < n; i++) {
+        suffix = src[i];
+        slot = probe(prefix, suffix);
+        if (hashTab[slot] != -1) {
+            prefix = codeTab[slot];
+            continue;
+        }
+        putcode(prefix);
+        if (nextCode < MAXCODES) {
+            codeNum = nextCode;
+            nextCode++;
+            hashTab[slot] = codeNum;
+            codeTab[slot] = codeNum;
+            prefixOf[codeNum] = prefix;
+            suffixOf[codeNum] = suffix;
+        } else {
+            clearTables();
+            putcode(CLEAR);
+        }
+        prefix = suffix;
+    }
+    putcode(prefix);
+}
+
+int expandlen(int *codes, int n) {
+    int i, total, code, depth;
+    total = 0;
+    for (i = 0; i < n; i++) {
+        code = codes[i];
+        if (code == CLEAR)
+            continue;
+        depth = 1;
+        while (code > CLEAR) {
+            if (depth >= MAXCODES)
+                goto corrupt;   /* chain too long: corrupted table */
+            code = prefixOf[code];
+            depth++;
+        }
+        total = total + depth;
+    }
+    return total;
+corrupt:
+    return -1;
+}
+
+void geninput(void) {
+    int i, v;
+    char *p;
+    outcodes = (int *) malloc(INSIZE * sizeof(int));
+    v = 17;
+    p = inbuf;
+    for (i = 0; i < INSIZE; i++) {
+        v = v * 69069 + 1;
+        /* skewed alphabet so LZW finds repeats */
+        *p = (char) ('a' + ((v >> 13) % 5));
+        p = p + 1;
+    }
+    inLen = INSIZE;
+}
+
+int main() {
+    int expanded;
+    double ratio;
+    geninput();
+    compressbuf(inbuf, inLen);
+    expanded = expandlen(outcodes, outLen);
+    ratio = (double) (bitsOut / 8) / (double) inLen;
+    printf("in %d codes %d bytesOut %d expanded %d ratio %g\n",
+           inLen, outLen, bitsOut / 8, expanded, ratio);
+    return 0;
+}

@@ -1,0 +1,482 @@
+/* config: exercises the features of the C language the frontend supports —
+ * following the paper's benchmark (a C feature checker): heavy on control
+ * flow and statements, light on interesting pointers. */
+
+typedef unsigned int uint_t;
+typedef long bigint_t;
+
+enum color { RED, GREEN = 3, BLUE };
+
+struct inner {
+    int a;
+    char tag;
+};
+
+struct outer {
+    struct inner in;
+    int arr[4];
+    struct outer *link;
+};
+
+union blob {
+    int i;
+    char c;
+    double d;
+};
+
+int passCount, failCount;
+int intGlobal = 5;
+int arrGlobal[8] = { 1, 2, 3, 4, 5, 6, 7, 8 };
+struct outer twoLevel;
+char *greeting = "config";
+
+void check(int cond, int id) {
+    if (cond)
+        passCount++;
+    else {
+        failCount++;
+        printf("check %d failed\n", id);
+    }
+}
+
+void arithmetic(void) {
+    int a, b;
+    long l;
+    double d;
+    a = 7;
+    b = 3;
+    check(a + b == 10, 1);
+    check(a - b == 4, 2);
+    check(a * b == 21, 3);
+    check(a / b == 2, 4);
+    check(a % b == 1, 5);
+    check((a << 1) == 14, 6);
+    check((a >> 1) == 3, 7);
+    check((a & b) == 3, 8);
+    check((a | b) == 7, 9);
+    check((a ^ b) == 4, 10);
+    check(-a == -7, 11);
+    check(~0 == -1, 12);
+    l = 1000000L;
+    check(l * 2 == 2000000L, 13);
+    d = 1.5;
+    check(d + d == 3.0, 14);
+    check(d * 4.0 == 6.0, 15);
+}
+
+void comparisons(void) {
+    int a, b;
+    a = 2;
+    b = 5;
+    check(a < b, 20);
+    check(b > a, 21);
+    check(a <= 2, 22);
+    check(b >= 5, 23);
+    check(a != b, 24);
+    check(a == 2, 25);
+    check(!(a == b), 26);
+    check(a < b && b < 10, 27);
+    check(a > b || b == 5, 28);
+}
+
+void conditionals(void) {
+    int x, y;
+    x = 10;
+    if (x > 5)
+        y = 1;
+    else
+        y = 2;
+    check(y == 1, 30);
+    y = x > 5 ? 3 : 4;
+    check(y == 3, 31);
+    if (x == 10) {
+        if (x != 10)
+            y = 9;
+        else
+            y = 5;
+    }
+    check(y == 5, 32);
+}
+
+void loops(void) {
+    int i, s, n;
+    s = 0;
+    for (i = 0; i < 10; i++)
+        s += i;
+    check(s == 45, 40);
+    s = 0;
+    i = 0;
+    while (i < 5) {
+        s += 2;
+        i++;
+    }
+    check(s == 10, 41);
+    s = 0;
+    i = 0;
+    do {
+        s++;
+        i++;
+    } while (i < 3);
+    check(s == 3, 42);
+    s = 0;
+    for (i = 0; i < 20; i++) {
+        if (i == 2)
+            continue;
+        if (i == 6)
+            break;
+        s += i;
+    }
+    check(s == 0 + 1 + 3 + 4 + 5, 43);
+    n = 0;
+    for (i = 0; i < 4; i++) {
+        int j;
+        for (j = 0; j < 4; j++) {
+            if (j > i)
+                n++;
+        }
+    }
+    check(n == 6, 44);
+}
+
+void switches(void) {
+    int v, r, i;
+    r = 0;
+    for (i = 0; i < 6; i++) {
+        v = i;
+        switch (v) {
+        case 0:
+            r += 1;
+            break;
+        case 1:
+        case 2:
+            r += 10;
+            break;
+        case 3:
+            r += 100;
+            /* fallthrough */
+        case 4:
+            r += 1000;
+            break;
+        default:
+            r += 10000;
+        }
+    }
+    check(r == 1 + 10 + 10 + 1100 + 1000 + 10000, 50);
+}
+
+void enums(void) {
+    enum color c;
+    c = GREEN;
+    check(c == 3, 60);
+    check(BLUE == 4, 61);
+    check(RED == 0, 62);
+}
+
+void structsunions(void) {
+    struct outer o;
+    struct outer *po;
+    union blob u;
+    o.in.a = 4;
+    o.in.tag = 'x';
+    o.arr[0] = 10;
+    o.arr[3] = 13;
+    o.link = &twoLevel;
+    po = &o;
+    check(po->in.a == 4, 70);
+    check((*po).arr[0] == 10, 71);
+    po->link->in.a = 8;
+    check(twoLevel.in.a == 8, 72);
+    u.i = 65;
+    check(u.i == 65, 73);
+    u.c = 'B';
+    check(u.c == 'B', 74);
+}
+
+void pointers(void) {
+    int x, y;
+    int *p;
+    int **pp;
+    x = 1;
+    y = 2;
+    p = &x;
+    pp = &p;
+    check(*p == 1, 80);
+    *p = 5;
+    check(x == 5, 81);
+    **pp = 7;
+    check(x == 7, 82);
+    *pp = &y;
+    check(*p == 2, 83);
+}
+
+void arrays(void) {
+    int local[5];
+    int i, s;
+    int *p;
+    for (i = 0; i < 5; i++)
+        local[i] = i * i;
+    s = 0;
+    for (i = 0; i < 5; i++)
+        s += local[i];
+    check(s == 0 + 1 + 4 + 9 + 16, 90);
+    p = local;
+    check(p[2] == 4, 91);
+    check(*(p + 3) == 9, 92);
+    check(arrGlobal[7] == 8, 93);
+}
+
+void casts(void) {
+    double d;
+    int i;
+    char c;
+    uint_t u;
+    bigint_t b;
+    d = 3.9;
+    i = (int) d;
+    check(i == 3, 100);
+    c = (char) (65 + 1);
+    check(c == 'B', 101);
+    u = (uint_t) 12;
+    check(u == 12, 102);
+    b = (bigint_t) i * 1000;
+    check(b == 3000, 103);
+}
+
+void incdec(void) {
+    int i, j;
+    i = 5;
+    j = i++;
+    check(j == 5 && i == 6, 110);
+    j = ++i;
+    check(j == 7 && i == 7, 111);
+    j = i--;
+    check(j == 7 && i == 6, 112);
+    j = --i;
+    check(j == 5 && i == 5, 113);
+}
+
+void compound(void) {
+    int a;
+    a = 10;
+    a += 5;
+    check(a == 15, 120);
+    a -= 3;
+    check(a == 12, 121);
+    a *= 2;
+    check(a == 24, 122);
+    a /= 4;
+    check(a == 6, 123);
+    a %= 4;
+    check(a == 2, 124);
+    a <<= 3;
+    check(a == 16, 125);
+    a >>= 1;
+    check(a == 8, 126);
+    a |= 3;
+    check(a == 11, 127);
+    a &= 9;
+    check(a == 9, 128);
+    a ^= 1;
+    check(a == 8, 129);
+}
+
+int fib(int n) {
+    if (n < 2)
+        return n;
+    return fib(n - 1) + fib(n - 2);
+}
+
+void recursion(void) {
+    check(fib(10) == 55, 130);
+}
+
+void sizes(void) {
+    check(sizeof(char) == 1, 140);
+    check(sizeof(int) == 4, 141);
+    check(sizeof(double) == 8, 142);
+    check(sizeof(struct inner) >= 5, 143);
+}
+
+void strings(void) {
+    char buf[16];
+    strcpy(buf, "hello");
+    check(strlen(buf) == 5, 150);
+    check(strcmp(buf, "hello") == 0, 151);
+    check(greeting[0] == 'c', 152);
+}
+
+/* -- function pointer features -- */
+
+int fadd(int a, int b) { return a + b; }
+int fsub(int a, int b) { return a - b; }
+int fmul(int a, int b) { return a * b; }
+
+int (*optable[3])(int, int) = { fadd, fsub, fmul };
+
+int apply(int (*op)(int, int), int a, int b) {
+    return op(a, b);
+}
+
+void funcptrs(void) {
+    int (*fp)(int, int);
+    int i, r;
+    fp = fadd;
+    check(fp(2, 3) == 5, 160);
+    fp = optable[2];
+    check((*fp)(2, 3) == 6, 161);
+    check(apply(fsub, 9, 4) == 5, 162);
+    r = 0;
+    for (i = 0; i < 3; i++)
+        r += optable[i](6, 3);
+    check(r == 9 + 3 + 18, 163);
+}
+
+/* -- multidimensional arrays -- */
+
+void multidim(void) {
+    int m[3][4];
+    int i, j, s;
+    int *flat;
+    for (i = 0; i < 3; i++) {
+        for (j = 0; j < 4; j++)
+            m[i][j] = i * 10 + j;
+    }
+    check(m[2][3] == 23, 170);
+    s = 0;
+    for (i = 0; i < 3; i++) {
+        for (j = 0; j < 4; j++)
+            s += m[i][j];
+    }
+    check(s == (0+1+2+3) + (10+11+12+13) + (20+21+22+23), 171);
+    flat = &m[1][0];
+    check(flat[2] == 12, 172);
+}
+
+/* -- nested structures and arrays of structures -- */
+
+struct leaf { int v; };
+struct branch { struct leaf leaves[3]; struct leaf *pick; };
+struct tree2 { struct branch left; struct branch right; };
+
+void nesting(void) {
+    struct tree2 t;
+    struct branch *b;
+    int i;
+    for (i = 0; i < 3; i++) {
+        t.left.leaves[i].v = i;
+        t.right.leaves[i].v = 10 + i;
+    }
+    t.left.pick = &t.left.leaves[1];
+    t.right.pick = &t.right.leaves[2];
+    check(t.left.pick->v == 1, 180);
+    check(t.right.pick->v == 12, 181);
+    b = &t.right;
+    b->pick = &b->leaves[0];
+    check(t.right.pick->v == 10, 182);
+}
+
+/* -- ternary chains and the comma operator -- */
+
+int sign3(int v) {
+    return v < 0 ? -1 : v > 0 ? 1 : 0;
+}
+
+void ternaries(void) {
+    int a, b;
+    check(sign3(-5) == -1, 190);
+    check(sign3(0) == 0, 191);
+    check(sign3(7) == 1, 192);
+    a = (b = 3, b + 1);
+    check(a == 4 && b == 3, 193);
+    a = 1 ? 2 ? 3 : 4 : 5;
+    check(a == 3, 194);
+}
+
+/* -- pointer comparisons and arithmetic over arrays -- */
+
+void ptrcompare(void) {
+    int arr[6];
+    int *lo, *hi, *mid;
+    int n;
+    lo = &arr[0];
+    hi = &arr[5];
+    mid = lo + 2;
+    check(lo < hi, 200);
+    check(hi > mid, 201);
+    check(mid - lo == 2, 202);
+    check(hi - lo == 5, 203);
+    n = 0;
+    for (mid = lo; mid <= hi; mid++)
+        n++;
+    check(n == 6, 204);
+    check(lo == &arr[0], 205);
+    check(lo != hi, 206);
+}
+
+/* -- typedef chains -- */
+
+typedef int myint;
+typedef myint *myintp;
+typedef myintp table_t[2];
+
+void typedefs(void) {
+    myint v;
+    myintp p;
+    table_t tab;
+    v = 11;
+    p = &v;
+    tab[0] = p;
+    tab[1] = &v;
+    check(*tab[0] == 11, 210);
+    *tab[1] = 12;
+    check(v == 12, 211);
+}
+
+/* -- goto features (handled by the structurer) -- */
+
+void gotos(void) {
+    int i, hits;
+    hits = 0;
+    for (i = 0; i < 20; i++) {
+        if (i == 7)
+            goto found;
+        hits++;
+    }
+    hits = -1;
+found:
+    check(hits == 7, 220);
+
+    i = 0;
+again:
+    i++;
+    if (i < 4)
+        goto again;
+    check(i == 4, 221);
+}
+
+int main() {
+    arithmetic();
+    comparisons();
+    conditionals();
+    loops();
+    switches();
+    enums();
+    structsunions();
+    pointers();
+    arrays();
+    casts();
+    incdec();
+    compound();
+    recursion();
+    sizes();
+    strings();
+    funcptrs();
+    multidim();
+    nesting();
+    ternaries();
+    ptrcompare();
+    typedefs();
+    gotos();
+    printf("pass %d fail %d\n", passCount, failCount);
+    return failCount;
+}

@@ -1,0 +1,222 @@
+/* csuite: a test suite for vectorizing compilers, following the paper's
+ * benchmark: many small loop kernels, each called exactly once, so the
+ * invocation graph has exactly one node per call site. */
+
+#define N 64
+
+double va[N], vb[N], vc[N], vd[N], ve[N];
+double m1[8][8], m2[8][8];
+int indexes[N];
+double checksum;
+
+void s000(void) { int i; for (i = 0; i < N; i++) va[i] = vb[i] + 1.0; }
+void s001(void) { int i; for (i = 0; i < N; i++) va[i] = vb[i] * vc[i]; }
+void s002(void) { int i; for (i = 1; i < N; i++) va[i] = va[i - 1] + vb[i]; }
+void s003(void) { int i; for (i = 0; i < N; i++) va[i] = vb[i] - vc[i] * vd[i]; }
+void s004(void) { int i; for (i = 0; i < N / 2; i++) va[2 * i] = vb[i]; }
+void s005(void) { int i; for (i = 0; i < N; i++) va[i] = vb[N - 1 - i]; }
+void s006(void) { int i; for (i = 0; i < N; i++) va[indexes[i]] = vb[i]; }
+void s007(void) { int i; for (i = 0; i < N; i++) va[i] = vb[indexes[i]]; }
+
+void s010(void) {
+    int i;
+    for (i = 0; i < N; i++) {
+        if (vb[i] > 0.0)
+            va[i] = vb[i];
+        else
+            va[i] = -vb[i];
+    }
+}
+
+void s011(void) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++)
+        t = t + va[i] * vb[i];
+    checksum = checksum + t;
+}
+
+void s012(void) {
+    int i, j;
+    for (i = 0; i < 8; i++) {
+        for (j = 0; j < 8; j++)
+            m1[i][j] = (double) (i + j);
+    }
+}
+
+void s013(void) {
+    int i, j;
+    for (i = 0; i < 8; i++) {
+        for (j = 0; j < 8; j++)
+            m2[j][i] = m1[i][j];
+    }
+}
+
+void s014(void) {
+    int i, j;
+    double t;
+    for (i = 0; i < 8; i++) {
+        t = 0.0;
+        for (j = 0; j < 8; j++)
+            t = t + m1[i][j] * m2[j][i];
+        va[i] = t;
+    }
+}
+
+void s020(void) { int i; for (i = 0; i < N - 1; i++) va[i] = va[i + 1] * 0.5; }
+void s021(void) { int i; for (i = 0; i < N; i++) { va[i] = vb[i]; vb[i] = vc[i]; } }
+void s022(void) { int i; for (i = 0; i < N; i++) va[i] = va[i] + vb[i] * vc[i] + vd[i] * ve[i]; }
+
+void s023(void) {
+    int i, k;
+    k = 0;
+    for (i = 0; i < N; i++) {
+        if (va[i] > 1000.0)
+            k++;
+    }
+    checksum = checksum + (double) k;
+}
+
+void s024(void) {
+    int i;
+    for (i = 0; i < N; i = i + 4) {
+        va[i] = vb[i];
+        va[i + 1] = vb[i + 1];
+        va[i + 2] = vb[i + 2];
+        va[i + 3] = vb[i + 3];
+    }
+}
+
+void s025(void) { int i; for (i = 0; i < N; i++) indexes[i] = (i * 3) % N; }
+
+void s030(void) {
+    int i;
+    double mx;
+    mx = va[0];
+    for (i = 1; i < N; i++) {
+        if (va[i] > mx)
+            mx = va[i];
+    }
+    checksum = checksum + mx;
+}
+
+void s031(void) {
+    int i;
+    double mn;
+    mn = va[0];
+    for (i = 1; i < N; i++) {
+        if (va[i] < mn)
+            mn = va[i];
+    }
+    checksum = checksum + mn;
+}
+
+void s032(void) { int i; for (i = 0; i < N; i++) va[i] = va[i] / (vb[i] + 2.0); }
+void s033(void) { int i; for (i = 2; i < N; i++) va[i] = va[i - 2] + vb[i]; }
+
+void s034(void) {
+    int i, j;
+    for (i = 0; i < 8; i++) {
+        for (j = 1; j < 8; j++)
+            m1[i][j] = m1[i][j - 1] + m2[i][j];
+    }
+}
+
+void s035(void) {
+    int i;
+    for (i = 0; i < N; i++) {
+        va[i] = vb[i] + vc[i];
+        vd[i] = va[i] * 0.25;
+    }
+}
+
+void s040(void) { int i; for (i = 0; i < N; i++) ve[i] = (double) i * 0.125; }
+void s041(void) { int i; for (i = 0; i < N; i++) vb[i] = ve[i] + 0.5; }
+void s042(void) { int i; for (i = 0; i < N; i++) vc[i] = ve[N - 1 - i]; }
+void s043(void) { int i; for (i = 0; i < N; i++) vd[i] = ve[i] * ve[i]; }
+
+void s050(void) {
+    int i;
+    for (i = 0; i < N; i++) {
+        while (va[i] > 8.0)
+            va[i] = va[i] * 0.5;
+    }
+}
+
+void s051(void) {
+    int i, j;
+    for (i = 0; i < N; i++) {
+        j = i;
+        if (j > 10)
+            j = 10;
+        va[i] = vb[j];
+    }
+}
+
+/* -- kernels taking array pointers, as the vectorizer suite does -- */
+
+void s060(double *a, double *b) { int i; for (i = 0; i < N; i++) a[i] = b[i] + 1.5; }
+void s061(double *a, double *b) { int i; for (i = 0; i < N; i++) a[i] = a[i] * b[i]; }
+void s062(double *a, double *b, double *c) { int i; for (i = 0; i < N; i++) a[i] = b[i] - c[i]; }
+
+void s063(double *a, double *b) {
+    int i;
+    for (i = 1; i < N; i++)
+        a[i] = a[i - 1] * 0.5 + b[i];
+}
+
+double s064(double *a) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++)
+        t = t + a[i];
+    return t;
+}
+
+void s065(double *dst, double *src, int n) {
+    int i;
+    for (i = 0; i < n; i++)
+        *dst++ = *src++;
+}
+
+void s066(double *a, int *idx) { int i; for (i = 0; i < N; i++) a[idx[i]] = a[i]; }
+
+void s067(double *a) {
+    double *p, *end;
+    p = a;
+    end = a + N;
+    while (p < end) {
+        *p = *p * 0.5;
+        p = p + 1;
+    }
+}
+
+double collect(void) {
+    int i;
+    double s;
+    s = checksum;
+    for (i = 0; i < N; i++)
+        s = s + va[i];
+    return s;
+}
+
+int main() {
+    s040(); s041(); s042(); s043();
+    s025();
+    s000(); s001(); s002(); s003();
+    s004(); s005(); s006(); s007();
+    s010(); s011(); s012(); s013(); s014();
+    s020(); s021(); s022(); s023(); s024();
+    s030(); s031(); s032(); s033(); s034(); s035();
+    s050(); s051();
+    s060(va, vb); s061(va, vb); s062(va, vb, vc);
+    s063(va, vb);
+    checksum = checksum + s064(va);
+    s065(vd, ve, N);
+    s066(va, indexes);
+    s067(vb);
+    printf("checksum %g\n", collect());
+    return 0;
+}

@@ -1,0 +1,209 @@
+/* dry: a Dhrystone-style synthetic benchmark of record assignment, pointer
+ * chasing and string handling, following the shape of the original: global
+ * record pointers, records copied by assignment, enumerations, and
+ * procedures taking record pointers. */
+
+#define LOOPS 50
+
+enum ident { Ident1, Ident2, Ident3, Ident4, Ident5 };
+
+struct record {
+    struct record *PtrComp;
+    enum ident Discr;
+    enum ident EnumComp;
+    int IntComp;
+    char StringComp[31];
+};
+
+typedef struct record RecordType;
+typedef RecordType *RecordPtr;
+
+RecordPtr PtrGlb;
+RecordPtr PtrGlbNext;
+int IntGlob;
+int BoolGlob;
+char Char1Glob;
+char Char2Glob;
+int Array1Glob[51];
+int Array2Glob[51][51];
+
+int Func1(char ch1, char ch2) {
+    char chLoc1, chLoc2;
+    chLoc1 = ch1;
+    chLoc2 = chLoc1;
+    if (chLoc2 != ch2)
+        return Ident1;
+    return Ident2;
+}
+
+int Func2(char *str1, char *str2) {
+    int intLoc;
+    char chLoc;
+    intLoc = 1;
+    while (intLoc <= 1) {
+        if (Func1(str1[intLoc], str2[intLoc + 1]) == Ident1) {
+            chLoc = 'A';
+            intLoc = intLoc + 1;
+        } else {
+            break;
+        }
+    }
+    if (chLoc >= 'W' && chLoc <= 'Z')
+        intLoc = 7;
+    if (chLoc == 'X')
+        return 1;
+    if (strcmp(str1, str2) > 0) {
+        intLoc = intLoc + 7;
+        return 1;
+    }
+    return 0;
+}
+
+int Func3(enum ident enumParIn) {
+    enum ident enumLoc;
+    enumLoc = enumParIn;
+    if (enumLoc == Ident3)
+        return 1;
+    return 0;
+}
+
+void Proc7(int intParI1, int intParI2, int *intParOut) {
+    int intLoc;
+    intLoc = intParI1 + 2;
+    *intParOut = intParI2 + intLoc;
+}
+
+void Proc6(enum ident enumParIn, enum ident *enumParOut) {
+    *enumParOut = enumParIn;
+    if (!Func3(enumParIn))
+        *enumParOut = Ident4;
+    switch (enumParIn) {
+    case Ident1:
+        *enumParOut = Ident1;
+        break;
+    case Ident2:
+        if (IntGlob > 100)
+            *enumParOut = Ident1;
+        else
+            *enumParOut = Ident4;
+        break;
+    case Ident3:
+        *enumParOut = Ident2;
+        break;
+    case Ident4:
+        break;
+    case Ident5:
+        *enumParOut = Ident3;
+        break;
+    }
+}
+
+void Proc5(void) {
+    Char1Glob = 'A';
+    BoolGlob = 0;
+}
+
+void Proc4(void) {
+    int boolLoc;
+    boolLoc = Char1Glob == 'A';
+    boolLoc = boolLoc | BoolGlob;
+    Char2Glob = 'B';
+}
+
+void Proc3(RecordPtr *ptrParOut) {
+    if (PtrGlb != 0)
+        *ptrParOut = PtrGlb->PtrComp;
+    else
+        IntGlob = 100;
+    Proc7(10, IntGlob, &PtrGlb->IntComp);
+}
+
+void Proc2(int *intParIO) {
+    int intLoc;
+    enum ident enumLoc;
+    intLoc = *intParIO + 10;
+    for (;;) {
+        if (Char1Glob == 'A') {
+            intLoc = intLoc - 1;
+            *intParIO = intLoc - IntGlob;
+            enumLoc = Ident1;
+        }
+        if (enumLoc == Ident1)
+            break;
+    }
+}
+
+void Proc1(RecordPtr ptrParIn) {
+    RecordPtr nextRec;
+    nextRec = ptrParIn->PtrComp;
+    *ptrParIn->PtrComp = *PtrGlb;
+    ptrParIn->IntComp = 5;
+    nextRec->IntComp = ptrParIn->IntComp;
+    nextRec->PtrComp = ptrParIn->PtrComp;
+    Proc3(&nextRec->PtrComp);
+    if (nextRec->Discr == Ident1) {
+        nextRec->IntComp = 6;
+        Proc6(ptrParIn->EnumComp, &nextRec->EnumComp);
+        nextRec->PtrComp = PtrGlb->PtrComp;
+        Proc7(nextRec->IntComp, 10, &nextRec->IntComp);
+    } else {
+        *ptrParIn = *ptrParIn->PtrComp;
+    }
+}
+
+void Proc8(int *array1Par, int *array2Par, int intParI1, int intParI2) {
+    int intLoc, intIndex;
+    intLoc = intParI1 + 5;
+    array1Par[intLoc] = intParI2;
+    array1Par[intLoc + 1] = array1Par[intLoc];
+    array1Par[intLoc + 30] = intLoc;
+    for (intIndex = intLoc; intIndex <= intLoc + 1; intIndex++)
+        array2Par[intIndex] = intLoc;
+    array2Par[intLoc] = array2Par[intLoc] + 1;
+    IntGlob = 5;
+}
+
+int main() {
+    int i, intLoc1, intLoc2, intLoc3;
+    char charIndex;
+    enum ident enumLoc;
+    char string1Loc[31];
+    char string2Loc[31];
+
+    PtrGlbNext = (RecordPtr) malloc(sizeof(RecordType));
+    PtrGlb = (RecordPtr) malloc(sizeof(RecordType));
+    PtrGlb->PtrComp = PtrGlbNext;
+    PtrGlb->Discr = Ident1;
+    PtrGlb->EnumComp = Ident3;
+    PtrGlb->IntComp = 40;
+    strcpy(PtrGlb->StringComp, "DHRYSTONE PROGRAM, SOME STRING");
+    strcpy(string1Loc, "DHRYSTONE PROGRAM, 1'ST STRING");
+
+    for (i = 0; i < LOOPS; i++) {
+        Proc5();
+        Proc4();
+        intLoc1 = 2;
+        intLoc2 = 3;
+        strcpy(string2Loc, "DHRYSTONE PROGRAM, 2'ND STRING");
+        enumLoc = Ident2;
+        BoolGlob = !Func2(string1Loc, string2Loc);
+        while (intLoc1 < intLoc2) {
+            intLoc3 = 5 * intLoc1 - intLoc2;
+            Proc7(intLoc1, intLoc2, &intLoc3);
+            intLoc1 = intLoc1 + 1;
+        }
+        Proc8(Array1Glob, &Array2Glob[0][0], intLoc1, intLoc3);
+        Proc1(PtrGlb);
+        for (charIndex = 'A'; charIndex <= Char2Glob; charIndex++) {
+            if (enumLoc == Func1(charIndex, 'C'))
+                Proc6(Ident1, &enumLoc);
+        }
+        intLoc3 = intLoc2 * intLoc1;
+        intLoc2 = intLoc3 / intLoc1;
+        intLoc2 = 7 * (intLoc3 - intLoc2) - intLoc1;
+        Proc2(&intLoc1);
+    }
+    printf("IntGlob %d BoolGlob %d Char2 %c Int1 %d\n",
+           IntGlob, BoolGlob, Char2Glob, intLoc1);
+    return 0;
+}

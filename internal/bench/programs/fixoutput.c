@@ -1,0 +1,86 @@
+/* fixoutput: a simple line-oriented translator in the spirit of the
+ * paper's benchmark: buffer scanning with a small number of pointers that
+ * resolve definitely. */
+
+#define LINEMAX 128
+#define NLINES 24
+
+char inbuf[NLINES * LINEMAX];
+char outbuf[NLINES * LINEMAX];
+int inlen, outlen;
+
+void emit(char c) {
+    outbuf[outlen] = c;
+    outlen++;
+}
+
+int isblank_(char c) {
+    return c == ' ' || c == '\t';
+}
+
+/* Collapse runs of blanks to a single space. */
+int squeeze(char *src, int n) {
+    int i, removed, inrun;
+    char c;
+    removed = 0;
+    inrun = 0;
+    for (i = 0; i < n; i++) {
+        c = src[i];
+        if (isblank_(c)) {
+            if (inrun) {
+                removed++;
+                continue;
+            }
+            inrun = 1;
+            emit(' ');
+        } else {
+            inrun = 0;
+            emit(c);
+        }
+    }
+    return removed;
+}
+
+/* Translate tabs to two spaces using a cursor pointer. */
+int detab(void) {
+    char *p;
+    int i, tabs;
+    tabs = 0;
+    p = &outbuf[0];
+    for (i = 0; i < outlen; i++) {
+        if (*p == '\t') {
+            *p = ' ';
+            tabs++;
+        }
+        p = p + 1;
+    }
+    return tabs;
+}
+
+void fill(void) {
+    int i, col;
+    char c;
+    inlen = 0;
+    for (i = 0; i < NLINES; i++) {
+        for (col = 0; col < 40; col++) {
+            c = (char) ('a' + ((i + col) % 26));
+            if (col % 7 == 3)
+                c = ' ';
+            if (col % 11 == 5)
+                c = '\t';
+            inbuf[inlen] = c;
+            inlen++;
+        }
+        inbuf[inlen] = '\n';
+        inlen++;
+    }
+}
+
+int main() {
+    int removed, tabs;
+    fill();
+    removed = squeeze(&inbuf[0], inlen);
+    tabs = detab();
+    printf("in %d out %d removed %d tabs %d\n", inlen, outlen, removed, tabs);
+    return 0;
+}

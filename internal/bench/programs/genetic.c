@@ -1,0 +1,182 @@
+/* genetic: a genetic algorithm that evolves permutations toward sorted
+ * order, following the paper's description of its `genetic` benchmark.
+ * Pointer traffic flows through formal parameters into heap-allocated
+ * individuals, matching the paper's observation that most relationships
+ * arise from formals. */
+
+#define POP 16
+#define GENES 12
+#define GENERATIONS 30
+
+struct individual {
+    int genes[GENES];
+    int fitness;
+};
+
+struct individual *population[POP];
+struct individual *scratch[POP];
+int seed;
+int generations;
+
+int nextrand(void) {
+    seed = seed * 1103515245 + 12345;
+    return (seed >> 8) & 0x7fff;
+}
+
+struct individual *newind(void) {
+    struct individual *ind;
+    int i, j, t;
+    ind = (struct individual *) malloc(sizeof(struct individual));
+    for (i = 0; i < GENES; i++)
+        ind->genes[i] = i;
+    /* random shuffle */
+    for (i = GENES - 1; i > 0; i--) {
+        j = nextrand() % (i + 1);
+        t = ind->genes[i];
+        ind->genes[i] = ind->genes[j];
+        ind->genes[j] = t;
+    }
+    ind->fitness = 0;
+    return ind;
+}
+
+/* Fitness: number of adjacent in-order pairs. */
+int evaluate(struct individual *ind) {
+    int i, f;
+    f = 0;
+    for (i = 0; i + 1 < GENES; i++) {
+        if (ind->genes[i] < ind->genes[i + 1])
+            f++;
+    }
+    ind->fitness = f;
+    return f;
+}
+
+/* Tournament selection: pick the fitter of two random individuals. */
+struct individual *select1(struct individual **pop) {
+    struct individual *a, *b;
+    a = pop[nextrand() % POP];
+    b = pop[nextrand() % POP];
+    if (a->fitness >= b->fitness)
+        return a;
+    return b;
+}
+
+/* Order crossover of two parents into a fresh child. */
+struct individual *crossover(struct individual *ma, struct individual *pa) {
+    struct individual *child;
+    int used[GENES];
+    int i, k, cut, g;
+    child = (struct individual *) malloc(sizeof(struct individual));
+    for (i = 0; i < GENES; i++)
+        used[i] = 0;
+    cut = nextrand() % GENES;
+    for (i = 0; i < cut; i++) {
+        g = ma->genes[i];
+        child->genes[i] = g;
+        used[g] = 1;
+    }
+    k = cut;
+    for (i = 0; i < GENES; i++) {
+        g = pa->genes[i];
+        if (!used[g]) {
+            child->genes[k] = g;
+            used[g] = 1;
+            k++;
+        }
+    }
+    child->fitness = 0;
+    return child;
+}
+
+void mutate(struct individual *ind) {
+    int i, j, t;
+    if (nextrand() % 100 < 20) {
+        i = nextrand() % GENES;
+        j = nextrand() % GENES;
+        t = ind->genes[i];
+        ind->genes[i] = ind->genes[j];
+        ind->genes[j] = t;
+    }
+}
+
+/* Roulette-wheel selection: probability proportional to fitness+1. */
+struct individual *roulette(struct individual **pop) {
+    int total, spin, i;
+    total = 0;
+    for (i = 0; i < POP; i++)
+        total = total + pop[i]->fitness + 1;
+    spin = nextrand() % total;
+    for (i = 0; i < POP; i++) {
+        spin = spin - (pop[i]->fitness + 1);
+        if (spin < 0)
+            return pop[i];
+    }
+    return pop[POP - 1];
+}
+
+/* Population diversity: pairwise gene disagreements (sampled). */
+int diversity(struct individual **pop) {
+    int i, k, d;
+    struct individual *a, *b;
+    d = 0;
+    for (i = 0; i + 1 < POP; i = i + 2) {
+        a = pop[i];
+        b = pop[i + 1];
+        for (k = 0; k < GENES; k++) {
+            if (a->genes[k] != b->genes[k])
+                d++;
+        }
+    }
+    return d;
+}
+
+struct individual *fittest(struct individual **pop) {
+    struct individual *bestp;
+    int i;
+    bestp = pop[0];
+    for (i = 1; i < POP; i++) {
+        if (pop[i]->fitness > bestp->fitness)
+            bestp = pop[i];
+    }
+    return bestp;
+}
+
+void step(void) {
+    struct individual *ma, *pa, *child;
+    int i;
+    for (i = 0; i < POP; i++) {
+        if (i % 2 == 0) {
+            ma = select1(population);
+            pa = select1(population);
+        } else {
+            ma = roulette(population);
+            pa = roulette(population);
+        }
+        child = crossover(ma, pa);
+        mutate(child);
+        evaluate(child);
+        scratch[i] = child;
+    }
+    /* elitism: keep the best of the old population in slot 0 */
+    scratch[0] = fittest(population);
+    for (i = 0; i < POP; i++)
+        population[i] = scratch[i];
+    generations++;
+}
+
+int main() {
+    int i, g;
+    struct individual *top;
+    seed = 42;
+    for (i = 0; i < POP; i++) {
+        population[i] = newind();
+        evaluate(population[i]);
+    }
+    for (g = 0; g < GENERATIONS; g++)
+        step();
+    top = fittest(population);
+    printf("generations %d best fitness %d of %d diversity %d\n",
+           generations, top->fitness, GENES - 1, diversity(population));
+    return 0;
+}

@@ -1,0 +1,99 @@
+/* hash: a chained hash table on the heap, mirroring the paper's `hash`
+ * benchmark: small, heap-directed pointers, pointer parameters. */
+
+#define NBUCKETS 31
+
+struct entry {
+    int key;
+    int value;
+    struct entry *next;
+};
+
+struct entry *buckets[NBUCKETS];
+int nstored;
+
+int hashkey(int key) {
+    int h;
+    h = key % NBUCKETS;
+    if (h < 0)
+        h = h + NBUCKETS;
+    return h;
+}
+
+struct entry *mkentry(int key, int value) {
+    struct entry *e;
+    e = (struct entry *) malloc(sizeof(struct entry));
+    e->key = key;
+    e->value = value;
+    e->next = 0;
+    return e;
+}
+
+void insert(int key, int value) {
+    struct entry *e;
+    int h;
+    h = hashkey(key);
+    e = mkentry(key, value);
+    e->next = buckets[h];
+    buckets[h] = e;
+    nstored++;
+}
+
+struct entry *lookup(int key) {
+    struct entry *p;
+    int h;
+    h = hashkey(key);
+    p = buckets[h];
+    while (p) {
+        if (p->key == key)
+            return p;
+        p = p->next;
+    }
+    return 0;
+}
+
+int update(int key, int value) {
+    struct entry *p;
+    p = lookup(key);
+    if (p) {
+        p->value = value;
+        return 1;
+    }
+    insert(key, value);
+    return 0;
+}
+
+int sumchain(struct entry *head) {
+    int s;
+    struct entry *p;
+    s = 0;
+    p = head;
+    while (p) {
+        s = s + p->value;
+        p = p->next;
+    }
+    return s;
+}
+
+int total(void) {
+    int i, s;
+    s = 0;
+    for (i = 0; i < NBUCKETS; i++)
+        s = s + sumchain(buckets[i]);
+    return s;
+}
+
+int main() {
+    int i, t;
+    struct entry *e;
+    for (i = 0; i < 200; i++)
+        insert(i * 7, i);
+    for (i = 0; i < 50; i++)
+        update(i * 7, i + 1);
+    e = lookup(77);
+    if (e)
+        e->value = 0;
+    t = total();
+    printf("stored %d total %d\n", nstored, t);
+    return 0;
+}

@@ -1,0 +1,1067 @@
+/* livc: the function-pointer case study of the paper's section 6: a
+ * collection of Livermore-style loop kernels dispatched through three
+ * global arrays of 24 function pointers each. The program defines exactly
+ * 82 functions; 72 of them have their address taken (the table entries), and
+ * there are exactly three indirect call sites, each through a scalar local
+ * function pointer loaded from a table element inside a loop.
+ *
+ * The paper reports invocation graph sizes of 203 (precise), 619 (all
+ * functions) and 589 (address-taken) for the original 82-function livc;
+ * the reproduction preserves the counts that drive the experiment (82
+ * functions, 72 address-taken, 3 tables of 24, 3 indirect sites). */
+
+#define N 32
+
+double u[N], v[N], w[N];
+double acc;
+int kernelRuns;
+
+/* -- helper functions (addresses never taken) -- */
+
+double clamp(double x) {
+    if (x > 1000000.0)
+        return 1000000.0;
+    if (x < -1000000.0)
+        return -1000000.0;
+    return x;
+}
+
+void reset(void) {
+    int i;
+    for (i = 0; i < N; i++) {
+        u[i] = (double) i * 0.5;
+        v[i] = (double) (N - i) * 0.25;
+        w[i] = 1.0 + (double) (i % 3);
+    }
+}
+
+void prep(void) {
+    acc = 0.0;
+    kernelRuns = 0;
+    reset();
+}
+
+double checksum(void) {
+    int i;
+    double s;
+    s = 0.0;
+    for (i = 0; i < N; i++)
+        s = s + u[i];
+    return s;
+}
+
+double average(void) {
+    return checksum() / (double) N;
+}
+
+void report(void) {
+    printf("runs %d acc %g sum %g avg %g\n", kernelRuns, acc, checksum(), average());
+}
+
+/* -- 72 loop kernels whose addresses populate the tables -- */
+
+double kern01(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        u[i] = v[i] + s * w[i];
+        if (u[i] > v[i]) u[i] = v[i];
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern02(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        u[i] = v[i] * w[i];
+        if (w[i] < 0.0) w[i] = -w[i];
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern03(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        u[i] = v[i] - s * w[i];
+        u[i] = clamp(u[i]);
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern04(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        u[i] = (v[i] + w[i]) * 0.5;
+        v[i] = clamp(v[i] + s);
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern05(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        u[i] = u[i] + v[i] * 0.125;
+        if (u[i] > v[i]) u[i] = v[i];
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern06(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        u[i] = w[i] / (v[i] + 2.0);
+        if (w[i] < 0.0) w[i] = -w[i];
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern07(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        v[i] = u[i] + w[i];
+        u[i] = clamp(u[i]);
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern08(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        w[i] = u[i] - v[i];
+        v[i] = clamp(v[i] + s);
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern09(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        u[i] = v[i] + w[i] + s;
+        if (u[i] > v[i]) u[i] = v[i];
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern10(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        u[i] = v[i] * v[i] - w[i];
+        if (w[i] < 0.0) w[i] = -w[i];
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern11(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        u[i] = s * u[i] + v[i] * w[i];
+        u[i] = clamp(u[i]);
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern12(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        v[i] = w[i] * 0.75 + u[i] * 0.25;
+        v[i] = clamp(v[i] + s);
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern13(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        u[i] = v[i] + s * w[i];
+        if (u[i] > v[i]) u[i] = v[i];
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern14(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        u[i] = v[i] * w[i];
+        if (w[i] < 0.0) w[i] = -w[i];
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern15(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        u[i] = v[i] - s * w[i];
+        u[i] = clamp(u[i]);
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern16(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        u[i] = (v[i] + w[i]) * 0.5;
+        v[i] = clamp(v[i] + s);
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern17(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        u[i] = u[i] + v[i] * 0.125;
+        if (u[i] > v[i]) u[i] = v[i];
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern18(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        u[i] = w[i] / (v[i] + 2.0);
+        if (w[i] < 0.0) w[i] = -w[i];
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern19(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        v[i] = u[i] + w[i];
+        u[i] = clamp(u[i]);
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern20(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        w[i] = u[i] - v[i];
+        v[i] = clamp(v[i] + s);
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern21(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        u[i] = v[i] + w[i] + s;
+        if (u[i] > v[i]) u[i] = v[i];
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern22(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        u[i] = v[i] * v[i] - w[i];
+        if (w[i] < 0.0) w[i] = -w[i];
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern23(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        u[i] = s * u[i] + v[i] * w[i];
+        u[i] = clamp(u[i]);
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern24(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        v[i] = w[i] * 0.75 + u[i] * 0.25;
+        v[i] = clamp(v[i] + s);
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern25(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        u[i] = v[i] + s * w[i];
+        if (u[i] > v[i]) u[i] = v[i];
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern26(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        u[i] = v[i] * w[i];
+        if (w[i] < 0.0) w[i] = -w[i];
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern27(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        u[i] = v[i] - s * w[i];
+        u[i] = clamp(u[i]);
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern28(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        u[i] = (v[i] + w[i]) * 0.5;
+        v[i] = clamp(v[i] + s);
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern29(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        u[i] = u[i] + v[i] * 0.125;
+        if (u[i] > v[i]) u[i] = v[i];
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern30(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        u[i] = w[i] / (v[i] + 2.0);
+        if (w[i] < 0.0) w[i] = -w[i];
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern31(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        v[i] = u[i] + w[i];
+        u[i] = clamp(u[i]);
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern32(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        w[i] = u[i] - v[i];
+        v[i] = clamp(v[i] + s);
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern33(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        u[i] = v[i] + w[i] + s;
+        if (u[i] > v[i]) u[i] = v[i];
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern34(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        u[i] = v[i] * v[i] - w[i];
+        if (w[i] < 0.0) w[i] = -w[i];
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern35(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        u[i] = s * u[i] + v[i] * w[i];
+        u[i] = clamp(u[i]);
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern36(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        v[i] = w[i] * 0.75 + u[i] * 0.25;
+        v[i] = clamp(v[i] + s);
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern37(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        u[i] = v[i] + s * w[i];
+        if (u[i] > v[i]) u[i] = v[i];
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern38(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        u[i] = v[i] * w[i];
+        if (w[i] < 0.0) w[i] = -w[i];
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern39(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        u[i] = v[i] - s * w[i];
+        u[i] = clamp(u[i]);
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern40(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        u[i] = (v[i] + w[i]) * 0.5;
+        v[i] = clamp(v[i] + s);
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern41(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        u[i] = u[i] + v[i] * 0.125;
+        if (u[i] > v[i]) u[i] = v[i];
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern42(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        u[i] = w[i] / (v[i] + 2.0);
+        if (w[i] < 0.0) w[i] = -w[i];
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern43(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        v[i] = u[i] + w[i];
+        u[i] = clamp(u[i]);
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern44(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        w[i] = u[i] - v[i];
+        v[i] = clamp(v[i] + s);
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern45(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        u[i] = v[i] + w[i] + s;
+        if (u[i] > v[i]) u[i] = v[i];
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern46(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        u[i] = v[i] * v[i] - w[i];
+        if (w[i] < 0.0) w[i] = -w[i];
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern47(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        u[i] = s * u[i] + v[i] * w[i];
+        u[i] = clamp(u[i]);
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern48(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        v[i] = w[i] * 0.75 + u[i] * 0.25;
+        v[i] = clamp(v[i] + s);
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern49(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        u[i] = v[i] + s * w[i];
+        if (u[i] > v[i]) u[i] = v[i];
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern50(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        u[i] = v[i] * w[i];
+        if (w[i] < 0.0) w[i] = -w[i];
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern51(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        u[i] = v[i] - s * w[i];
+        u[i] = clamp(u[i]);
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern52(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        u[i] = (v[i] + w[i]) * 0.5;
+        v[i] = clamp(v[i] + s);
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern53(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        u[i] = u[i] + v[i] * 0.125;
+        if (u[i] > v[i]) u[i] = v[i];
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern54(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        u[i] = w[i] / (v[i] + 2.0);
+        if (w[i] < 0.0) w[i] = -w[i];
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern55(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        v[i] = u[i] + w[i];
+        u[i] = clamp(u[i]);
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern56(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        w[i] = u[i] - v[i];
+        v[i] = clamp(v[i] + s);
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern57(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        u[i] = v[i] + w[i] + s;
+        if (u[i] > v[i]) u[i] = v[i];
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern58(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        u[i] = v[i] * v[i] - w[i];
+        if (w[i] < 0.0) w[i] = -w[i];
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern59(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        u[i] = s * u[i] + v[i] * w[i];
+        u[i] = clamp(u[i]);
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern60(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        v[i] = w[i] * 0.75 + u[i] * 0.25;
+        v[i] = clamp(v[i] + s);
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern61(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        u[i] = v[i] + s * w[i];
+        if (u[i] > v[i]) u[i] = v[i];
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern62(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        u[i] = v[i] * w[i];
+        if (w[i] < 0.0) w[i] = -w[i];
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern63(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        u[i] = v[i] - s * w[i];
+        u[i] = clamp(u[i]);
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern64(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        u[i] = (v[i] + w[i]) * 0.5;
+        v[i] = clamp(v[i] + s);
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern65(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        u[i] = u[i] + v[i] * 0.125;
+        if (u[i] > v[i]) u[i] = v[i];
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern66(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        u[i] = w[i] / (v[i] + 2.0);
+        if (w[i] < 0.0) w[i] = -w[i];
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern67(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        v[i] = u[i] + w[i];
+        u[i] = clamp(u[i]);
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern68(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        w[i] = u[i] - v[i];
+        v[i] = clamp(v[i] + s);
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern69(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        u[i] = v[i] + w[i] + s;
+        if (u[i] > v[i]) u[i] = v[i];
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern70(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        u[i] = v[i] * v[i] - w[i];
+        if (w[i] < 0.0) w[i] = -w[i];
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern71(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        u[i] = s * u[i] + v[i] * w[i];
+        u[i] = clamp(u[i]);
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+double kern72(double s) {
+    int i;
+    double t;
+    t = 0.0;
+    for (i = 0; i < N; i++) {
+        v[i] = w[i] * 0.75 + u[i] * 0.25;
+        v[i] = clamp(v[i] + s);
+        t = t + u[i];
+    }
+    kernelRuns++;
+    return clamp(t);
+}
+
+/* -- the three function-pointer tables -- */
+
+double (*loops1[24])(double) = {
+    kern01, kern02, kern03, kern04, kern05, kern06,
+    kern07, kern08, kern09, kern10, kern11, kern12,
+    kern13, kern14, kern15, kern16, kern17, kern18,
+    kern19, kern20, kern21, kern22, kern23, kern24
+};
+
+double (*loops2[24])(double) = {
+    kern25, kern26, kern27, kern28, kern29, kern30,
+    kern31, kern32, kern33, kern34, kern35, kern36,
+    kern37, kern38, kern39, kern40, kern41, kern42,
+    kern43, kern44, kern45, kern46, kern47, kern48
+};
+
+double (*loops3[24])(double) = {
+    kern49, kern50, kern51, kern52, kern53, kern54,
+    kern55, kern56, kern57, kern58, kern59, kern60,
+    kern61, kern62, kern63, kern64, kern65, kern66,
+    kern67, kern68, kern69, kern70, kern71, kern72
+};
+
+/* -- drivers with the three indirect call sites -- */
+
+void driver1(void) {
+    int k;
+    double (*fp)(double);
+    double r;
+    reset();
+    for (k = 0; k < 24; k++) {
+        fp = loops1[k];
+        r = fp(0.5);   /* indirect call site 1 */
+        acc = acc + r;
+    }
+}
+
+void driver2(void) {
+    int k;
+    double (*fp)(double);
+    double r;
+    reset();
+    for (k = 0; k < 24; k++) {
+        fp = loops2[k];
+        r = fp(0.5);   /* indirect call site 2 */
+        acc = acc + r;
+    }
+}
+
+void driver3(void) {
+    int k;
+    double (*fp)(double);
+    double r;
+    reset();
+    for (k = 0; k < 24; k++) {
+        fp = loops3[k];
+        r = fp(0.5);   /* indirect call site 3 */
+        acc = acc + r;
+    }
+}
+
+int main() {
+    prep();
+    driver1();
+    driver2();
+    driver3();
+    report();
+    return 0;
+}

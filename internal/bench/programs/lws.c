@@ -1,0 +1,333 @@
+/* lws: dynamic simulation of flexible water molecules, following the
+ * paper's largest benchmark: arrays of molecule structures passed through
+ * pointer parameters everywhere, predictor-corrector integration, and
+ * intra/inter-molecular force computations. Nearly all points-to pairs
+ * originate at formal parameters and target global arrays. */
+
+#define NMOL 8
+#define NATOMS 3   /* O, H1, H2 */
+#define NDIM 3
+#define STEPS 10
+
+struct atom {
+    double pos[NDIM];
+    double vel[NDIM];
+    double force[NDIM];
+    double mass;
+};
+
+struct molecule {
+    struct atom atoms[NATOMS];
+    double bondEnergy;
+};
+
+struct molecule water[NMOL];
+double boxSize;
+double totKinetic;
+double totPotential;
+double virial;
+int stepsDone;
+int seedw;
+
+double wrand(void) {
+    seedw = seedw * 1103515245 + 12345;
+    return (double) ((seedw >> 8) % 1000) / 1000.0;
+}
+
+void initatom(struct atom *a, double m, double base) {
+    int d;
+    for (d = 0; d < NDIM; d++) {
+        a->pos[d] = base + wrand() * 2.0;
+        a->vel[d] = (wrand() - 0.5) * 0.1;
+        a->force[d] = 0.0;
+    }
+    a->mass = m;
+}
+
+void initmol(struct molecule *mol, double base) {
+    initatom(&mol->atoms[0], 16.0, base);        /* oxygen */
+    initatom(&mol->atoms[1], 1.0, base + 0.3);   /* hydrogen 1 */
+    initatom(&mol->atoms[2], 1.0, base - 0.3);   /* hydrogen 2 */
+    mol->bondEnergy = 0.0;
+}
+
+void setup(void) {
+    int m;
+    boxSize = 10.0;
+    for (m = 0; m < NMOL; m++)
+        initmol(&water[m], (double) m);
+}
+
+void zeroforces(struct molecule *mol) {
+    int a, d;
+    for (a = 0; a < NATOMS; a++) {
+        for (d = 0; d < NDIM; d++)
+            mol->atoms[a].force[d] = 0.0;
+    }
+}
+
+double mindist(double x) {
+    while (x > boxSize / 2.0)
+        x = x - boxSize;
+    while (x < -boxSize / 2.0)
+        x = x + boxSize;
+    return x;
+}
+
+/* Harmonic bond force between two atoms of one molecule. */
+double bondforce(struct atom *a, struct atom *b, double rest) {
+    double d, dist2, dist, k, f;
+    int dim;
+    dist2 = 0.0;
+    for (dim = 0; dim < NDIM; dim++) {
+        d = a->pos[dim] - b->pos[dim];
+        dist2 = dist2 + d * d;
+    }
+    dist = sqrt(dist2);
+    k = 450.0;
+    f = -k * (dist - rest);
+    for (dim = 0; dim < NDIM; dim++) {
+        d = (a->pos[dim] - b->pos[dim]) / (dist + 0.000001);
+        a->force[dim] = a->force[dim] + f * d;
+        b->force[dim] = b->force[dim] - f * d;
+    }
+    return 0.5 * k * (dist - rest) * (dist - rest);
+}
+
+/* Intra-molecular forces: two OH bonds and an HH spring. */
+void intraforces(struct molecule *mol) {
+    double e;
+    e = 0.0;
+    e = e + bondforce(&mol->atoms[0], &mol->atoms[1], 0.9572);
+    e = e + bondforce(&mol->atoms[0], &mol->atoms[2], 0.9572);
+    e = e + bondforce(&mol->atoms[1], &mol->atoms[2], 1.5139);
+    mol->bondEnergy = e;
+    totPotential = totPotential + e;
+}
+
+/* Lennard-Jones force between the oxygens of two molecules. */
+void interforces(struct molecule *mi, struct molecule *mj) {
+    struct atom *oi, *oj;
+    double d, r2, r6, f;
+    int dim;
+    oi = &mi->atoms[0];
+    oj = &mj->atoms[0];
+    r2 = 0.0;
+    for (dim = 0; dim < NDIM; dim++) {
+        d = mindist(oi->pos[dim] - oj->pos[dim]);
+        r2 = r2 + d * d;
+    }
+    if (r2 > 20.25)
+        return; /* beyond cutoff */
+    r6 = 1.0 / (r2 * r2 * r2 + 0.000001);
+    f = (12.0 * r6 * r6 - 6.0 * r6) / (r2 + 0.000001);
+    for (dim = 0; dim < NDIM; dim++) {
+        d = mindist(oi->pos[dim] - oj->pos[dim]);
+        oi->force[dim] = oi->force[dim] + f * d;
+        oj->force[dim] = oj->force[dim] - f * d;
+    }
+    totPotential = totPotential + (r6 * r6 - r6);
+    virial = virial + f * r2;
+}
+
+/* Angle-bending force on the H-O-H angle of one molecule. */
+double angleforce(struct molecule *mol) {
+    struct atom *o, *h1, *h2;
+    double v1[NDIM], v2[NDIM];
+    double dot, n1, n2, cosang, k, e;
+    int d;
+    o = &mol->atoms[0];
+    h1 = &mol->atoms[1];
+    h2 = &mol->atoms[2];
+    dot = 0.0;
+    n1 = 0.0;
+    n2 = 0.0;
+    for (d = 0; d < NDIM; d++) {
+        v1[d] = h1->pos[d] - o->pos[d];
+        v2[d] = h2->pos[d] - o->pos[d];
+        dot = dot + v1[d] * v2[d];
+        n1 = n1 + v1[d] * v1[d];
+        n2 = n2 + v2[d] * v2[d];
+    }
+    n1 = sqrt(n1) + 0.000001;
+    n2 = sqrt(n2) + 0.000001;
+    cosang = dot / (n1 * n2);
+    k = 55.0;
+    e = 0.5 * k * (cosang + 0.33) * (cosang + 0.33);
+    /* push the hydrogens apart/together along their bond vectors */
+    for (d = 0; d < NDIM; d++) {
+        h1->force[d] = h1->force[d] - k * (cosang + 0.33) * v2[d] / (n1 * n2);
+        h2->force[d] = h2->force[d] - k * (cosang + 0.33) * v1[d] / (n1 * n2);
+        o->force[d] = o->force[d] + k * (cosang + 0.33) * (v1[d] + v2[d]) / (n1 * n2);
+    }
+    return e;
+}
+
+/* Neighbor list: pairs of molecules whose oxygens are within the cutoff. */
+
+#define MAXPAIRS (NMOL * NMOL)
+
+int nbrA[MAXPAIRS];
+int nbrB[MAXPAIRS];
+int nPairs;
+
+void buildneighbors(struct molecule *mols, int n, double cutoff2) {
+    int i, j, d;
+    double r2, dd;
+    struct atom *oi, *oj;
+    nPairs = 0;
+    for (i = 0; i < n; i++) {
+        for (j = i + 1; j < n; j++) {
+            oi = &mols[i].atoms[0];
+            oj = &mols[j].atoms[0];
+            r2 = 0.0;
+            for (d = 0; d < NDIM; d++) {
+                dd = mindist(oi->pos[d] - oj->pos[d]);
+                r2 = r2 + dd * dd;
+            }
+            if (r2 <= cutoff2) {
+                nbrA[nPairs] = i;
+                nbrB[nPairs] = j;
+                nPairs++;
+            }
+        }
+    }
+}
+
+/* Inter-molecular forces over the neighbor list only. */
+void interforcesNbr(struct molecule *mols) {
+    int k;
+    for (k = 0; k < nPairs; k++)
+        interforces(&mols[nbrA[k]], &mols[nbrB[k]]);
+}
+
+/* Per-molecule kinetic statistics. */
+
+double molKinetic[NMOL];
+
+void kineticstats(struct molecule *mols, int n, double *maxOut, double *minOut) {
+    int m, a, d;
+    double k, v;
+    for (m = 0; m < n; m++) {
+        k = 0.0;
+        for (a = 0; a < NATOMS; a++) {
+            for (d = 0; d < NDIM; d++) {
+                v = mols[m].atoms[a].vel[d];
+                k = k + 0.5 * mols[m].atoms[a].mass * v * v;
+            }
+        }
+        molKinetic[m] = k;
+    }
+    *maxOut = molKinetic[0];
+    *minOut = molKinetic[0];
+    for (m = 1; m < n; m++) {
+        if (molKinetic[m] > *maxOut)
+            *maxOut = molKinetic[m];
+        if (molKinetic[m] < *minOut)
+            *minOut = molKinetic[m];
+    }
+}
+
+void computeforces(struct molecule *mols, int n) {
+    int i, j;
+    totPotential = 0.0;
+    virial = 0.0;
+    for (i = 0; i < n; i++)
+        zeroforces(&mols[i]);
+    for (i = 0; i < n; i++) {
+        intraforces(&mols[i]);
+        totPotential = totPotential + angleforce(&mols[i]);
+    }
+    if (nPairs > 0) {
+        interforcesNbr(mols);
+    } else {
+        for (i = 0; i < n; i++) {
+            for (j = i + 1; j < n; j++)
+                interforces(&mols[i], &mols[j]);
+        }
+    }
+}
+
+/* Leapfrog integration of one atom. */
+void moveatom(struct atom *a, double dt) {
+    int d;
+    double acc;
+    for (d = 0; d < NDIM; d++) {
+        acc = a->force[d] / a->mass;
+        a->vel[d] = a->vel[d] + acc * dt;
+        a->pos[d] = a->pos[d] + a->vel[d] * dt;
+        if (a->pos[d] > boxSize)
+            a->pos[d] = a->pos[d] - boxSize;
+        if (a->pos[d] < 0.0)
+            a->pos[d] = a->pos[d] + boxSize;
+    }
+}
+
+void integrate(struct molecule *mols, int n, double dt) {
+    int m, a;
+    for (m = 0; m < n; m++) {
+        for (a = 0; a < NATOMS; a++)
+            moveatom(&mols[m].atoms[a], dt);
+    }
+}
+
+double kinetic(struct molecule *mols, int n) {
+    int m, a, d;
+    double k, v;
+    struct atom *at;
+    k = 0.0;
+    for (m = 0; m < n; m++) {
+        for (a = 0; a < NATOMS; a++) {
+            at = &mols[m].atoms[a];
+            for (d = 0; d < NDIM; d++) {
+                v = at->vel[d];
+                k = k + 0.5 * at->mass * v * v;
+            }
+        }
+    }
+    return k;
+}
+
+/* Velocity rescaling thermostat. */
+void rescale(struct molecule *mols, int n, double target) {
+    double k, s;
+    int m, a, d;
+    k = kinetic(mols, n);
+    if (k <= 0.0)
+        return;
+    s = sqrt(target / k);
+    for (m = 0; m < n; m++) {
+        for (a = 0; a < NATOMS; a++) {
+            for (d = 0; d < NDIM; d++)
+                mols[m].atoms[a].vel[d] = mols[m].atoms[a].vel[d] * s;
+        }
+    }
+}
+
+void step(struct molecule *mols, int n, double dt) {
+    computeforces(mols, n);
+    integrate(mols, n, dt);
+    totKinetic = kinetic(mols, n);
+    stepsDone++;
+}
+
+int main() {
+    int s;
+    double energy, kmax, kmin;
+    seedw = 2718;
+    setup();
+    buildneighbors(water, NMOL, 20.25);
+    for (s = 0; s < STEPS; s++) {
+        step(water, NMOL, 0.001);
+        if (s % 4 == 3)
+            rescale(water, NMOL, 3.0);
+        if (s % 5 == 4)
+            buildneighbors(water, NMOL, 20.25);
+    }
+    kineticstats(water, NMOL, &kmax, &kmin);
+    energy = totKinetic + totPotential;
+    printf("steps %d kinetic %g potential %g total %g virial %g\n",
+           stepsDone, totKinetic, totPotential, energy, virial);
+    printf("pairs %d kmax %g kmin %g\n", nPairs, kmax, kmin);
+    return 0;
+}

@@ -1,0 +1,129 @@
+/* misr: builds two multiple-input signature registers and compares them to
+ * detect cancelled errors, following the paper's description. Pointers here
+ * typically have two possible targets (one of two registers). */
+
+#define WIDTH 16
+#define ROUNDS 64
+
+struct misr {
+    int bits[WIDTH];
+    int taps[WIDTH];
+    int signature;
+    struct misr *other;
+};
+
+struct misr regA, regB;
+int errorsInjected;
+
+void initreg(struct misr *r, int seed) {
+    int i;
+    for (i = 0; i < WIDTH; i++) {
+        r->bits[i] = (seed >> (i % 8)) & 1;
+        r->taps[i] = (i == 0 || i == 4 || i == 13) ? 1 : 0;
+    }
+    r->signature = 0;
+}
+
+int feedback(struct misr *r) {
+    int i, fb;
+    fb = 0;
+    for (i = 0; i < WIDTH; i++) {
+        if (r->taps[i])
+            fb = fb ^ r->bits[i];
+    }
+    return fb;
+}
+
+void shift(struct misr *r, int input) {
+    int i, fb;
+    fb = feedback(r);
+    for (i = WIDTH - 1; i > 0; i--)
+        r->bits[i] = r->bits[i - 1];
+    r->bits[0] = fb ^ input;
+}
+
+void capture(struct misr *r) {
+    int i, s;
+    s = 0;
+    for (i = 0; i < WIDTH; i++)
+        s = (s << 1) | r->bits[i];
+    r->signature = s;
+}
+
+/* Drive one register with the clean stream, the other with errors. */
+void drive(struct misr *clean, struct misr *faulty, int seed) {
+    int round, v, e;
+    struct misr *cur;
+    v = seed;
+    for (round = 0; round < ROUNDS; round++) {
+        v = v * 1103515245 + 12345;
+        e = v;
+        if (round == 10 || round == 29) {
+            e = v ^ 1;
+            errorsInjected++;
+        }
+        cur = clean;
+        shift(cur, v & 1);
+        cur = faulty;
+        shift(cur, e & 1);
+    }
+    capture(clean);
+    capture(faulty);
+}
+
+int compare(struct misr *x, struct misr *y) {
+    if (x->signature == y->signature)
+        return 1;  /* errors cancelled themselves */
+    return 0;
+}
+
+/* Scan chain: serially shift a register's bits out through a pointer
+ * cursor, recomputing the signature as a software model of scan test. */
+int scanout(struct misr *r, int *chain, int maxlen) {
+    int i, n;
+    int *cursor;
+    cursor = chain;
+    n = 0;
+    for (i = 0; i < WIDTH && n < maxlen; i++) {
+        *cursor = r->bits[i];
+        cursor = cursor + 1;
+        n++;
+    }
+    return n;
+}
+
+int chainBuf[WIDTH * 2];
+struct misr regRef;
+
+int compareChains(struct misr *x, struct misr *y) {
+    int nx, ny, i, diff;
+    nx = scanout(x, &chainBuf[0], WIDTH);
+    ny = scanout(y, &chainBuf[WIDTH], WIDTH);
+    diff = 0;
+    if (nx != ny)
+        return -1;
+    for (i = 0; i < nx; i++) {
+        if (chainBuf[i] != chainBuf[WIDTH + i])
+            diff++;
+    }
+    return diff;
+}
+
+int main() {
+    struct misr *pa, *pb;
+    int cancelled;
+    pa = &regA;
+    pb = &regB;
+    pa->other = pb;
+    pb->other = pa;
+    initreg(pa, 0x5a);
+    initreg(pb, 0x5a);
+    drive(pa, pb, 7);
+    cancelled = compare(pa, pa->other);
+    initreg(&regRef, 0x5a);
+    drive(&regRef, &regRef, 7); /* reference register driven clean twice */
+    printf("injected %d cancelled %d sigA %d sigB %d chaindiff %d ref %d\n",
+           errorsInjected, cancelled, regA.signature, regB.signature,
+           compareChains(pa, pb), regRef.signature);
+    return 0;
+}

@@ -1,0 +1,96 @@
+/* msc: minimum spanning circle of n points in the plane, following the
+ * paper's benchmark: recursive Welzl-style search over heap-allocated
+ * points (heap-directed pointers dominate). */
+
+struct point {
+    double x;
+    double y;
+};
+
+struct circle {
+    double cx;
+    double cy;
+    double r2;
+};
+
+struct point *pts;   /* heap array of points */
+int npts;
+struct circle best;
+int recdepth;
+
+double dist2(struct point *a, double cx, double cy) {
+    double dx, dy;
+    dx = a->x - cx;
+    dy = a->y - cy;
+    return dx * dx + dy * dy;
+}
+
+int inside(struct point *p, struct circle *c) {
+    return dist2(p, c->cx, c->cy) <= c->r2 + 0.0000001;
+}
+
+void circleFrom2(struct point *a, struct point *b, struct circle *out) {
+    out->cx = (a->x + b->x) / 2.0;
+    out->cy = (a->y + b->y) / 2.0;
+    out->r2 = dist2(a, out->cx, out->cy);
+}
+
+void circleFrom1(struct point *a, struct circle *out) {
+    out->cx = a->x;
+    out->cy = a->y;
+    out->r2 = 0.0;
+}
+
+/* Recursive min-circle over pts[0..n-1] with boundary points pinned. */
+void mincircle(int n, struct point *p1, struct point *p2, struct circle *out) {
+    int i;
+    struct point *q;
+    recdepth++;
+    if (p1 && p2) {
+        circleFrom2(p1, p2, out);
+    } else if (p1) {
+        circleFrom1(p1, out);
+    } else {
+        out->cx = 0.0;
+        out->cy = 0.0;
+        out->r2 = -1.0;
+    }
+    for (i = 0; i < n; i++) {
+        q = &pts[i];
+        if (out->r2 < 0.0 || !inside(q, out)) {
+            if (p1 && p2) {
+                /* three boundary points: approximate with the pair circle
+                 * grown to include q */
+                circleFrom2(p1, p2, out);
+                if (!inside(q, out))
+                    out->r2 = dist2(q, out->cx, out->cy);
+            } else if (p1) {
+                mincircle(i, p1, q, out);
+            } else {
+                mincircle(i, q, 0, out);
+            }
+        }
+    }
+}
+
+void genpoints(int n) {
+    int i, v;
+    struct point *p;
+    pts = (struct point *) malloc(n * sizeof(struct point));
+    v = 12345;
+    for (i = 0; i < n; i++) {
+        p = &pts[i];
+        v = v * 1103515245 + 12345;
+        p->x = (double) ((v >> 8) % 100);
+        v = v * 1103515245 + 12345;
+        p->y = (double) ((v >> 8) % 100);
+    }
+    npts = n;
+}
+
+int main() {
+    genpoints(40);
+    mincircle(npts, 0, 0, &best);
+    printf("center (%g,%g) r2 %g depth %d\n", best.cx, best.cy, best.r2, recdepth);
+    return 0;
+}

@@ -1,0 +1,145 @@
+/* mway: m-way graph partitioning with Kernighan-Lin style refinement,
+ * following the paper's benchmark: partitions and gain arrays are passed to
+ * every routine through pointer parameters, so nearly all points-to pairs
+ * originate at formals and resolve definitely. */
+
+#define NV 48
+#define NPARTS 4
+#define DEGREE 4
+
+int adj[NV][DEGREE];      /* adjacency lists (vertex numbers) */
+int wgt[NV][DEGREE];      /* edge weights */
+int partOf[NV];
+int partSize[NPARTS];
+int gainArr[NV];
+int lockArr[NV];
+int cutBefore, cutAfter;
+int seedm;
+
+int mrand(void) {
+    seedm = seedm * 1103515245 + 12345;
+    return (seedm >> 8) & 0x7fff;
+}
+
+void buildgraph(void) {
+    int v, d;
+    for (v = 0; v < NV; v++) {
+        for (d = 0; d < DEGREE; d++) {
+            adj[v][d] = (v + d * 7 + 1) % NV;
+            wgt[v][d] = 1 + mrand() % 9;
+        }
+    }
+}
+
+void initparts(int *part, int *sizes) {
+    int v, p;
+    for (p = 0; p < NPARTS; p++)
+        sizes[p] = 0;
+    for (v = 0; v < NV; v++) {
+        p = mrand() % NPARTS;
+        part[v] = p;
+        sizes[p] = sizes[p] + 1;
+    }
+}
+
+int cutsize(int *part) {
+    int v, d, cut, u;
+    cut = 0;
+    for (v = 0; v < NV; v++) {
+        for (d = 0; d < DEGREE; d++) {
+            u = adj[v][d];
+            if (part[v] != part[u])
+                cut = cut + wgt[v][d];
+        }
+    }
+    return cut / 2;
+}
+
+/* Gain of moving v to partition target. */
+int gainof(int *part, int v, int target) {
+    int d, u, g;
+    g = 0;
+    for (d = 0; d < DEGREE; d++) {
+        u = adj[v][d];
+        if (part[u] == part[v])
+            g = g - wgt[v][d];
+        if (part[u] == target)
+            g = g + wgt[v][d];
+    }
+    return g;
+}
+
+void computegains(int *part, int *gains, int target) {
+    int v;
+    for (v = 0; v < NV; v++) {
+        if (lockArr[v])
+            gains[v] = -32768;
+        else
+            gains[v] = gainof(part, v, target);
+    }
+}
+
+int bestmove(int *gains) {
+    int v, best;
+    best = 0;
+    for (v = 1; v < NV; v++) {
+        if (gains[v] > gains[best])
+            best = v;
+    }
+    return best;
+}
+
+void domove(int *part, int *sizes, int v, int target) {
+    sizes[part[v]] = sizes[part[v]] - 1;
+    part[v] = target;
+    sizes[target] = sizes[target] + 1;
+    lockArr[v] = 1;
+}
+
+/* One refinement pass moving up to NV/4 vertices into target. */
+int refinepass(int *part, int *sizes, int *gains, int target) {
+    int moves, v, improved;
+    improved = 0;
+    for (v = 0; v < NV; v++)
+        lockArr[v] = 0;
+    for (moves = 0; moves < NV / 4; moves++) {
+        computegains(part, gains, target);
+        v = bestmove(gains);
+        if (gains[v] <= 0)
+            break;
+        domove(part, sizes, v, target);
+        improved = improved + gains[v];
+    }
+    return improved;
+}
+
+int balanced(int *sizes) {
+    int p, lo, hi;
+    lo = sizes[0];
+    hi = sizes[0];
+    for (p = 1; p < NPARTS; p++) {
+        if (sizes[p] < lo)
+            lo = sizes[p];
+        if (sizes[p] > hi)
+            hi = sizes[p];
+    }
+    return hi - lo <= NV / NPARTS;
+}
+
+int main() {
+    int pass, target, gain, ok;
+    seedm = 31415;
+    buildgraph();
+    initparts(partOf, partSize);
+    cutBefore = cutsize(partOf);
+    for (pass = 0; pass < 6; pass++) {
+        target = pass % NPARTS;
+        gain = refinepass(partOf, partSize, gainArr, target);
+        if (gain == 0)
+            break;
+    }
+    cutAfter = cutsize(partOf);
+    ok = balanced(partSize);
+    printf("cut %d -> %d balanced %d\n", cutBefore, cutAfter, ok);
+    return 0;
+}

@@ -1,0 +1,184 @@
+/* sim: finds local similarities between two sequences with affine gap
+ * weights (Smith-Waterman style), following the paper's benchmark: the
+ * scoring matrices live on the heap, so most points-to pairs are
+ * heap-directed, and the traceback is recursive. */
+
+#define LENA 40
+#define LENB 32
+#define MATCH 2
+#define MISMATCH (-1)
+#define GAPOPEN 3
+#define GAPEXT 1
+
+char seqA[LENA];
+char seqB[LENB];
+
+int *scoreH;  /* (LENA+1) x (LENB+1) flattened, on the heap */
+int *scoreE;
+int *scoreF;
+int bestScore;
+int bestI, bestJ;
+int cells;
+int traceLen;
+
+int idx(int i, int j) {
+    return i * (LENB + 1) + j;
+}
+
+int maxi(int a, int b) {
+    if (a >= b)
+        return a;
+    return b;
+}
+
+void gensequences(void) {
+    int i, v;
+    v = 5;
+    for (i = 0; i < LENA; i++) {
+        v = v * 1103515245 + 12345;
+        seqA[i] = (char) ('a' + ((v >> 9) % 4));
+    }
+    for (i = 0; i < LENB; i++) {
+        v = v * 1103515245 + 12345;
+        seqB[i] = (char) ('a' + ((v >> 9) % 4));
+    }
+    /* plant a common region */
+    for (i = 0; i < 8; i++) {
+        seqA[10 + i] = (char) ('a' + (i % 3));
+        seqB[4 + i] = (char) ('a' + (i % 3));
+    }
+}
+
+int *allocmatrix(void) {
+    int *m;
+    int k, n;
+    n = (LENA + 1) * (LENB + 1);
+    m = (int *) malloc(n * sizeof(int));
+    for (k = 0; k < n; k++)
+        m[k] = 0;
+    return m;
+}
+
+int substScore(char a, char b) {
+    if (a == b)
+        return MATCH;
+    return MISMATCH;
+}
+
+void fillmatrices(int *h, int *e, int *f) {
+    int i, j, diag, up, left, best;
+    for (i = 1; i <= LENA; i++) {
+        for (j = 1; j <= LENB; j++) {
+            e[idx(i, j)] = maxi(e[idx(i, j - 1)] - GAPEXT,
+                                h[idx(i, j - 1)] - GAPOPEN);
+            f[idx(i, j)] = maxi(f[idx(i - 1, j)] - GAPEXT,
+                                h[idx(i - 1, j)] - GAPOPEN);
+            diag = h[idx(i - 1, j - 1)] + substScore(seqA[i - 1], seqB[j - 1]);
+            up = f[idx(i, j)];
+            left = e[idx(i, j)];
+            best = maxi(maxi(diag, up), maxi(left, 0));
+            h[idx(i, j)] = best;
+            cells++;
+            if (best > bestScore) {
+                bestScore = best;
+                bestI = i;
+                bestJ = j;
+            }
+        }
+    }
+}
+
+/* Recursive traceback from the best cell. */
+void traceback(int *h, int i, int j) {
+    int cur, diag;
+    if (i <= 0 || j <= 0)
+        return;
+    cur = h[idx(i, j)];
+    if (cur <= 0)
+        return;
+    traceLen++;
+    diag = h[idx(i - 1, j - 1)] + substScore(seqA[i - 1], seqB[j - 1]);
+    if (cur == diag) {
+        traceback(h, i - 1, j - 1);
+    } else if (cur == h[idx(i - 1, j)] - GAPOPEN ||
+               cur == h[idx(i - 1, j)] - GAPEXT) {
+        traceback(h, i - 1, j);
+    } else {
+        traceback(h, i, j - 1);
+    }
+}
+
+/* Reconstruct the aligned pair strings from the best cell (banded). */
+
+char alignA[LENA + LENB + 2];
+char alignB[LENA + LENB + 2];
+int alignLen;
+
+void reconstruct(int *h, int i, int j) {
+    int cur, diag;
+    alignLen = 0;
+    while (i > 0 && j > 0) {
+        cur = h[idx(i, j)];
+        if (cur <= 0)
+            break;
+        diag = h[idx(i - 1, j - 1)] + substScore(seqA[i - 1], seqB[j - 1]);
+        if (cur == diag) {
+            alignA[alignLen] = seqA[i - 1];
+            alignB[alignLen] = seqB[j - 1];
+            i--;
+            j--;
+        } else if (cur == h[idx(i - 1, j)] - GAPOPEN ||
+                   cur == h[idx(i - 1, j)] - GAPEXT) {
+            alignA[alignLen] = seqA[i - 1];
+            alignB[alignLen] = '-';
+            i--;
+        } else {
+            alignA[alignLen] = '-';
+            alignB[alignLen] = seqB[j - 1];
+            j--;
+        }
+        alignLen++;
+    }
+    alignA[alignLen] = 0;
+    alignB[alignLen] = 0;
+}
+
+/* Zero out a neighbourhood of the best cell and rescan for the second-best
+ * local similarity, as sim does for multiple local alignments. */
+int secondBest(int *h) {
+    int i, j, best2, di, dj;
+    for (di = -2; di <= 2; di++) {
+        for (dj = -2; dj <= 2; dj++) {
+            i = bestI + di;
+            j = bestJ + dj;
+            if (i >= 0 && i <= LENA && j >= 0 && j <= LENB)
+                h[idx(i, j)] = 0;
+        }
+    }
+    best2 = 0;
+    for (i = 1; i <= LENA; i++) {
+        for (j = 1; j <= LENB; j++) {
+            if (h[idx(i, j)] > best2)
+                best2 = h[idx(i, j)];
+        }
+    }
+    return best2;
+}
+
+int main() {
+    gensequences();
+    scoreH = allocmatrix();
+    scoreE = allocmatrix();
+    scoreF = allocmatrix();
+    fillmatrices(scoreH, scoreE, scoreF);
+    traceback(scoreH, bestI, bestJ);
+    reconstruct(scoreH, bestI, bestJ);
+    printf("best %d at (%d,%d) cells %d trace %d\n",
+           bestScore, bestI, bestJ, cells, traceLen);
+    printf("align %d |%s| |%s| second %d\n",
+           alignLen, alignA, alignB, secondBest(scoreH));
+    free(scoreH);
+    free(scoreE);
+    free(scoreF);
+    return 0;
+}

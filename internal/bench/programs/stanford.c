@@ -1,0 +1,381 @@
+/* stanford: the Stanford "baby benchmarks" — permutations, towers of
+ * hanoi, eight queens, quicksort, bubble sort and tree insertion — as in
+ * the paper's benchmark: many small functions, several recursive, array
+ * references through pointer parameters. */
+
+#define SORTSIZE 64
+#define TREESIZE 32
+#define STACKMAX 24
+
+int sortArr[SORTSIZE];
+int permCount;
+int moveCount;
+int queensSolutions;
+int seedv;
+
+int rnd(void) {
+    seedv = seedv * 1309 + 13849;
+    if (seedv < 0)
+        seedv = -seedv;
+    return seedv;
+}
+
+/* --- Perm --- */
+
+void swapints(int *a, int *b) {
+    int t;
+    t = *a;
+    *a = *b;
+    *b = t;
+}
+
+void permute(int *arr, int n) {
+    int k;
+    permCount++;
+    if (n <= 1)
+        return;
+    for (k = 0; k < n; k++) {
+        swapints(&arr[0], &arr[k]);
+        permute(&arr[1], n - 1);
+        swapints(&arr[0], &arr[k]);
+    }
+}
+
+/* --- Towers --- */
+
+void towers(int n, int from, int to, int via) {
+    if (n == 1) {
+        moveCount++;
+        return;
+    }
+    towers(n - 1, from, via, to);
+    moveCount++;
+    towers(n - 1, via, to, from);
+}
+
+/* --- Queens --- */
+
+int rowFree[8];
+int diagA[16];
+int diagB[16];
+
+void tryQueen(int col) {
+    int row;
+    if (col == 8) {
+        queensSolutions++;
+        return;
+    }
+    for (row = 0; row < 8; row++) {
+        if (rowFree[row] && diagA[row + col] && diagB[row - col + 7]) {
+            rowFree[row] = 0;
+            diagA[row + col] = 0;
+            diagB[row - col + 7] = 0;
+            tryQueen(col + 1);
+            rowFree[row] = 1;
+            diagA[row + col] = 1;
+            diagB[row - col + 7] = 1;
+        }
+    }
+}
+
+int queens(void) {
+    int i;
+    for (i = 0; i < 8; i++)
+        rowFree[i] = 1;
+    for (i = 0; i < 16; i++) {
+        diagA[i] = 1;
+        diagB[i] = 1;
+    }
+    queensSolutions = 0;
+    tryQueen(0);
+    return queensSolutions;
+}
+
+/* --- Quicksort (recursive) --- */
+
+void quick(int *a, int lo, int hi) {
+    int i, j, pivot;
+    i = lo;
+    j = hi;
+    pivot = a[(lo + hi) / 2];
+    while (i <= j) {
+        while (a[i] < pivot)
+            i++;
+        while (a[j] > pivot)
+            j--;
+        if (i <= j) {
+            swapints(&a[i], &a[j]);
+            i++;
+            j--;
+        }
+    }
+    if (lo < j)
+        quick(a, lo, j);
+    if (i < hi)
+        quick(a, i, hi);
+}
+
+/* --- Bubble sort --- */
+
+void bubble(int *a, int n) {
+    int i, top, t;
+    top = n - 1;
+    while (top > 0) {
+        i = 0;
+        while (i < top) {
+            if (a[i] > a[i + 1]) {
+                t = a[i];
+                a[i] = a[i + 1];
+                a[i + 1] = t;
+            }
+            i++;
+        }
+        top--;
+    }
+}
+
+int checksorted(int *a, int n) {
+    int i;
+    for (i = 0; i + 1 < n; i++) {
+        if (a[i] > a[i + 1])
+            return 0;
+    }
+    return 1;
+}
+
+void fillrandom(int *a, int n) {
+    int i;
+    for (i = 0; i < n; i++)
+        a[i] = rnd() % 1000;
+}
+
+/* --- Intmm: integer matrix multiplication --- */
+
+#define MMSIZE 12
+
+int ima[MMSIZE][MMSIZE];
+int imb[MMSIZE][MMSIZE];
+int imr[MMSIZE][MMSIZE];
+
+void initmatrix(int (*m)[MMSIZE]) {
+    int i, j;
+    for (i = 0; i < MMSIZE; i++) {
+        for (j = 0; j < MMSIZE; j++)
+            m[i][j] = (rnd() % 240) - 120;
+    }
+}
+
+void innerproduct(int *result, int (*a)[MMSIZE], int (*b)[MMSIZE], int row, int column) {
+    int i, sum;
+    sum = 0;
+    for (i = 0; i < MMSIZE; i++)
+        sum = sum + a[row][i] * b[i][column];
+    *result = sum;
+}
+
+int intmm(void) {
+    int i, j, trace;
+    initmatrix(ima);
+    initmatrix(imb);
+    for (i = 0; i < MMSIZE; i++) {
+        for (j = 0; j < MMSIZE; j++)
+            innerproduct(&imr[i][j], ima, imb, i, j);
+    }
+    trace = 0;
+    for (i = 0; i < MMSIZE; i++)
+        trace = trace + imr[i][i];
+    return trace;
+}
+
+/* --- Puzzle (Forest Baskett's), reduced board --- */
+
+#define PSIZE 255
+#define PCLASSMAX 3
+#define PTYPEMAX 12
+
+int puzzlePieceCount[PCLASSMAX + 1];
+int puzzleClass[PTYPEMAX + 1];
+int puzzlePieceMax[PTYPEMAX + 1];
+int puzzleCells[PSIZE + 1];
+int puzzleP[PTYPEMAX + 1][PSIZE + 1];
+int puzzleKount;
+
+int fits(int i, int j) {
+    int k;
+    for (k = 0; k <= puzzlePieceMax[i]; k++) {
+        if (puzzleP[i][k]) {
+            if (puzzleCells[j + k])
+                return 0;
+        }
+    }
+    return 1;
+}
+
+int place(int i, int j) {
+    int k;
+    for (k = 0; k <= puzzlePieceMax[i]; k++) {
+        if (puzzleP[i][k])
+            puzzleCells[j + k] = 1;
+    }
+    puzzlePieceCount[puzzleClass[i]] = puzzlePieceCount[puzzleClass[i]] - 1;
+    for (k = j; k <= PSIZE; k++) {
+        if (!puzzleCells[k])
+            return k;
+    }
+    return 0;
+}
+
+void removePiece(int i, int j) {
+    int k;
+    for (k = 0; k <= puzzlePieceMax[i]; k++) {
+        if (puzzleP[i][k])
+            puzzleCells[j + k] = 0;
+    }
+    puzzlePieceCount[puzzleClass[i]] = puzzlePieceCount[puzzleClass[i]] + 1;
+}
+
+int trial(int j) {
+    int i, k;
+    puzzleKount++;
+    if (puzzleKount > 2000)
+        return 1; /* bound the search for the benchmark */
+    for (i = 0; i <= PTYPEMAX; i++) {
+        if (puzzlePieceCount[puzzleClass[i]] != 0) {
+            if (fits(i, j)) {
+                k = place(i, j);
+                if (k == 0 || trial(k)) {
+                    return 1;
+                }
+                removePiece(i, j);
+            }
+        }
+    }
+    return 0;
+}
+
+int puzzle(void) {
+    int i, k;
+    for (i = 0; i <= PSIZE; i++)
+        puzzleCells[i] = 0;
+    for (i = 0; i <= PTYPEMAX; i++) {
+        for (k = 0; k <= PSIZE; k++)
+            puzzleP[i][k] = 0;
+    }
+    /* a few simple bar pieces */
+    for (i = 0; i <= PTYPEMAX; i++) {
+        puzzleClass[i] = i % (PCLASSMAX + 1);
+        puzzlePieceMax[i] = (i % 4) + 1;
+        for (k = 0; k <= puzzlePieceMax[i]; k++)
+            puzzleP[i][k] = 1;
+    }
+    for (i = 0; i <= PCLASSMAX; i++)
+        puzzlePieceCount[i] = 4;
+    puzzleKount = 0;
+    trial(0);
+    return puzzleKount;
+}
+
+/* --- A small iterative FFT-flavoured butterfly pass --- */
+
+#define FFTN 32
+
+double fftRe[FFTN];
+double fftIm[FFTN];
+
+void butterfly(double *re, double *im, int span) {
+    int i, j;
+    double tr, ti;
+    for (i = 0; i < FFTN; i = i + 2 * span) {
+        for (j = i; j < i + span; j++) {
+            tr = re[j + span];
+            ti = im[j + span];
+            re[j + span] = re[j] - tr;
+            im[j + span] = im[j] - ti;
+            re[j] = re[j] + tr;
+            im[j] = im[j] + ti;
+        }
+    }
+}
+
+double fftpass(void) {
+    int i, span;
+    double energy;
+    for (i = 0; i < FFTN; i++) {
+        fftRe[i] = (double) (rnd() % 100) / 100.0;
+        fftIm[i] = 0.0;
+    }
+    for (span = 1; span < FFTN; span = span * 2)
+        butterfly(fftRe, fftIm, span);
+    energy = 0.0;
+    for (i = 0; i < FFTN; i++)
+        energy = energy + fftRe[i] * fftRe[i] + fftIm[i] * fftIm[i];
+    return energy;
+}
+
+/* --- Trees --- */
+
+struct tnode {
+    int val;
+    struct tnode *left;
+    struct tnode *right;
+};
+
+struct tnode *insertnode(struct tnode *t, int v) {
+    if (t == 0) {
+        t = (struct tnode *) malloc(sizeof(struct tnode));
+        t->val = v;
+        t->left = 0;
+        t->right = 0;
+        return t;
+    }
+    if (v < t->val)
+        t->left = insertnode(t->left, v);
+    else
+        t->right = insertnode(t->right, v);
+    return t;
+}
+
+int treedepth(struct tnode *t) {
+    int dl, dr;
+    if (t == 0)
+        return 0;
+    dl = treedepth(t->left);
+    dr = treedepth(t->right);
+    if (dl > dr)
+        return dl + 1;
+    return dr + 1;
+}
+
+int main() {
+    int permInit[6];
+    int i, sortedOK, depth, nq;
+    struct tnode *root;
+
+    seedv = 74755;
+
+    for (i = 0; i < 6; i++)
+        permInit[i] = i;
+    permute(permInit, 5);
+
+    towers(10, 1, 3, 2);
+
+    nq = queens();
+
+    fillrandom(sortArr, SORTSIZE);
+    quick(sortArr, 0, SORTSIZE - 1);
+    sortedOK = checksorted(sortArr, SORTSIZE);
+
+    fillrandom(sortArr, SORTSIZE);
+    bubble(sortArr, SORTSIZE);
+    sortedOK = sortedOK & checksorted(sortArr, SORTSIZE);
+
+    root = 0;
+    for (i = 0; i < TREESIZE; i++)
+        root = insertnode(root, rnd() % 100);
+    depth = treedepth(root);
+
+    printf("perm %d moves %d queens %d sorted %d depth %d\n",
+           permCount, moveCount, nq, sortedOK, depth);
+    printf("intmm %d puzzle %d fft %g\n", intmm(), puzzle(), fftpass());
+    return 0;
+}

@@ -1,0 +1,228 @@
+/* toplev: the driver level of a compiler, following the paper's benchmark
+ * (the GNU C top level): option tables that are arrays of string pointers,
+ * a pass list, and dispatch over flags. The array-of-pointers
+ * initialization produces indirect references with four or more possible
+ * targets, as the paper notes for toplev. */
+
+#define MAXARGS 16
+#define NPASSES 8
+
+char *optionNames[10] = {
+    "-O", "-g", "-c", "-S", "-W", "-o", "-v", "-p", "-E", "-f"
+};
+
+int optionSeen[10];
+
+char *passNames[NPASSES] = {
+    "parse", "simplify", "points-to", "rwsets", "constprop",
+    "dependence", "schedule", "emit"
+};
+
+int passEnabled[NPASSES];
+int passRuns[NPASSES];
+
+char *inputName;
+char *outputName;
+int optimize;
+int debugLevel;
+int errorCount;
+int warnCount;
+
+/* A fake argv prepared by the driver itself. */
+char *argvBuf[MAXARGS];
+int argcBuf;
+
+void addArg(char *s) {
+    argvBuf[argcBuf] = s;
+    argcBuf++;
+}
+
+void buildCommandLine(void) {
+    addArg("toplev");
+    addArg("-O");
+    addArg("-g");
+    addArg("-o");
+    addArg("out.s");
+    addArg("prog.c");
+}
+
+int matchOption(char *arg) {
+    int i;
+    char *name;
+    for (i = 0; i < 10; i++) {
+        name = optionNames[i];
+        if (name[0] == arg[0] && name[1] == arg[1])
+            return i;
+    }
+    return -1;
+}
+
+void warning(char *msg) {
+    warnCount++;
+    printf("warning: %s\n", msg);
+}
+
+void error(char *msg) {
+    errorCount++;
+    printf("error: %s\n", msg);
+}
+
+void decodeSwitch(char *arg, int next) {
+    int idx;
+    idx = matchOption(arg);
+    if (idx < 0) {
+        warning("unknown option");
+        return;
+    }
+    optionSeen[idx] = 1;
+    if (idx == 0)
+        optimize = 1;
+    else if (idx == 1)
+        debugLevel = 2;
+    else if (idx == 5)
+        outputName = argvBuf[next];
+}
+
+void parseArgs(void) {
+    int i;
+    char *arg;
+    for (i = 1; i < argcBuf; i++) {
+        arg = argvBuf[i];
+        if (arg[0] == '-') {
+            decodeSwitch(arg, i + 1);
+            if (matchOption(arg) == 5)
+                i++;
+        } else {
+            inputName = arg;
+        }
+    }
+    if (inputName == 0)
+        error("no input file");
+}
+
+void enablePasses(void) {
+    int i;
+    for (i = 0; i < NPASSES; i++)
+        passEnabled[i] = 1;
+    if (!optimize) {
+        passEnabled[4] = 0;
+        passEnabled[5] = 0;
+        passEnabled[6] = 0;
+    }
+}
+
+int runPass(int which, char *name) {
+    passRuns[which]++;
+    /* pretend to do the work: hash the pass name */
+    {
+        int h, i;
+        h = 0;
+        for (i = 0; name[i]; i++)
+            h = h * 31 + name[i];
+        return h;
+    }
+}
+
+void compileFile(char *name) {
+    int i, h;
+    h = 0;
+    for (i = 0; i < NPASSES; i++) {
+        if (passEnabled[i])
+            h = h ^ runPass(i, passNames[i]);
+    }
+    if (h == 0 && name[0] == 0)
+        error("empty translation unit");
+}
+
+int countRuns(void) {
+    int i, n;
+    n = 0;
+    for (i = 0; i < NPASSES; i++)
+        n = n + passRuns[i];
+    return n;
+}
+
+/* -- specs: map input suffixes to pass pipelines, compiler-driver style -- */
+
+struct spec {
+    char *suffix;
+    int firstPass;
+    int lastPass;
+};
+
+struct spec specTable[4];
+int nSpecs;
+
+void addSpec(char *suffix, int first, int last) {
+    struct spec *sp;
+    sp = &specTable[nSpecs];
+    sp->suffix = suffix;
+    sp->firstPass = first;
+    sp->lastPass = last;
+    nSpecs++;
+}
+
+void initSpecs(void) {
+    addSpec(".c", 0, NPASSES - 1);
+    addSpec(".i", 1, NPASSES - 1);
+    addSpec(".s", NPASSES - 1, NPASSES - 1);
+}
+
+int suffixOf(char *name, char *out) {
+    int i, dot;
+    dot = -1;
+    for (i = 0; name[i]; i++) {
+        if (name[i] == '.')
+            dot = i;
+    }
+    if (dot < 0)
+        return 0;
+    for (i = 0; name[dot + i]; i++)
+        out[i] = name[dot + i];
+    out[i] = 0;
+    return 1;
+}
+
+struct spec *lookupSpec(char *name) {
+    char suf[8];
+    int i;
+    if (!suffixOf(name, suf))
+        return 0;
+    for (i = 0; i < nSpecs; i++) {
+        if (strcmp(specTable[i].suffix, suf) == 0)
+            return &specTable[i];
+    }
+    return 0;
+}
+
+int compileWithSpec(char *name) {
+    struct spec *sp;
+    int i, h;
+    sp = lookupSpec(name);
+    if (sp == 0) {
+        error("unknown input suffix");
+        return 0;
+    }
+    h = 0;
+    for (i = sp->firstPass; i <= sp->lastPass; i++) {
+        if (passEnabled[i])
+            h = h ^ runPass(i, passNames[i]);
+    }
+    return h;
+}
+
+int main() {
+    char *in;
+    buildCommandLine();
+    parseArgs();
+    enablePasses();
+    initSpecs();
+    in = inputName;
+    if (in) {
+        compileFile(in);
+        compileWithSpec(in);
+    }
+    printf("input %s output %s optimize %d passes %d warnings %d errors %d\n",
+           inputName, outputName, optimize, countRuns(), warnCount, errorCount);
+    return errorCount;
+}

@@ -1,0 +1,156 @@
+/* travel: traveling salesman with greedy heuristics (nearest neighbour
+ * plus 2-opt improvement), following the paper's benchmark: tours held in
+ * two alternating buffers so tour pointers typically have two or three
+ * possible targets, with a recursive tour-improvement pass. */
+
+#define NCITY 20
+
+struct city {
+    double x;
+    double y;
+};
+
+struct city cities[NCITY];
+int tourA[NCITY];
+int tourB[NCITY];
+int *bestTour;
+int *curTour;
+double bestLen;
+int improvePasses;
+int seedt;
+
+int trand(void) {
+    seedt = seedt * 1103515245 + 12345;
+    return (seedt >> 8) & 0x7fff;
+}
+
+double cdist(struct city *a, struct city *b) {
+    double dx, dy;
+    dx = a->x - b->x;
+    dy = a->y - b->y;
+    return sqrt(dx * dx + dy * dy);
+}
+
+double tourlen(int *tour) {
+    double len;
+    int i, from, to;
+    len = 0.0;
+    for (i = 0; i < NCITY; i++) {
+        from = tour[i];
+        to = tour[(i + 1) % NCITY];
+        len = len + cdist(&cities[from], &cities[to]);
+    }
+    return len;
+}
+
+void gencities(void) {
+    int i;
+    for (i = 0; i < NCITY; i++) {
+        cities[i].x = (double) (trand() % 1000);
+        cities[i].y = (double) (trand() % 1000);
+    }
+}
+
+/* Greedy nearest-neighbour construction into out. */
+void nearest(int *out) {
+    int used[NCITY];
+    int i, step, cur, best;
+    double d, bd;
+    for (i = 0; i < NCITY; i++)
+        used[i] = 0;
+    cur = 0;
+    used[0] = 1;
+    out[0] = 0;
+    for (step = 1; step < NCITY; step++) {
+        best = -1;
+        bd = 0.0;
+        for (i = 0; i < NCITY; i++) {
+            if (used[i])
+                continue;
+            d = cdist(&cities[cur], &cities[i]);
+            if (best < 0 || d < bd) {
+                best = i;
+                bd = d;
+            }
+        }
+        out[step] = best;
+        used[best] = 1;
+        cur = best;
+    }
+}
+
+void reverseseg(int *tour, int i, int j) {
+    int t;
+    while (i < j) {
+        t = tour[i];
+        tour[i] = tour[j];
+        tour[j] = t;
+        i++;
+        j--;
+    }
+}
+
+void copytour(int *dst, int *src) {
+    int i;
+    for (i = 0; i < NCITY; i++)
+        dst[i] = src[i];
+}
+
+/* One 2-opt sweep; returns 1 if it improved the tour. */
+int sweep(int *tour) {
+    int i, j, improved;
+    double before, after;
+    improved = 0;
+    for (i = 1; i + 1 < NCITY; i++) {
+        for (j = i + 1; j < NCITY; j++) {
+            before = tourlen(tour);
+            reverseseg(tour, i, j);
+            after = tourlen(tour);
+            if (after >= before) {
+                reverseseg(tour, i, j); /* undo */
+            } else {
+                improved = 1;
+            }
+        }
+    }
+    return improved;
+}
+
+/* Recursive improvement: keep sweeping until no improvement. */
+void improve(int *tour, int depth) {
+    improvePasses++;
+    if (depth > 6)
+        return;
+    if (sweep(tour))
+        improve(tour, depth + 1);
+}
+
+int *pickbest(int *a, int *b) {
+    if (tourlen(a) <= tourlen(b))
+        return a;
+    return b;
+}
+
+int main() {
+    double la, lb;
+    seedt = 99;
+    gencities();
+
+    curTour = tourA;
+    nearest(curTour);
+    improve(curTour, 0);
+
+    /* a second start from a rotated initial tour */
+    copytour(tourB, tourA);
+    reverseseg(tourB, 0, NCITY / 2);
+    curTour = tourB;
+    improve(curTour, 0);
+
+    bestTour = pickbest(tourA, tourB);
+    la = tourlen(tourA);
+    lb = tourlen(tourB);
+    bestLen = tourlen(bestTour);
+    printf("lenA %g lenB %g best %g passes %d first %d\n",
+           la, lb, bestLen, improvePasses, bestTour[0]);
+    return 0;
+}

@@ -1,0 +1,80 @@
+/* xref: a cross-reference program building a binary tree of items, as in
+ * the paper's benchmark: recursive tree construction over heap nodes. */
+
+struct ref {
+    int line;
+    struct ref *next;
+};
+
+struct node {
+    int word;          /* hashed identifier */
+    struct ref *refs;
+    struct node *left;
+    struct node *right;
+};
+
+struct node *root;
+int nwords, nrefs;
+
+struct node *newnode(int w, int line) {
+    struct node *n;
+    struct ref *r;
+    n = (struct node *) malloc(sizeof(struct node));
+    r = (struct ref *) malloc(sizeof(struct ref));
+    r->line = line;
+    r->next = 0;
+    n->word = w;
+    n->refs = r;
+    n->left = 0;
+    n->right = 0;
+    nwords++;
+    return n;
+}
+
+void addref(struct node *n, int line) {
+    struct ref *r;
+    r = (struct ref *) malloc(sizeof(struct ref));
+    r->line = line;
+    r->next = n->refs;
+    n->refs = r;
+    nrefs++;
+}
+
+struct node *enter(struct node *t, int w, int line) {
+    if (t == 0)
+        return newnode(w, line);
+    if (w < t->word)
+        t->left = enter(t->left, w, line);
+    else if (w > t->word)
+        t->right = enter(t->right, w, line);
+    else
+        addref(t, line);
+    return t;
+}
+
+int countrefs(struct ref *r) {
+    if (r == 0)
+        return 0;
+    return 1 + countrefs(r->next);
+}
+
+int dump(struct node *t) {
+    int n;
+    if (t == 0)
+        return 0;
+    n = dump(t->left);
+    printf("%d:%d ", t->word, countrefs(t->refs));
+    n = n + 1 + dump(t->right);
+    return n;
+}
+
+int main() {
+    int i, w, printed;
+    for (i = 0; i < 120; i++) {
+        w = (i * 37 + 11) % 40;
+        root = enter(root, w, i + 1);
+    }
+    printed = dump(root);
+    printf("\nwords %d refs %d printed %d\n", nwords, nrefs, printed);
+    return 0;
+}

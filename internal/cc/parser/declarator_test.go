@@ -1,0 +1,195 @@
+package parser
+
+import (
+	"testing"
+
+	"repro/internal/cc/types"
+)
+
+// typeOfGlobal parses src and returns the type of the named global.
+func typeOfGlobal(t *testing.T, src, name string) *types.Type {
+	t.Helper()
+	tu := mustParse(t, src+"\nint main() { return 0; }\n")
+	for _, g := range tu.Globals {
+		if g.Obj.Name == name {
+			return g.Obj.Type
+		}
+	}
+	t.Fatalf("global %s not found", name)
+	return nil
+}
+
+func TestDeclaratorShapes(t *testing.T) {
+	cases := []struct {
+		src, name, want string
+	}{
+		{"int x;", "x", "int"},
+		{"int *p;", "p", "int*"},
+		{"int **pp;", "pp", "int**"},
+		{"int a[3];", "a", "int[3]"},
+		{"int a[2][3];", "a", "int[2][3]"},
+		{"int *a[4];", "a", "int*[4]"},
+		{"int (*pa)[4];", "pa", "int[4]*"},
+		{"int (*fp)(void);", "fp", "int (*)()"},
+		{"int (*fp)(int, char);", "fp", "int (*)(int, char)"},
+		{"int (*fparr[8])(void);", "fparr", "int (*)()[8]"},
+		{"int *(*gp)(int);", "gp", "int* (*)(int)"},
+		{"char *(*table[2])(char *);", "table", "char* (*)(char*)[2]"},
+		{"double (*mat)[5];", "mat", "double[5]*"},
+		{"void (*sig)(int);", "sig", "void (*)(int)"},
+	}
+	for _, c := range cases {
+		got := typeOfGlobal(t, c.src, c.name)
+		if got.String() != c.want {
+			t.Errorf("%s: type = %q, want %q", c.src, got, c.want)
+		}
+	}
+}
+
+func TestFunctionReturningFunctionPointer(t *testing.T) {
+	tu := mustParse(t, `
+int add(int a, int b) { return a + b; }
+int (*choose(int which))(int, int) {
+	if (which)
+		return add;
+	return 0;
+}
+int main() {
+	int (*fp)(int, int);
+	fp = choose(1);
+	if (fp)
+		return fp(2, 3);
+	return 0;
+}
+`)
+	obj := tu.FuncObjects["choose"]
+	if obj == nil {
+		t.Fatal("choose not declared")
+	}
+	if obj.Type.Kind != types.Func {
+		t.Fatalf("choose is %s, want function", obj.Type)
+	}
+	ret := obj.Type.Ret
+	if !ret.IsFuncPointer() {
+		t.Fatalf("choose returns %s, want function pointer", ret)
+	}
+}
+
+func TestPointerToArrayParamDecay(t *testing.T) {
+	tu := mustParse(t, `
+void f(double m[3][4]) { m[1][2] = 0.0; }
+int main() { return 0; }
+`)
+	obj := tu.FuncObjects["f"]
+	p := obj.Type.Params[0]
+	// double m[3][4] decays to double (*)[4].
+	if p.Kind != types.Pointer || p.Elem.Kind != types.Array || p.Elem.Len != 4 {
+		t.Errorf("param type = %s, want double[4]*", p)
+	}
+}
+
+func TestTypedefOfFunctionPointer(t *testing.T) {
+	tu := mustParse(t, `
+typedef int (*binop_t)(int, int);
+int add(int a, int b) { return a + b; }
+binop_t op = add;
+int main() { return op(1, 2); }
+`)
+	for _, g := range tu.Globals {
+		if g.Obj.Name == "op" {
+			if !g.Obj.Type.IsFuncPointer() {
+				t.Errorf("op type = %s, want function pointer", g.Obj.Type)
+			}
+			return
+		}
+	}
+	t.Fatal("op not found")
+}
+
+func TestStructWithFunctionPointerField(t *testing.T) {
+	tu := mustParse(t, `
+struct ops {
+	int (*open)(int);
+	int (*close)(int);
+	char *name;
+};
+int doopen(int fd) { return fd; }
+int doclose(int fd) { return 0; }
+struct ops fileOps = { doopen, doclose, "file" };
+int main() {
+	struct ops *o;
+	o = &fileOps;
+	return o->open(3) + fileOps.close(3);
+}
+`)
+	for _, g := range tu.Globals {
+		if g.Obj.Name == "fileOps" {
+			f := g.Obj.Type.FieldByName("open")
+			if f == nil || !f.Type.IsFuncPointer() {
+				t.Errorf("ops.open should be a function pointer")
+			}
+			return
+		}
+	}
+	t.Fatal("fileOps not found")
+}
+
+func TestAnonymousStructTag(t *testing.T) {
+	tu := mustParse(t, `
+struct { int a; } anon;
+int main() { anon.a = 1; return anon.a; }
+`)
+	for _, g := range tu.Globals {
+		if g.Obj.Name == "anon" {
+			if g.Obj.Type.Kind != types.Struct || g.Obj.Type.Tag != "" {
+				t.Errorf("anon type = %s", g.Obj.Type)
+			}
+			return
+		}
+	}
+	t.Fatal("anon not found")
+}
+
+func TestForwardStructReference(t *testing.T) {
+	mustParse(t, `
+struct b;
+struct a { struct b *link; };
+struct b { struct a *back; int v; };
+int main() {
+	struct a x;
+	struct b y;
+	x.link = &y;
+	y.back = &x;
+	return x.link->v;
+}
+`)
+}
+
+func TestMultiDeclaratorLine(t *testing.T) {
+	tu := mustParse(t, `
+int a, *p, arr[3], (*fp)(void);
+int main() { return 0; }
+`)
+	want := map[string]string{
+		"a": "int", "p": "int*", "arr": "int[3]", "fp": "int (*)()",
+	}
+	found := 0
+	for _, g := range tu.Globals {
+		if w, ok := want[g.Obj.Name]; ok {
+			found++
+			if g.Obj.Type.String() != w {
+				t.Errorf("%s: type %q, want %q", g.Obj.Name, g.Obj.Type, w)
+			}
+		}
+	}
+	if found != len(want) {
+		t.Errorf("found %d of %d declarators", found, len(want))
+	}
+}
+
+func TestParenthesizedNameDeclarator(t *testing.T) {
+	got := typeOfGlobal(t, "int (x);", "x")
+	if got.Kind != types.Int {
+		t.Errorf("int (x) should be plain int, got %s", got)
+	}
+}

@@ -1,0 +1,727 @@
+package parser
+
+import (
+	"strconv"
+
+	"repro/internal/cc/ast"
+	"repro/internal/cc/token"
+	"repro/internal/cc/types"
+)
+
+// Binary operator precedence (C levels, highest binds tightest).
+func binPrec(k token.Kind) int {
+	switch k {
+	case token.MUL, token.QUO, token.REM:
+		return 10
+	case token.ADD, token.SUB:
+		return 9
+	case token.SHL, token.SHR:
+		return 8
+	case token.LSS, token.GTR, token.LEQ, token.GEQ:
+		return 7
+	case token.EQL, token.NEQ:
+		return 6
+	case token.AND:
+		return 5
+	case token.XOR:
+		return 4
+	case token.OR:
+		return 3
+	case token.LAND:
+		return 2
+	case token.LOR:
+		return 1
+	}
+	return 0
+}
+
+// parseExpr parses a full expression including the comma operator.
+func (p *Parser) parseExpr() ast.Expr {
+	e := p.parseAssignExpr()
+	for p.kind() == token.COMMA {
+		pos := p.next().Pos
+		y := p.parseAssignExpr()
+		c := &ast.Comma{X: e, Y: y}
+		c.P = pos
+		c.T = y.Type()
+		e = c
+	}
+	return e
+}
+
+func (p *Parser) parseAssignExpr() ast.Expr {
+	lhs := p.parseCondExpr()
+	if !p.kind().IsAssignOp() {
+		return lhs
+	}
+	op := p.next()
+	p.checkLvalue(lhs)
+	rhs := p.parseAssignExpr()
+	if lt, rt := lhs.Type(), rhs.Type(); lt != nil && rt != nil &&
+		lt.Kind != types.Invalid && rt.Kind != types.Invalid {
+		if op.Kind == token.ASSIGN {
+			if !types.Compatible(lt, rt) {
+				p.errorf(op.Pos, "cannot assign %s to %s", rt, lt)
+			}
+		} else if !lt.IsArithmetic() && lt.Kind != types.Pointer {
+			p.errorf(op.Pos, "invalid operand type %s for %s", lt, op.Kind)
+		}
+	}
+	a := &ast.Assign{Op: op.Kind, LHS: lhs, RHS: rhs}
+	a.P = op.Pos
+	a.T = lhs.Type()
+	return a
+}
+
+func (p *Parser) parseCondExpr() ast.Expr {
+	c := p.parseBinaryExpr(1)
+	if p.kind() != token.QUESTION {
+		return c
+	}
+	pos := p.next().Pos
+	p.checkScalar(c)
+	thenE := p.parseExpr()
+	p.expect(token.COLON)
+	elseE := p.parseCondExpr()
+	e := &ast.Cond{C: c, Then: thenE, Else: elseE}
+	e.P = pos
+	e.T = mergeCondTypes(thenE.Type(), elseE.Type())
+	return e
+}
+
+// mergeCondTypes picks the result type of a ?: expression.
+func mergeCondTypes(a, b *types.Type) *types.Type {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if a.IsArithmetic() && b.IsArithmetic() {
+		return arith(a, b)
+	}
+	if a.Decay().Kind == types.Pointer {
+		return a.Decay()
+	}
+	return b.Decay()
+}
+
+func (p *Parser) parseBinaryExpr(minPrec int) ast.Expr {
+	x := p.parseUnaryExpr()
+	for {
+		prec := binPrec(p.kind())
+		if prec < minPrec {
+			return x
+		}
+		op := p.next()
+		y := p.parseBinaryExpr(prec + 1)
+		x = p.typeBinary(op, x, y)
+	}
+}
+
+// arith returns the usual-arithmetic-conversion result of two types.
+func arith(a, b *types.Type) *types.Type {
+	rank := func(t *types.Type) int {
+		switch t.Kind {
+		case types.Double:
+			return 6
+		case types.Float:
+			return 5
+		case types.Long:
+			return 4
+		case types.Int, types.Enum:
+			return 3
+		case types.Short:
+			return 2
+		case types.Char:
+			return 1
+		}
+		return 3
+	}
+	hi := a
+	if rank(b) > rank(a) {
+		hi = b
+	}
+	if rank(hi) < 3 {
+		return types.IntType // integer promotion
+	}
+	return hi
+}
+
+func (p *Parser) typeBinary(op token.Token, x, y ast.Expr) ast.Expr {
+	e := &ast.Binary{Op: op.Kind, X: x, Y: y}
+	e.P = op.Pos
+	xt, yt := x.Type(), y.Type()
+	if xt == nil || yt == nil || xt.Kind == types.Invalid || yt.Kind == types.Invalid {
+		e.T = types.IntType
+		return e
+	}
+	dx, dy := xt.Decay(), yt.Decay()
+	switch op.Kind {
+	case token.LAND, token.LOR, token.EQL, token.NEQ,
+		token.LSS, token.GTR, token.LEQ, token.GEQ:
+		if !dx.IsScalar() || !dy.IsScalar() {
+			p.errorf(op.Pos, "invalid operands to %s (%s and %s)", op.Kind, xt, yt)
+		}
+		e.T = types.IntType
+	case token.ADD:
+		switch {
+		case dx.Kind == types.Pointer && dy.IsInteger():
+			e.T = dx
+		case dy.Kind == types.Pointer && dx.IsInteger():
+			e.T = dy
+		case dx.IsArithmetic() && dy.IsArithmetic():
+			e.T = arith(dx, dy)
+		default:
+			p.errorf(op.Pos, "invalid operands to + (%s and %s)", xt, yt)
+			e.T = types.IntType
+		}
+	case token.SUB:
+		switch {
+		case dx.Kind == types.Pointer && dy.Kind == types.Pointer:
+			e.T = types.LongType
+		case dx.Kind == types.Pointer && dy.IsInteger():
+			e.T = dx
+		case dx.IsArithmetic() && dy.IsArithmetic():
+			e.T = arith(dx, dy)
+		default:
+			p.errorf(op.Pos, "invalid operands to - (%s and %s)", xt, yt)
+			e.T = types.IntType
+		}
+	case token.MUL, token.QUO:
+		if !dx.IsArithmetic() || !dy.IsArithmetic() {
+			p.errorf(op.Pos, "invalid operands to %s (%s and %s)", op.Kind, xt, yt)
+			e.T = types.IntType
+		} else {
+			e.T = arith(dx, dy)
+		}
+	case token.REM, token.AND, token.OR, token.XOR, token.SHL, token.SHR:
+		if !dx.IsInteger() || !dy.IsInteger() {
+			p.errorf(op.Pos, "invalid operands to %s (%s and %s)", op.Kind, xt, yt)
+		}
+		e.T = arith(dx, dy)
+		if !e.T.IsInteger() {
+			e.T = types.IntType
+		}
+	default:
+		e.T = types.IntType
+	}
+	return e
+}
+
+func (p *Parser) parseUnaryExpr() ast.Expr {
+	pos := p.pos()
+	switch p.kind() {
+	case token.AND:
+		p.next()
+		x := p.parseUnaryExpr()
+		p.checkAddressable(x)
+		p.markAddrTaken(x)
+		e := &ast.Unary{Op: token.AND, X: x}
+		e.P = pos
+		if xt := x.Type(); xt != nil {
+			e.T = types.PointerTo(xt)
+		}
+		return e
+
+	case token.MUL:
+		p.next()
+		x := p.parseUnaryExpr()
+		e := &ast.Unary{Op: token.MUL, X: x}
+		e.P = pos
+		if xt := x.Type(); xt != nil {
+			d := xt.Decay()
+			if d.Kind != types.Pointer {
+				if xt.Kind != types.Invalid {
+					p.errorf(pos, "cannot dereference non-pointer type %s", xt)
+				}
+				e.T = types.IntType
+			} else {
+				e.T = d.Elem
+			}
+		}
+		return e
+
+	case token.ADD:
+		p.next()
+		return p.parseUnaryExpr() // unary plus is a no-op
+
+	case token.SUB, token.NOT, token.TILDE:
+		op := p.next()
+		x := p.parseUnaryExpr()
+		e := &ast.Unary{Op: op.Kind, X: x}
+		e.P = pos
+		switch op.Kind {
+		case token.NOT:
+			e.T = types.IntType
+		default:
+			if xt := x.Type(); xt != nil && xt.IsArithmetic() {
+				e.T = arith(xt, types.IntType)
+			} else {
+				e.T = types.IntType
+			}
+		}
+		return e
+
+	case token.INC, token.DEC:
+		op := p.next()
+		x := p.parseUnaryExpr()
+		p.checkLvalue(x)
+		e := &ast.Unary{Op: op.Kind, X: x}
+		e.P = pos
+		e.T = x.Type()
+		return e
+
+	case token.SIZEOF:
+		p.next()
+		var sz int
+		if p.kind() == token.LPAREN && p.isTypeStartAt(p.i+1) {
+			p.next()
+			t := p.parseTypeName()
+			p.expect(token.RPAREN)
+			sz = t.Size()
+		} else {
+			x := p.parseUnaryExpr()
+			if xt := x.Type(); xt != nil {
+				sz = xt.Size()
+			}
+		}
+		e := &ast.IntLit{Val: int64(sz)}
+		e.P = pos
+		e.T = types.LongType
+		return e
+
+	case token.LPAREN:
+		// Cast expression?
+		if p.isTypeStartAt(p.i + 1) {
+			p.next()
+			t := p.parseTypeName()
+			p.expect(token.RPAREN)
+			x := p.parseUnaryExpr()
+			e := &ast.Cast{X: x}
+			e.P = pos
+			e.T = t
+			return e
+		}
+	}
+	return p.parsePostfixExpr()
+}
+
+// isTypeStartAt reports whether the token at index i begins a type name.
+func (p *Parser) isTypeStartAt(i int) bool {
+	if i >= len(p.toks) {
+		return false
+	}
+	switch p.toks[i].Kind {
+	case token.VOID, token.CHAR, token.SHORT, token.INT, token.LONG,
+		token.FLOAT, token.DOUBLE, token.SIGNED, token.UNSIGNED,
+		token.STRUCT, token.UNION, token.ENUM, token.CONST, token.VOLATILE:
+		return true
+	case token.IDENT:
+		obj := p.cur.lookup(p.toks[i].Text)
+		return obj != nil && obj.Kind == ast.TypedefName
+	}
+	return false
+}
+
+// parseTypeName parses a type-name (for casts and sizeof): declaration
+// specifiers followed by an abstract declarator.
+func (p *Parser) parseTypeName() *types.Type {
+	base, _, ok := p.parseDeclSpecifiers()
+	if !ok {
+		p.errorf(p.pos(), "expected type name")
+		return types.IntType
+	}
+	name, t, npos := p.parseDeclarator(base)
+	if name != "" {
+		p.errorf(npos, "unexpected identifier %s in type name", name)
+	}
+	return t
+}
+
+func (p *Parser) parsePostfixExpr() ast.Expr {
+	x := p.parsePrimaryExpr()
+	for {
+		pos := p.pos()
+		switch p.kind() {
+		case token.LBRACK:
+			p.next()
+			idx := p.parseExpr()
+			p.expect(token.RBRACK)
+			e := &ast.Index{X: x, I: idx}
+			e.P = pos
+			if xt := x.Type(); xt != nil {
+				d := xt.Decay()
+				if d.Kind != types.Pointer {
+					if xt.Kind != types.Invalid {
+						p.errorf(pos, "cannot index non-array type %s", xt)
+					}
+					e.T = types.IntType
+				} else {
+					e.T = d.Elem
+				}
+			}
+			if it := idx.Type(); it != nil && !it.IsInteger() && it.Kind != types.Invalid {
+				p.errorf(idx.Pos(), "array index must have integer type, got %s", it)
+			}
+			x = e
+
+		case token.LPAREN:
+			x = p.parseCall(x, pos)
+
+		case token.DOT, token.ARROW:
+			arrow := p.next().Kind == token.ARROW
+			nameTok := p.expect(token.IDENT)
+			e := &ast.Member{X: x, Name: nameTok.Text, Arrow: arrow}
+			e.P = pos
+			st := x.Type()
+			if st != nil {
+				if arrow {
+					d := st.Decay()
+					if d.Kind != types.Pointer {
+						p.errorf(pos, "-> applied to non-pointer type %s", st)
+						st = nil
+					} else {
+						st = d.Elem
+					}
+				}
+			}
+			if st != nil {
+				if !st.IsAggregate() {
+					if st.Kind != types.Invalid {
+						p.errorf(pos, "member access on non-struct type %s", st)
+					}
+					e.T = types.IntType
+				} else if f := st.FieldByName(nameTok.Text); f != nil {
+					e.Field = f
+					e.T = f.Type
+				} else {
+					p.errorf(pos, "%s has no member named %s", st, nameTok.Text)
+					e.T = types.IntType
+				}
+			}
+			x = e
+
+		case token.INC, token.DEC:
+			op := p.next()
+			p.checkLvalue(x)
+			e := &ast.Postfix{Op: op.Kind, X: x}
+			e.P = pos
+			e.T = x.Type()
+			x = e
+
+		default:
+			return x
+		}
+	}
+}
+
+func (p *Parser) parseCall(fun ast.Expr, pos token.Pos) ast.Expr {
+	p.expect(token.LPAREN)
+	var args []ast.Expr
+	for p.kind() != token.RPAREN && p.kind() != token.EOF {
+		args = append(args, p.parseAssignExpr())
+		if !p.accept(token.COMMA) {
+			break
+		}
+	}
+	p.expect(token.RPAREN)
+
+	e := &ast.Call{Fun: fun, Args: args}
+	e.P = pos
+	ft := fun.Type()
+	if ft != nil {
+		switch {
+		case ft.Kind == types.Func:
+			e.T = ft.Ret
+		case ft.Kind == types.Pointer && ft.Elem.Kind == types.Func:
+			e.T = ft.Elem.Ret
+			ft = ft.Elem
+		default:
+			if ft.Kind != types.Invalid {
+				p.errorf(pos, "called object has non-function type %s", ft)
+			}
+			e.T = types.IntType
+			return e
+		}
+		// Check argument count/types against the prototype.
+		if len(ft.Params) > 0 || !ft.Variadic {
+			if len(args) < len(ft.Params) {
+				p.errorf(pos, "too few arguments: have %d, want %d", len(args), len(ft.Params))
+			} else if len(args) > len(ft.Params) && !ft.Variadic && len(ft.Params) > 0 {
+				p.errorf(pos, "too many arguments: have %d, want %d", len(args), len(ft.Params))
+			}
+		}
+		for i, a := range args {
+			if i < len(ft.Params) {
+				if at := a.Type(); at != nil && at.Kind != types.Invalid &&
+					!types.Compatible(ft.Params[i], at) {
+					p.errorf(a.Pos(), "argument %d: cannot pass %s as %s", i+1, at, ft.Params[i])
+				}
+			}
+		}
+	}
+	return e
+}
+
+func (p *Parser) parsePrimaryExpr() ast.Expr {
+	pos := p.pos()
+	switch p.kind() {
+	case token.IDENT:
+		t := p.next()
+		obj := p.cur.lookup(t.Text)
+		if obj == nil {
+			p.errorf(pos, "undeclared identifier %s", t.Text)
+			obj = &ast.Object{Name: t.Text, Kind: ast.Var, Type: types.IntType, Pos: pos}
+			p.cur.objects[t.Text] = obj
+		}
+		switch obj.Kind {
+		case ast.TypedefName:
+			p.errorf(pos, "unexpected type name %s in expression", t.Text)
+		case ast.EnumConst:
+			e := &ast.IntLit{Val: obj.EnumVal}
+			e.P = pos
+			e.T = types.IntType
+			return e
+		case ast.FuncObj:
+			// A function name used anywhere except as the callee of a
+			// direct call counts as address-taken (it decays to a
+			// function pointer). Direct calls look like IDENT '('.
+			if p.kind() != token.LPAREN {
+				obj.AddrTaken = true
+			}
+		}
+		e := &ast.Ident{Obj: obj}
+		e.P = pos
+		e.T = obj.Type
+		return e
+
+	case token.INTLIT:
+		t := p.next()
+		v, err := parseIntLit(t.Text)
+		if err != nil {
+			p.errorf(pos, "bad integer literal %q: %v", t.Text, err)
+		}
+		e := &ast.IntLit{Val: v}
+		e.P = pos
+		e.T = types.IntType
+		return e
+
+	case token.FLOATLIT:
+		t := p.next()
+		text := stripFloatSuffix(t.Text)
+		v, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			p.errorf(pos, "bad float literal %q: %v", t.Text, err)
+		}
+		e := &ast.FloatLit{Val: v}
+		e.P = pos
+		e.T = types.DoubleType
+		return e
+
+	case token.CHARLIT:
+		t := p.next()
+		e := &ast.IntLit{Val: int64(t.Text[0])}
+		e.P = pos
+		e.T = types.CharType
+		return e
+
+	case token.STRINGLIT:
+		t := p.next()
+		e := &ast.StringLit{Val: t.Text}
+		e.P = pos
+		e.T = types.PointerTo(types.CharType)
+		return e
+
+	case token.LPAREN:
+		p.next()
+		e := p.parseExpr()
+		p.expect(token.RPAREN)
+		return e
+	}
+
+	p.errorf(pos, "expected expression, found %s", p.tok())
+	p.next()
+	e := &ast.IntLit{}
+	e.P = pos
+	e.T = types.IntType
+	return e
+}
+
+func parseIntLit(s string) (int64, error) {
+	s = stripIntSuffix(s)
+	return strconv.ParseInt(s, 0, 64)
+}
+
+func stripIntSuffix(s string) string {
+	for len(s) > 0 {
+		switch s[len(s)-1] {
+		case 'u', 'U', 'l', 'L':
+			s = s[:len(s)-1]
+			continue
+		}
+		break
+	}
+	return s
+}
+
+func stripFloatSuffix(s string) string {
+	for len(s) > 0 {
+		switch s[len(s)-1] {
+		case 'f', 'F', 'l', 'L':
+			s = s[:len(s)-1]
+			continue
+		}
+		break
+	}
+	return s
+}
+
+// checkLvalue reports an error when e cannot be assigned to.
+func (p *Parser) checkLvalue(e ast.Expr) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if e.Obj.Kind == ast.FuncObj || e.Obj.Kind == ast.EnumConst {
+			p.errorf(e.Pos(), "%s %s is not an lvalue", e.Obj.Kind, e.Obj.Name)
+		}
+		if t := e.Type(); t != nil && t.Kind == types.Array {
+			p.errorf(e.Pos(), "array %s is not assignable", e.Obj.Name)
+		}
+	case *ast.Index, *ast.Member:
+		// ok
+	case *ast.Unary:
+		if e.Op != token.MUL {
+			p.errorf(e.Pos(), "expression is not an lvalue")
+		}
+	default:
+		p.errorf(e.Pos(), "expression is not an lvalue")
+	}
+}
+
+// checkAddressable reports an error when &e is invalid.
+func (p *Parser) checkAddressable(e ast.Expr) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		// Variables and functions are addressable.
+		if e.Obj.Kind == ast.EnumConst {
+			p.errorf(e.Pos(), "cannot take the address of enum constant %s", e.Obj.Name)
+		}
+	case *ast.Index, *ast.Member:
+		// ok
+	case *ast.Unary:
+		if e.Op != token.MUL {
+			p.errorf(e.Pos(), "cannot take the address of this expression")
+		}
+	default:
+		p.errorf(e.Pos(), "cannot take the address of this expression")
+	}
+}
+
+// markAddrTaken records that &x was applied to a variable or function.
+func (p *Parser) markAddrTaken(e ast.Expr) {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			x.Obj.AddrTaken = true
+			return
+		case *ast.Index:
+			e = x.X
+		case *ast.Member:
+			if x.Arrow {
+				return // address is inside the pointed-to object
+			}
+			e = x.X
+		default:
+			return
+		}
+	}
+}
+
+// foldConst evaluates an integer constant expression.
+func foldConst(e ast.Expr) (int64, bool) {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return e.Val, true
+	case *ast.Unary:
+		v, ok := foldConst(e.X)
+		if !ok {
+			return 0, false
+		}
+		switch e.Op {
+		case token.SUB:
+			return -v, true
+		case token.NOT:
+			if v == 0 {
+				return 1, true
+			}
+			return 0, true
+		case token.TILDE:
+			return ^v, true
+		}
+	case *ast.Binary:
+		x, ok1 := foldConst(e.X)
+		y, ok2 := foldConst(e.Y)
+		if !ok1 || !ok2 {
+			return 0, false
+		}
+		b2i := func(b bool) int64 {
+			if b {
+				return 1
+			}
+			return 0
+		}
+		switch e.Op {
+		case token.ADD:
+			return x + y, true
+		case token.SUB:
+			return x - y, true
+		case token.MUL:
+			return x * y, true
+		case token.QUO:
+			if y == 0 {
+				return 0, false
+			}
+			return x / y, true
+		case token.REM:
+			if y == 0 {
+				return 0, false
+			}
+			return x % y, true
+		case token.SHL:
+			if y < 0 || y > 62 {
+				return 0, false
+			}
+			return x << uint(y), true
+		case token.SHR:
+			if y < 0 || y > 62 {
+				return 0, false
+			}
+			return x >> uint(y), true
+		case token.AND:
+			return x & y, true
+		case token.OR:
+			return x | y, true
+		case token.XOR:
+			return x ^ y, true
+		case token.EQL:
+			return b2i(x == y), true
+		case token.NEQ:
+			return b2i(x != y), true
+		case token.LSS:
+			return b2i(x < y), true
+		case token.GTR:
+			return b2i(x > y), true
+		case token.LEQ:
+			return b2i(x <= y), true
+		case token.GEQ:
+			return b2i(x >= y), true
+		case token.LAND:
+			return b2i(x != 0 && y != 0), true
+		case token.LOR:
+			return b2i(x != 0 || y != 0), true
+		}
+	case *ast.Cast:
+		return foldConst(e.X)
+	}
+	return 0, false
+}

@@ -1,0 +1,369 @@
+// Package types implements the semantic type system of the C subset: basic
+// arithmetic types, pointers, arrays, structs/unions, enums and function
+// types, with the operations the simplifier and points-to analysis need
+// (pointer depth, field enumeration, compatibility).
+package types
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind discriminates Type.
+type Kind int
+
+// Type kinds.
+const (
+	Invalid Kind = iota
+	Void
+	Char
+	Short
+	Int
+	Long
+	Float
+	Double
+	Pointer
+	Array
+	Struct
+	Union
+	Enum
+	Func
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Invalid:
+		return "invalid"
+	case Void:
+		return "void"
+	case Char:
+		return "char"
+	case Short:
+		return "short"
+	case Int:
+		return "int"
+	case Long:
+		return "long"
+	case Float:
+		return "float"
+	case Double:
+		return "double"
+	case Pointer:
+		return "pointer"
+	case Array:
+		return "array"
+	case Struct:
+		return "struct"
+	case Union:
+		return "union"
+	case Enum:
+		return "enum"
+	case Func:
+		return "func"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Field is one member of a struct or union.
+type Field struct {
+	Name string
+	Type *Type
+}
+
+// Type is a semantic C type. Types are mutable only during construction;
+// after Sema completes they are treated as immutable.
+type Type struct {
+	Kind     Kind
+	Unsigned bool // for integer kinds
+
+	Elem *Type // Pointer: pointee; Array: element
+	Len  int   // Array: element count (-1 if unknown, e.g. extern or param)
+
+	Tag    string   // Struct/Union/Enum tag ("" if anonymous)
+	Fields []*Field // Struct/Union members (nil until completed)
+	Done   bool     // Struct/Union definition completed
+
+	Ret      *Type   // Func: return type
+	Params   []*Type // Func: parameter types
+	Variadic bool    // Func: declared with ...
+}
+
+// Singleton basic types. These are shared; never mutate them.
+var (
+	VoidType   = &Type{Kind: Void}
+	CharType   = &Type{Kind: Char}
+	ShortType  = &Type{Kind: Short}
+	IntType    = &Type{Kind: Int}
+	LongType   = &Type{Kind: Long}
+	UCharType  = &Type{Kind: Char, Unsigned: true}
+	UShortType = &Type{Kind: Short, Unsigned: true}
+	UIntType   = &Type{Kind: Int, Unsigned: true}
+	ULongType  = &Type{Kind: Long, Unsigned: true}
+	FloatType  = &Type{Kind: Float}
+	DoubleType = &Type{Kind: Double}
+)
+
+// PointerTo returns a pointer type to elem.
+func PointerTo(elem *Type) *Type { return &Type{Kind: Pointer, Elem: elem} }
+
+// ArrayOf returns an array type of n elems (n == -1 means unknown length).
+func ArrayOf(elem *Type, n int) *Type { return &Type{Kind: Array, Elem: elem, Len: n} }
+
+// FuncType returns a function type.
+func FuncType(ret *Type, params []*Type, variadic bool) *Type {
+	return &Type{Kind: Func, Ret: ret, Params: params, Variadic: variadic}
+}
+
+// IsInteger reports whether t is an integer (or enum) type.
+func (t *Type) IsInteger() bool {
+	switch t.Kind {
+	case Char, Short, Int, Long, Enum:
+		return true
+	}
+	return false
+}
+
+// IsFloat reports whether t is a floating-point type.
+func (t *Type) IsFloat() bool { return t.Kind == Float || t.Kind == Double }
+
+// IsArithmetic reports whether t is arithmetic (integer or float).
+func (t *Type) IsArithmetic() bool { return t.IsInteger() || t.IsFloat() }
+
+// IsScalar reports whether t can appear in a condition (arithmetic or
+// pointer, with arrays and functions decaying to pointers).
+func (t *Type) IsScalar() bool {
+	return t.IsArithmetic() || t.Kind == Pointer || t.Kind == Array || t.Kind == Func
+}
+
+// IsPointerLike reports whether a value of type t holds an address after the
+// usual decay: pointers themselves, plus arrays and functions in rvalue
+// position.
+func (t *Type) IsPointerLike() bool {
+	return t.Kind == Pointer || t.Kind == Array || t.Kind == Func
+}
+
+// IsAggregate reports whether t is a struct or union.
+func (t *Type) IsAggregate() bool { return t.Kind == Struct || t.Kind == Union }
+
+// IsFuncPointer reports whether t is a pointer to a function.
+func (t *Type) IsFuncPointer() bool {
+	return t.Kind == Pointer && t.Elem != nil && t.Elem.Kind == Func
+}
+
+// Decay returns the type after array-to-pointer and function-to-pointer
+// decay; other types are returned unchanged.
+func (t *Type) Decay() *Type {
+	switch t.Kind {
+	case Array:
+		return PointerTo(t.Elem)
+	case Func:
+		return PointerTo(t)
+	}
+	return t
+}
+
+// PointerDepth returns the number of pointer levels of t. Arrays of pointers
+// count their element depth; non-pointers have depth 0. A function pointer
+// contributes one level (its pointee is code, not data).
+func (t *Type) PointerDepth() int {
+	switch t.Kind {
+	case Pointer:
+		if t.Elem.Kind == Func {
+			return 1
+		}
+		return 1 + t.Elem.PointerDepth()
+	case Array:
+		return t.Elem.PointerDepth()
+	}
+	return 0
+}
+
+// FieldByName returns the field with the given name, or nil.
+func (t *Type) FieldByName(name string) *Field {
+	if !t.IsAggregate() {
+		return nil
+	}
+	for _, f := range t.Fields {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// HasPointers reports whether a value of type t can contain a pointer
+// (directly or inside aggregate members or array elements). This is used to
+// decide which locations the points-to analysis must model.
+func (t *Type) HasPointers() bool { return t.hasPointers(make(map[*Type]bool)) }
+
+func (t *Type) hasPointers(seen map[*Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch t.Kind {
+	case Pointer:
+		return true
+	case Array:
+		return t.Elem.hasPointers(seen)
+	case Struct, Union:
+		for _, f := range t.Fields {
+			if f.Type.hasPointers(seen) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Size returns a byte size for the type under the analysis's simple model
+// (char 1, short 2, int/float/enum 4, long/double/pointer 8). It exists so
+// sizeof can be constant-folded; the points-to analysis itself never depends
+// on layout.
+func (t *Type) Size() int {
+	switch t.Kind {
+	case Void:
+		return 1
+	case Char:
+		return 1
+	case Short:
+		return 2
+	case Int, Enum, Float:
+		return 4
+	case Long, Double, Pointer:
+		return 8
+	case Array:
+		if t.Len < 0 {
+			return 8
+		}
+		return t.Len * t.Elem.Size()
+	case Struct:
+		n := 0
+		for _, f := range t.Fields {
+			n += f.Type.Size()
+		}
+		if n == 0 {
+			n = 1
+		}
+		return n
+	case Union:
+		n := 1
+		for _, f := range t.Fields {
+			if s := f.Type.Size(); s > n {
+				n = s
+			}
+		}
+		return n
+	case Func:
+		return 8
+	}
+	return 1
+}
+
+// Compatible reports whether two types are compatible for assignment
+// purposes in the loose sense the analysis needs (C's actual rules are far
+// stricter; the points-to analysis is conservative about casts anyway).
+func Compatible(a, b *Type) bool {
+	if a == nil || b == nil {
+		return false
+	}
+	a, b = a.Decay(), b.Decay()
+	if a.IsArithmetic() && b.IsArithmetic() {
+		return true
+	}
+	if a.Kind == Pointer && b.Kind == Pointer {
+		return true // void* conversions, casts: accept all pointer pairs
+	}
+	if a.Kind == Pointer && b.IsInteger() || b.Kind == Pointer && a.IsInteger() {
+		return true // NULL constants and int/pointer casts
+	}
+	if a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case Struct, Union:
+		return a == b || (a.Tag != "" && a.Tag == b.Tag)
+	case Func:
+		return true
+	case Void:
+		return true
+	}
+	return true
+}
+
+// String renders the type in a C-like syntax.
+func (t *Type) String() string {
+	if t == nil {
+		return "<nil>"
+	}
+	switch t.Kind {
+	case Invalid:
+		return "invalid"
+	case Void, Float, Double:
+		return t.Kind.String()
+	case Char, Short, Int, Long:
+		if t.Unsigned {
+			return "unsigned " + t.Kind.String()
+		}
+		return t.Kind.String()
+	case Pointer:
+		if t.Elem.Kind == Func {
+			return t.Elem.funcString("(*)")
+		}
+		return t.Elem.String() + "*"
+	case Array:
+		// C array types read outermost-first: int[2][3] is array 2 of
+		// array 3 of int.
+		elem := t
+		dims := ""
+		for elem.Kind == Array {
+			if elem.Len < 0 {
+				dims += "[]"
+			} else {
+				dims += fmt.Sprintf("[%d]", elem.Len)
+			}
+			elem = elem.Elem
+		}
+		return elem.String() + dims
+	case Struct:
+		if t.Tag != "" {
+			return "struct " + t.Tag
+		}
+		return "struct <anon>"
+	case Union:
+		if t.Tag != "" {
+			return "union " + t.Tag
+		}
+		return "union <anon>"
+	case Enum:
+		if t.Tag != "" {
+			return "enum " + t.Tag
+		}
+		return "enum <anon>"
+	case Func:
+		return t.funcString("")
+	}
+	return "?"
+}
+
+func (t *Type) funcString(name string) string {
+	var sb strings.Builder
+	sb.WriteString(t.Ret.String())
+	sb.WriteString(" ")
+	sb.WriteString(name)
+	sb.WriteString("(")
+	for i, p := range t.Params {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(p.String())
+	}
+	if t.Variadic {
+		if len(t.Params) > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString("...")
+	}
+	sb.WriteString(")")
+	return sb.String()
+}

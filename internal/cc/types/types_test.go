@@ -1,0 +1,179 @@
+package types
+
+import "testing"
+
+func TestPredicates(t *testing.T) {
+	if !IntType.IsInteger() || !CharType.IsInteger() || !LongType.IsInteger() {
+		t.Error("integer kinds misclassified")
+	}
+	if !FloatType.IsFloat() || !DoubleType.IsFloat() {
+		t.Error("float kinds misclassified")
+	}
+	if VoidType.IsArithmetic() {
+		t.Error("void is not arithmetic")
+	}
+	p := PointerTo(IntType)
+	if !p.IsScalar() || p.IsArithmetic() {
+		t.Error("pointer scalar classification wrong")
+	}
+	a := ArrayOf(IntType, 3)
+	if !a.IsPointerLike() {
+		t.Error("arrays decay to pointers")
+	}
+}
+
+func TestDecay(t *testing.T) {
+	a := ArrayOf(IntType, 5)
+	d := a.Decay()
+	if d.Kind != Pointer || d.Elem != IntType {
+		t.Errorf("array decay = %s", d)
+	}
+	f := FuncType(IntType, nil, false)
+	if f.Decay().Kind != Pointer || f.Decay().Elem != f {
+		t.Errorf("function decay = %s", f.Decay())
+	}
+	if IntType.Decay() != IntType {
+		t.Error("scalar decay should be identity")
+	}
+}
+
+func TestPointerDepth(t *testing.T) {
+	if d := IntType.PointerDepth(); d != 0 {
+		t.Errorf("int depth = %d", d)
+	}
+	if d := PointerTo(IntType).PointerDepth(); d != 1 {
+		t.Errorf("int* depth = %d", d)
+	}
+	if d := PointerTo(PointerTo(IntType)).PointerDepth(); d != 2 {
+		t.Errorf("int** depth = %d", d)
+	}
+	fp := PointerTo(FuncType(IntType, nil, false))
+	if d := fp.PointerDepth(); d != 1 {
+		t.Errorf("function pointer depth = %d (code is opaque)", d)
+	}
+	arr := ArrayOf(PointerTo(IntType), 4)
+	if d := arr.PointerDepth(); d != 1 {
+		t.Errorf("int*[4] depth = %d", d)
+	}
+}
+
+func TestHasPointers(t *testing.T) {
+	if IntType.HasPointers() {
+		t.Error("int has no pointers")
+	}
+	if !PointerTo(IntType).HasPointers() {
+		t.Error("int* has a pointer")
+	}
+	st := &Type{Kind: Struct, Fields: []*Field{
+		{Name: "n", Type: IntType},
+		{Name: "p", Type: PointerTo(CharType)},
+	}}
+	if !st.HasPointers() {
+		t.Error("struct with pointer field has pointers")
+	}
+	arr := ArrayOf(st, 3)
+	if !arr.HasPointers() {
+		t.Error("array of pointer-bearing structs has pointers")
+	}
+	// Recursive struct terminates.
+	node := &Type{Kind: Struct, Tag: "node"}
+	node.Fields = []*Field{{Name: "next", Type: PointerTo(node)}}
+	if !node.HasPointers() {
+		t.Error("recursive struct has pointers")
+	}
+}
+
+func TestIsFuncPointer(t *testing.T) {
+	f := FuncType(VoidType, []*Type{IntType}, false)
+	if !PointerTo(f).IsFuncPointer() {
+		t.Error("pointer-to-func misclassified")
+	}
+	if PointerTo(IntType).IsFuncPointer() {
+		t.Error("int* is not a function pointer")
+	}
+}
+
+func TestSizes(t *testing.T) {
+	cases := []struct {
+		t    *Type
+		want int
+	}{
+		{CharType, 1},
+		{ShortType, 2},
+		{IntType, 4},
+		{LongType, 8},
+		{DoubleType, 8},
+		{PointerTo(IntType), 8},
+		{ArrayOf(IntType, 10), 40},
+	}
+	for _, c := range cases {
+		if got := c.t.Size(); got != c.want {
+			t.Errorf("sizeof(%s) = %d, want %d", c.t, got, c.want)
+		}
+	}
+	st := &Type{Kind: Struct, Fields: []*Field{
+		{Name: "a", Type: IntType},
+		{Name: "b", Type: DoubleType},
+	}}
+	if st.Size() != 12 {
+		t.Errorf("struct size = %d, want 12 (packed model)", st.Size())
+	}
+	un := &Type{Kind: Union, Fields: st.Fields}
+	if un.Size() != 8 {
+		t.Errorf("union size = %d, want 8", un.Size())
+	}
+}
+
+func TestCompatible(t *testing.T) {
+	if !Compatible(IntType, DoubleType) {
+		t.Error("arithmetic types are assignment-compatible")
+	}
+	if !Compatible(PointerTo(IntType), PointerTo(VoidType)) {
+		t.Error("pointer conversions accepted")
+	}
+	if !Compatible(PointerTo(IntType), IntType) {
+		t.Error("int/pointer (NULL constants) accepted")
+	}
+	s1 := &Type{Kind: Struct, Tag: "a"}
+	s2 := &Type{Kind: Struct, Tag: "b"}
+	if Compatible(s1, s2) {
+		t.Error("distinct struct tags are incompatible")
+	}
+	if !Compatible(s1, s1) {
+		t.Error("a struct is compatible with itself")
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		t    *Type
+		want string
+	}{
+		{PointerTo(IntType), "int*"},
+		{ArrayOf(IntType, 3), "int[3]"},
+		{PointerTo(PointerTo(CharType)), "char**"},
+		{UIntType, "unsigned int"},
+		{PointerTo(FuncType(IntType, []*Type{IntType}, false)), "int (*)(int)"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestFieldByName(t *testing.T) {
+	st := &Type{Kind: Struct, Fields: []*Field{
+		{Name: "x", Type: IntType},
+		{Name: "y", Type: DoubleType},
+	}}
+	if f := st.FieldByName("y"); f == nil || f.Type != DoubleType {
+		t.Error("FieldByName(y) wrong")
+	}
+	if st.FieldByName("z") != nil {
+		t.Error("missing field should return nil")
+	}
+	if IntType.FieldByName("x") != nil {
+		t.Error("non-aggregate has no fields")
+	}
+}

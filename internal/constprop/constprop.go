@@ -1,0 +1,561 @@
+// Package constprop implements a generalized constant propagation built on
+// the points-to analysis, in the spirit of the framework client the paper
+// describes in §6.1 (Hendren, Emami, Ghiya & Verbrugge: "a practical
+// context-sensitive interprocedural analysis framework"): the points-to
+// results let the propagator see through pointer loads and stores — a store
+// through a definitely-known pointer updates exactly one location, a load
+// through a pointer reads the meet of its possible targets — and the
+// invocation graph supplies the call structure.
+//
+// The value domain is the classic three-level lattice per abstract
+// location: unknown (top), a single integer constant, or not-a-constant
+// (bottom).
+package constprop
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cc/ast"
+	"repro/internal/cc/token"
+	"repro/internal/modref"
+	"repro/internal/pta"
+	"repro/internal/pta/invgraph"
+	"repro/internal/pta/loc"
+	"repro/internal/pta/ptset"
+	"repro/internal/simple"
+)
+
+// Value is a lattice element.
+type Value struct {
+	Kind ValueKind
+	C    int64 // Kind == Const
+}
+
+// ValueKind discriminates Value.
+type ValueKind int
+
+// Lattice levels.
+const (
+	Top    ValueKind = iota // no information yet / unreachable
+	Const                   // exactly this constant
+	Bottom                  // not a constant
+)
+
+func (v Value) String() string {
+	switch v.Kind {
+	case Top:
+		return "⊤"
+	case Const:
+		return fmt.Sprintf("%d", v.C)
+	}
+	return "⊥"
+}
+
+func top() Value          { return Value{Kind: Top} }
+func bottom() Value       { return Value{Kind: Bottom} }
+func konst(c int64) Value { return Value{Kind: Const, C: c} }
+
+// meet combines two lattice values.
+func meet(a, b Value) Value {
+	switch {
+	case a.Kind == Top:
+		return b
+	case b.Kind == Top:
+		return a
+	case a.Kind == Const && b.Kind == Const && a.C == b.C:
+		return a
+	}
+	return bottom()
+}
+
+// env maps abstract locations to lattice values. Missing entries are Top.
+type env map[*loc.Location]Value
+
+func (e env) get(l *loc.Location) Value {
+	if v, ok := e[l]; ok {
+		return v
+	}
+	return top()
+}
+
+func (e env) set(l *loc.Location, v Value) {
+	if v.Kind == Top {
+		delete(e, l)
+		return
+	}
+	e[l] = v
+}
+
+func (e env) clone() env {
+	n := make(env, len(e))
+	for k, v := range e {
+		n[k] = v
+	}
+	return n
+}
+
+// meetEnv joins two environments in place into a fresh env: a location
+// missing on one side is Top there, so the meet keeps the other side's
+// value only if equal — conservatively we must treat "missing" as unknown
+// along that path, which for soundness of *constants* means bottom unless
+// both sides agree. We instead keep the meet with Top = identity, which is
+// the standard optimistic treatment for a forward analysis with reachable
+// paths only.
+func meetEnv(a, b env) env {
+	out := make(env)
+	for k, va := range a {
+		out.set(k, meet(va, b.get(k)))
+	}
+	for k, vb := range b {
+		if _, ok := a[k]; !ok {
+			out.set(k, vb)
+		}
+	}
+	return out
+}
+
+func equalEnv(a, b env) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Finding is one statement whose right-hand side evaluates to a constant.
+type Finding struct {
+	Stmt  *simple.Basic
+	Value int64
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: `%s` = %d", f.Stmt.Pos, f.Stmt, f.Value)
+}
+
+// Result is the outcome of constant propagation.
+type Result struct {
+	// Constants lists statements whose computed value is a known
+	// constant, in program order.
+	Constants []Finding
+	// PerFunction counts constant statements per function.
+	PerFunction map[string]int
+}
+
+// propagator runs the analysis over one program using a completed points-to
+// result.
+type propagator struct {
+	res   *pta.Result
+	tab   *loc.Table
+	found map[*simple.Basic]Value
+
+	// mod and node, when set, sharpen call handling: instead of
+	// invalidating everything reachable, only the call's interprocedural
+	// MOD set (translated to this context) is invalidated.
+	mod  *modref.Result
+	node *invgraph.Node
+}
+
+// Run performs constant propagation over every function, using the
+// points-to annotations to interpret loads and stores through pointers.
+// Each function is analyzed with an optimistic entry environment for
+// globals derived from the global initializers when the function is main,
+// and Top (unknown) otherwise — a sound, simple policy. Calls invalidate
+// everything reachable from their arguments and the globals.
+func Run(res *pta.Result) *Result {
+	p := &propagator{res: res, tab: res.Table, found: make(map[*simple.Basic]Value)}
+	for _, fn := range res.Prog.Functions {
+		entry := make(env)
+		if fn == res.Prog.Main() && res.Prog.GlobalInit != nil {
+			p.processSeq(res.Prog.GlobalInit, entry)
+		}
+		p.processSeq(fn.Body, entry)
+	}
+	return p.assemble()
+}
+
+// RunWithMod performs constant propagation per invocation-graph node, using
+// interprocedural MOD sets at call sites: a call only invalidates the
+// locations its resolved callees may actually write — the generalized,
+// framework-backed variant §6.1 points at.
+func RunWithMod(res *pta.Result, mod *modref.Result) *Result {
+	p := &propagator{res: res, tab: res.Table, found: make(map[*simple.Basic]Value), mod: mod}
+	res.Graph.Walk(func(n *invgraph.Node) {
+		if n.Kind == invgraph.Approximate {
+			return
+		}
+		p.node = n
+		entry := make(env)
+		if n.Fn == res.Prog.Main() && res.Prog.GlobalInit != nil {
+			p.processSeq(res.Prog.GlobalInit, entry)
+		}
+		p.processSeq(n.Fn.Body, entry)
+	})
+	p.node = nil
+	return p.assemble()
+}
+
+func (p *propagator) assemble() *Result {
+	out := &Result{PerFunction: make(map[string]int)}
+	for b, v := range p.found {
+		if v.Kind == Const {
+			out.Constants = append(out.Constants, Finding{Stmt: b, Value: v.C})
+		}
+	}
+	sort.Slice(out.Constants, func(i, j int) bool {
+		return out.Constants[i].Stmt.ID < out.Constants[j].Stmt.ID
+	})
+	for _, f := range out.Constants {
+		fnName := p.enclosingFunc(f.Stmt)
+		out.PerFunction[fnName]++
+	}
+	return out
+}
+
+func (p *propagator) enclosingFunc(b *simple.Basic) string {
+	for _, fn := range p.res.Prog.Functions {
+		found := false
+		simple.WalkStmts(fn.Body, func(s simple.Stmt) {
+			if s == b {
+				found = true
+			}
+		})
+		if found {
+			return fn.Name()
+		}
+	}
+	return "<global init>"
+}
+
+// record meets a statement's computed value into the result map (a
+// statement visited along several paths or iterations keeps the meet).
+func (p *propagator) record(b *simple.Basic, v Value) {
+	if old, ok := p.found[b]; ok {
+		p.found[b] = meet(old, v)
+		return
+	}
+	p.found[b] = v
+}
+
+// locsOfRef returns the locations a reference denotes under the statement's
+// points-to annotation, with definiteness.
+func (p *propagator) locsOfRef(b *simple.Basic, r *simple.Ref) []pta.BaseLoc {
+	if !r.Deref {
+		return pta.EvalBaseLocs(p.res, r)
+	}
+	in, ok := p.res.Annots.At(b)
+	if !ok {
+		return nil
+	}
+	return pta.EvalLLocs(p.res, r, in)
+}
+
+// evalOperand evaluates an operand in the current environment.
+func (p *propagator) evalOperand(b *simple.Basic, op simple.Operand, e env) Value {
+	switch op := op.(type) {
+	case *simple.ConstInt:
+		return konst(op.Val)
+	case *simple.ConstFloat, *simple.ConstString, *simple.ConstNull:
+		return bottom() // only integer constants are tracked
+	case *simple.Ref:
+		if op.Var.Kind == ast.FuncObj {
+			return bottom()
+		}
+		lls := p.locsOfRef(b, op)
+		if len(lls) == 0 {
+			return bottom()
+		}
+		v := top()
+		for _, l := range lls {
+			v = meet(v, e.get(l.Loc))
+		}
+		return v
+	}
+	return bottom()
+}
+
+// assign applies an assignment of value v to the reference's locations.
+func (p *propagator) assign(b *simple.Basic, lhs *simple.Ref, v Value, e env) {
+	lls := p.locsOfRef(b, lhs)
+	if len(lls) == 1 && lls[0].Def == ptset.D && !lls[0].Loc.Multi() {
+		e.set(lls[0].Loc, v) // strong update through a definite pointer
+		return
+	}
+	for _, l := range lls {
+		e.set(l.Loc, meet(e.get(l.Loc), v)) // weak update
+	}
+}
+
+// binop folds a binary operation over lattice values.
+func binop(op token.Kind, x, y Value) Value {
+	if x.Kind == Bottom || y.Kind == Bottom {
+		return bottom()
+	}
+	if x.Kind == Top || y.Kind == Top {
+		return top()
+	}
+	a, c := x.C, y.C
+	b2i := func(b bool) int64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	switch op {
+	case token.ADD:
+		return konst(a + c)
+	case token.SUB:
+		return konst(a - c)
+	case token.MUL:
+		return konst(a * c)
+	case token.QUO:
+		if c == 0 {
+			return bottom()
+		}
+		return konst(a / c)
+	case token.REM:
+		if c == 0 {
+			return bottom()
+		}
+		return konst(a % c)
+	case token.SHL:
+		return konst(a << (uint64(c) & 63))
+	case token.SHR:
+		return konst(a >> (uint64(c) & 63))
+	case token.AND:
+		return konst(a & c)
+	case token.OR:
+		return konst(a | c)
+	case token.XOR:
+		return konst(a ^ c)
+	case token.EQL:
+		return konst(b2i(a == c))
+	case token.NEQ:
+		return konst(b2i(a != c))
+	case token.LSS:
+		return konst(b2i(a < c))
+	case token.GTR:
+		return konst(b2i(a > c))
+	case token.LEQ:
+		return konst(b2i(a <= c))
+	case token.GEQ:
+		return konst(b2i(a >= c))
+	}
+	return bottom()
+}
+
+func unop(op token.Kind, x Value) Value {
+	if x.Kind != Const {
+		return x
+	}
+	switch op {
+	case token.SUB:
+		return konst(-x.C)
+	case token.TILDE:
+		return konst(^x.C)
+	case token.NOT:
+		if x.C == 0 {
+			return konst(1)
+		}
+		return konst(0)
+	}
+	return bottom()
+}
+
+// processBasic transforms the environment across one basic statement.
+func (p *propagator) processBasic(b *simple.Basic, e env) {
+	switch b.Kind {
+	case simple.AsgnCopy:
+		v := p.evalOperand(b, b.X, e)
+		p.record(b, v)
+		p.assign(b, b.LHS, v, e)
+
+	case simple.AsgnUnary:
+		v := unop(b.Op, p.evalOperand(b, b.X, e))
+		p.record(b, v)
+		p.assign(b, b.LHS, v, e)
+
+	case simple.AsgnBinary:
+		v := binop(b.Op, p.evalOperand(b, b.X, e), p.evalOperand(b, b.Y, e))
+		p.record(b, v)
+		p.assign(b, b.LHS, v, e)
+
+	case simple.AsgnAddr, simple.AsgnMalloc:
+		if b.LHS != nil {
+			p.assign(b, b.LHS, bottom(), e)
+		}
+
+	case simple.AsgnCall, simple.AsgnCallInd:
+		// A call may modify anything it can reach: every global and every
+		// location reachable from pointer arguments goes to bottom. The
+		// points-to annotation tells us what is reachable.
+		p.havocCall(b, e)
+	}
+}
+
+// havocCall invalidates the locations a call could write. With MOD
+// information available, exactly the call's interprocedural write set is
+// invalidated; otherwise everything reachable from the arguments and the
+// globals is.
+func (p *propagator) havocCall(b *simple.Basic, e env) {
+	if b.LHS != nil {
+		p.assign(b, b.LHS, bottom(), e)
+	}
+	if p.mod != nil && p.node != nil {
+		if locs, ok := p.mod.ModOfCall(p.node, b); ok {
+			for _, l := range locs {
+				e.set(l, bottom())
+			}
+			return
+		}
+		// External call: no stack effects beyond the LHS.
+		return
+	}
+	in, ok := p.res.Annots.At(b)
+	if !ok {
+		in = ptset.New()
+	}
+	// Seed: globals and pointer arguments.
+	work := make([]*loc.Location, 0, 8)
+	seen := make(map[*loc.Location]bool)
+	push := func(l *loc.Location) {
+		if l != nil && !seen[l] {
+			seen[l] = true
+			work = append(work, l)
+		}
+	}
+	for l := range e {
+		if l.IsGlobalish() {
+			push(l)
+		}
+	}
+	for _, a := range b.Args {
+		if r, ok := a.(*simple.Ref); ok {
+			for _, bl := range pta.EvalBaseLocs(p.res, r) {
+				for _, t := range in.Targets(bl.Loc) {
+					push(t.Dst)
+				}
+			}
+		}
+	}
+	// Transitive closure over the points-to relation.
+	for len(work) > 0 {
+		l := work[len(work)-1]
+		work = work[:len(work)-1]
+		e.set(l, bottom())
+		for _, t := range in.Targets(l) {
+			push(t.Dst)
+		}
+	}
+}
+
+// processSeq runs the forward analysis over a statement sequence,
+// mutating e.
+func (p *propagator) processSeq(s *simple.Seq, e env) {
+	if s == nil {
+		return
+	}
+	for _, c := range s.List {
+		p.processStmt(c, e)
+	}
+}
+
+func (p *propagator) processStmt(s simple.Stmt, e env) {
+	switch s := s.(type) {
+	case *simple.Basic:
+		p.processBasic(s, e)
+
+	case *simple.Seq:
+		p.processSeq(s, e)
+
+	case *simple.If:
+		thenEnv := e.clone()
+		p.processSeq(s.Then, thenEnv)
+		elseEnv := e.clone()
+		if s.Else != nil {
+			p.processSeq(s.Else, elseEnv)
+		}
+		merged := meetEnv(thenEnv, elseEnv)
+		for k := range e {
+			delete(e, k)
+		}
+		for k, v := range merged {
+			e[k] = v
+		}
+
+	case *simple.While:
+		p.processLoop(e, func(le env) {
+			p.processSeq(s.CondEval, le)
+			p.processSeq(s.Body, le)
+		})
+
+	case *simple.DoWhile:
+		p.processLoop(e, func(le env) {
+			p.processSeq(s.Body, le)
+			p.processSeq(s.CondEval, le)
+		})
+
+	case *simple.For:
+		p.processSeq(s.Init, e)
+		p.processLoop(e, func(le env) {
+			p.processSeq(s.CondEval, le)
+			p.processSeq(s.Body, le)
+			p.processSeq(s.Post, le)
+		})
+
+	case *simple.Switch:
+		out := make(env)
+		first := true
+		for _, c := range s.Cases {
+			armEnv := e.clone()
+			p.processSeq(c.Body, armEnv)
+			if first {
+				out = armEnv
+				first = false
+			} else {
+				out = meetEnv(out, armEnv)
+			}
+		}
+		merged := meetEnv(out, e) // the no-match path
+		for k := range e {
+			delete(e, k)
+		}
+		for k, v := range merged {
+			e[k] = v
+		}
+
+	case *simple.Break, *simple.Continue, *simple.Return:
+		// Conservative: environments at escapes merge at the enclosing
+		// construct through the loop fixed point below.
+	}
+}
+
+// processLoop iterates a loop body to a fixed point, merging the loop-back
+// environment into the head.
+func (p *propagator) processLoop(e env, body func(env)) {
+	cur := e.clone()
+	for iter := 0; iter < 100; iter++ {
+		iterEnv := cur.clone()
+		body(iterEnv)
+		next := meetEnv(cur, iterEnv)
+		if equalEnv(next, cur) {
+			break
+		}
+		cur = next
+	}
+	// Run the body once more on the stable head to record findings under
+	// the final environment, then fold into e.
+	final := cur.clone()
+	body(final)
+	merged := meetEnv(cur, final)
+	for k := range e {
+		delete(e, k)
+	}
+	for k, v := range merged {
+		e[k] = v
+	}
+}

@@ -1,0 +1,492 @@
+// Package deptest implements the array data-dependence testing support that
+// §6.1 of the paper describes as a client of points-to analysis (Justiani &
+// Hendren, CC'94): for loops over arrays, the points-to results are used to
+//
+//   - resolve array accesses made through pointers to the arrays they
+//     actually reach (increasing the number of admissible loop nests),
+//   - prove accesses independent when their pointers reach disjoint arrays
+//     (decreasing the number of array pairs that need subscript testing),
+//   - exploit head/tail alignment: a pointer known to point at a_head is
+//     aligned with the array base, so its subscripts are directly
+//     comparable with direct accesses.
+//
+// Subscripts are reconstructed as affine functions a*i + b of the loop
+// induction variable from the SIMPLE temporaries, and classic ZIV/strong-SIV
+// tests decide dependence.
+package deptest
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cc/ast"
+	"repro/internal/cc/token"
+	"repro/internal/pta"
+	"repro/internal/pta/loc"
+	"repro/internal/simple"
+)
+
+// Affine is a subscript of the form Coef*i + Off in the loop induction
+// variable i.
+type Affine struct {
+	Coef, Off int64
+	OK        bool // false: not recognizably affine
+}
+
+func (a Affine) String() string {
+	if !a.OK {
+		return "?"
+	}
+	switch {
+	case a.Coef == 0:
+		return fmt.Sprintf("%d", a.Off)
+	case a.Off == 0:
+		return fmt.Sprintf("%d*i", a.Coef)
+	}
+	return fmt.Sprintf("%d*i%+d", a.Coef, a.Off)
+}
+
+// Access is one array element access inside a loop.
+type Access struct {
+	Stmt    *simple.Basic
+	Ref     *simple.Ref
+	IsWrite bool
+	// Bases are the candidate array objects the access can touch, with
+	// alignment: aligned means the pointer is known to address element 0
+	// (a_head), so the subscript is in the array's own index space.
+	Bases []Base
+	Sub   Affine
+}
+
+// Base is one candidate array for an access.
+type Base struct {
+	Loc     *loc.Location // the array part (x[0]/x[*]) or heap
+	Aligned bool          // subscript comparable with direct accesses
+}
+
+// PairResult classifies one (write, read-or-write) access pair.
+type PairResult struct {
+	A, B    *Access
+	Outcome Outcome
+	// Distance is the dependence distance for Dependent outcomes decided
+	// by the strong SIV test (0 means loop-independent).
+	Distance int64
+}
+
+// Outcome classifies a pair.
+type Outcome int
+
+// Pair outcomes.
+const (
+	IndependentDisjoint Outcome = iota // points-to: different arrays
+	IndependentSubscript
+	Dependent
+	Unknown // must be assumed dependent
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case IndependentDisjoint:
+		return "independent (disjoint arrays)"
+	case IndependentSubscript:
+		return "independent (subscripts)"
+	case Dependent:
+		return "dependent"
+	}
+	return "unknown (assume dependent)"
+}
+
+// LoopReport summarizes one analyzed loop.
+type LoopReport struct {
+	Fn        *simple.Function
+	Loop      *simple.For
+	Induction *ast.Object
+	Trip      int64 // trip count if constant bounds, else -1
+	Accesses  []*Access
+	Pairs     []PairResult
+	// Admissible means every array access in the loop was resolvable (a
+	// named array or the heap with an affine subscript or a known-opaque
+	// scalar), so dependence conclusions are meaningful.
+	Admissible bool
+}
+
+// Counts aggregates pair outcomes.
+func (r *LoopReport) Counts() (disjoint, subscript, dependent, unknown int) {
+	for _, p := range r.Pairs {
+		switch p.Outcome {
+		case IndependentDisjoint:
+			disjoint++
+		case IndependentSubscript:
+			subscript++
+		case Dependent:
+			dependent++
+		default:
+			unknown++
+		}
+	}
+	return
+}
+
+// Result holds all loop reports of a program.
+type Result struct {
+	Loops []*LoopReport
+}
+
+// Run analyzes every recognizable counted loop in the program.
+func Run(res *pta.Result) *Result {
+	d := &depAnalyzer{res: res}
+	out := &Result{}
+	for _, fn := range res.Prog.Functions {
+		simple.WalkStmts(fn.Body, func(s simple.Stmt) {
+			if f, ok := s.(*simple.For); ok {
+				if rep := d.analyzeLoop(fn, f); rep != nil {
+					out.Loops = append(out.Loops, rep)
+				}
+			}
+		})
+	}
+	return out
+}
+
+type depAnalyzer struct {
+	res *pta.Result
+}
+
+// recognizeInduction matches the canonical counted-loop shape the
+// simplifier produces: Init ends with `i = c0`, Cond is `i < n` or
+// `i <= n`, Post ends with `i = i + step`.
+func recognizeInduction(f *simple.For) (iv *ast.Object, lo int64, hi int64, hasConstBounds bool) {
+	if f.Cond == nil || f.Cond.Y == nil {
+		return nil, 0, 0, false
+	}
+	condX, ok := f.Cond.X.(*simple.Ref)
+	if !ok || condX.Deref || len(condX.Path) > 0 {
+		return nil, 0, 0, false
+	}
+	iv = condX.Var
+	// Init: last assignment to iv.
+	loOK := false
+	if f.Init != nil {
+		for _, s := range f.Init.List {
+			if b, ok := s.(*simple.Basic); ok && b.Kind == simple.AsgnCopy &&
+				b.LHS != nil && !b.LHS.Deref && b.LHS.Var == iv {
+				if c, ok := b.X.(*simple.ConstInt); ok {
+					lo, loOK = c.Val, true
+				}
+			}
+		}
+	}
+	// Post must increment iv by 1 for the strong SIV trip-count check.
+	incOK := false
+	if f.Post != nil {
+		for _, s := range f.Post.List {
+			if b, ok := s.(*simple.Basic); ok && b.Kind == simple.AsgnBinary &&
+				b.LHS != nil && b.LHS.Var == iv && b.Op == token.ADD {
+				if c, ok := b.Y.(*simple.ConstInt); ok && c.Val == 1 {
+					incOK = true
+				}
+			}
+		}
+	}
+	if !incOK {
+		return nil, 0, 0, false
+	}
+	if c, ok := f.Cond.Y.(*simple.ConstInt); ok && loOK {
+		hi = c.Val
+		if f.Cond.Op == token.LEQ {
+			hi++
+		}
+		return iv, lo, hi, true
+	}
+	return iv, 0, 0, false
+}
+
+// affineOf reconstructs the subscript operand as an affine function of iv by
+// chasing single-assignment temporaries within the loop body.
+func (d *depAnalyzer) affineOf(op simple.Operand, iv *ast.Object, body *simple.Seq, depth int) Affine {
+	if depth > 8 {
+		return Affine{}
+	}
+	switch op := op.(type) {
+	case *simple.ConstInt:
+		return Affine{Coef: 0, Off: op.Val, OK: true}
+	case *simple.Ref:
+		if op.Deref || len(op.Path) > 0 {
+			return Affine{}
+		}
+		if op.Var == iv {
+			return Affine{Coef: 1, Off: 0, OK: true}
+		}
+		// Find the defining statement inside the loop.
+		var def *simple.Basic
+		count := 0
+		simple.WalkStmts(body, func(s simple.Stmt) {
+			if b, ok := s.(*simple.Basic); ok && b.LHS != nil &&
+				!b.LHS.Deref && len(b.LHS.Path) == 0 && b.LHS.Var == op.Var {
+				def = b
+				count++
+			}
+		})
+		if def == nil || count != 1 {
+			return Affine{}
+		}
+		switch def.Kind {
+		case simple.AsgnCopy:
+			return d.affineOf(def.X, iv, body, depth+1)
+		case simple.AsgnBinary:
+			x := d.affineOf(def.X, iv, body, depth+1)
+			y := d.affineOf(def.Y, iv, body, depth+1)
+			if !x.OK || !y.OK {
+				return Affine{}
+			}
+			switch def.Op {
+			case token.ADD:
+				return Affine{Coef: x.Coef + y.Coef, Off: x.Off + y.Off, OK: true}
+			case token.SUB:
+				return Affine{Coef: x.Coef - y.Coef, Off: x.Off - y.Off, OK: true}
+			case token.MUL:
+				switch {
+				case x.Coef == 0:
+					return Affine{Coef: x.Off * y.Coef, Off: x.Off * y.Off, OK: true}
+				case y.Coef == 0:
+					return Affine{Coef: y.Off * x.Coef, Off: y.Off * x.Off, OK: true}
+				}
+			}
+		}
+		return Affine{}
+	}
+	return Affine{}
+}
+
+// basesOf resolves the arrays an indexed reference can touch, using the
+// points-to annotation for pointer-based accesses.
+func (d *depAnalyzer) basesOf(b *simple.Basic, r *simple.Ref) ([]Base, simple.Operand, bool) {
+	// Direct array access: base variable of array type with an index sel.
+	if !r.Deref {
+		for k, s := range r.Path {
+			if s.Kind == simple.SelIndex {
+				base := d.res.Table.VarLoc(r.Var, nil)
+				for _, e := range pathElems(r.Path[:k]) {
+					base = d.res.Table.Extend(base, e)
+				}
+				head := d.res.Table.Extend(base, loc.HeadElem)
+				return []Base{{Loc: head, Aligned: true}}, s.Opnd, true
+			}
+		}
+		return nil, nil, false
+	}
+	// Pointer access p[i]: the pointer's targets under the annotation.
+	var idx simple.Operand
+	hasIdx := false
+	for _, s := range r.DPath {
+		if s.Kind == simple.SelIndex {
+			idx = s.Opnd
+			hasIdx = true
+			break
+		}
+	}
+	if !hasIdx {
+		return nil, nil, false
+	}
+	in, ok := d.res.Annots.At(b)
+	if !ok {
+		return nil, nil, false
+	}
+	var bases []Base
+	for _, bl := range pta.EvalBaseLocs(d.res, &simple.Ref{Var: r.Var, Path: r.Path}) {
+		for _, t := range in.Targets(bl.Loc) {
+			switch t.Dst.Kind {
+			case loc.Null:
+				continue
+			case loc.Heap:
+				bases = append(bases, Base{Loc: t.Dst, Aligned: false})
+			default:
+				aligned := isHead(t.Dst)
+				bases = append(bases, Base{Loc: canonicalArray(d.res, t.Dst), Aligned: aligned})
+			}
+		}
+	}
+	return bases, idx, len(bases) > 0
+}
+
+func pathElems(sels []simple.Sel) []loc.Elem {
+	var out []loc.Elem
+	for _, s := range sels {
+		if s.Kind == simple.SelField {
+			out = append(out, loc.FieldElem(s.Name))
+		} else if s.Index == simple.IdxZero {
+			out = append(out, loc.HeadElem)
+		} else {
+			out = append(out, loc.TailElem)
+		}
+	}
+	return out
+}
+
+// isHead reports whether the location is an array head (aligned base).
+func isHead(l *loc.Location) bool {
+	p := l.Path
+	return len(p) > 0 && p[len(p)-1].Arr && !p[len(p)-1].Tail
+}
+
+// canonicalArray normalizes head/tail siblings to the head location so two
+// pointers into the same array compare equal.
+func canonicalArray(res *pta.Result, l *loc.Location) *loc.Location {
+	p := l.Path
+	if len(p) == 0 || !p[len(p)-1].Arr {
+		return l
+	}
+	root := res.Table.Root(l)
+	cur := root
+	for i, e := range p {
+		if i == len(p)-1 {
+			cur = res.Table.Extend(cur, loc.HeadElem)
+		} else {
+			cur = res.Table.Extend(cur, e)
+		}
+	}
+	return cur
+}
+
+func (d *depAnalyzer) analyzeLoop(fn *simple.Function, f *simple.For) *LoopReport {
+	iv, lo, hi, constBounds := recognizeInduction(f)
+	if iv == nil {
+		return nil
+	}
+	rep := &LoopReport{Fn: fn, Loop: f, Induction: iv, Trip: -1, Admissible: true}
+	if constBounds {
+		rep.Trip = hi - lo
+	}
+
+	simple.WalkStmts(f.Body, func(s simple.Stmt) {
+		b, ok := s.(*simple.Basic)
+		if !ok {
+			return
+		}
+		if b.Kind == simple.AsgnCall || b.Kind == simple.AsgnCallInd {
+			rep.Admissible = false // a call may touch the arrays
+			return
+		}
+		for ri, r := range b.Refs() {
+			bases, idxOp, ok := d.basesOf(b, r)
+			if !ok {
+				continue
+			}
+			sub := d.affineOf(idxOp, iv, f.Body, 0)
+			acc := &Access{
+				Stmt:    b,
+				Ref:     r,
+				IsWrite: ri == 0 && b.LHS == r,
+				Bases:   bases,
+				Sub:     sub,
+			}
+			if !sub.OK {
+				rep.Admissible = false
+			}
+			rep.Accesses = append(rep.Accesses, acc)
+		}
+	})
+
+	// Classify pairs with at least one write.
+	for i := 0; i < len(rep.Accesses); i++ {
+		for j := i + 1; j < len(rep.Accesses); j++ {
+			a, b := rep.Accesses[i], rep.Accesses[j]
+			if !a.IsWrite && !b.IsWrite {
+				continue
+			}
+			rep.Pairs = append(rep.Pairs, d.classify(a, b, rep))
+		}
+	}
+	return rep
+}
+
+// overlap reports whether two base sets can address the same array, and
+// whether both sides are aligned on every common array.
+func overlap(a, b *Access) (share, bothAligned bool) {
+	bothAligned = true
+	for _, x := range a.Bases {
+		for _, y := range b.Bases {
+			if x.Loc == y.Loc {
+				share = true
+				if !x.Aligned || !y.Aligned {
+					bothAligned = false
+				}
+			}
+		}
+	}
+	return share, share && bothAligned
+}
+
+func (d *depAnalyzer) classify(a, b *Access, rep *LoopReport) PairResult {
+	pr := PairResult{A: a, B: b}
+	share, aligned := overlap(a, b)
+	if !share {
+		pr.Outcome = IndependentDisjoint
+		return pr
+	}
+	if !aligned || !a.Sub.OK || !b.Sub.OK {
+		pr.Outcome = Unknown
+		return pr
+	}
+	// ZIV: both subscripts constant.
+	if a.Sub.Coef == 0 && b.Sub.Coef == 0 {
+		if a.Sub.Off != b.Sub.Off {
+			pr.Outcome = IndependentSubscript
+		} else {
+			pr.Outcome = Dependent
+		}
+		return pr
+	}
+	// Strong SIV: equal coefficients.
+	if a.Sub.Coef == b.Sub.Coef && a.Sub.Coef != 0 {
+		diff := b.Sub.Off - a.Sub.Off
+		if diff%a.Sub.Coef != 0 {
+			pr.Outcome = IndependentSubscript
+			return pr
+		}
+		dist := diff / a.Sub.Coef
+		if rep.Trip >= 0 && (dist >= rep.Trip || dist <= -rep.Trip) {
+			pr.Outcome = IndependentSubscript
+			return pr
+		}
+		pr.Outcome = Dependent
+		pr.Distance = dist
+		return pr
+	}
+	// Weak SIV / MIV: not decided here.
+	pr.Outcome = Unknown
+	return pr
+}
+
+// Summary renders aggregate counts for reporting.
+func (r *Result) Summary() string {
+	loops, admissible := 0, 0
+	var disj, sub, dep, unk int
+	for _, l := range r.Loops {
+		loops++
+		if l.Admissible {
+			admissible++
+		}
+		a, b, c, d := l.Counts()
+		disj, sub, dep, unk = disj+a, sub+b, dep+c, unk+d
+	}
+	return fmt.Sprintf("loops %d (admissible %d): pairs disjoint %d, independent-subscript %d, dependent %d, unknown %d",
+		loops, admissible, disj, sub, dep, unk)
+}
+
+// SortedLoops returns loops ordered by source position for deterministic
+// output.
+func (r *Result) SortedLoops() []*LoopReport {
+	out := append([]*LoopReport{}, r.Loops...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Fn.Name() != out[j].Fn.Name() {
+			return out[i].Fn.Name() < out[j].Fn.Name()
+		}
+		pi, pj := out[i].Loop.Pos, out[j].Loop.Pos
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Col < pj.Col
+	})
+	return out
+}

@@ -1,0 +1,233 @@
+package deptest
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/cc/parser"
+	"repro/internal/pta"
+	"repro/internal/simplify"
+)
+
+func analyze(t *testing.T, src string) *pta.Result {
+	t.Helper()
+	tu, err := parser.Parse("test.c", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	prog, err := simplify.Simplify(tu)
+	if err != nil {
+		t.Fatalf("Simplify: %v", err)
+	}
+	res, err := pta.Analyze(prog, pta.Options{})
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	return res
+}
+
+// firstLoop returns the only loop report.
+func firstLoop(t *testing.T, r *Result) *LoopReport {
+	t.Helper()
+	if len(r.Loops) == 0 {
+		t.Fatal("no loops recognized")
+	}
+	return r.SortedLoops()[0]
+}
+
+func TestDisjointArraysThroughPointers(t *testing.T) {
+	// p and q point to different arrays: all pairs independent without any
+	// subscript test — the headline points-to win.
+	res := analyze(t, `
+double a[16], b[16];
+void kernel(double *p, double *q, int n) {
+	int i;
+	for (i = 0; i < n; i++)
+		p[i] = q[i] * 2.0;
+}
+int main() {
+	kernel(a, b, 16);
+	return 0;
+}
+`)
+	r := Run(res)
+	var loop *LoopReport
+	for _, l := range r.Loops {
+		if l.Fn.Name() == "kernel" {
+			loop = l
+		}
+	}
+	if loop == nil {
+		t.Fatal("kernel loop not found")
+	}
+	disj, _, dep, unk := loop.Counts()
+	if disj == 0 {
+		t.Errorf("expected disjoint-array independence, got %s", r.Summary())
+	}
+	if dep != 0 || unk != 0 {
+		t.Errorf("no dependences expected: %s", r.Summary())
+	}
+}
+
+func TestSameArrayAliasedPointers(t *testing.T) {
+	// Both pointers reach the same array: the pair needs subscript
+	// analysis and the equal subscripts make it dependent.
+	res := analyze(t, `
+double a[16];
+void kernel(double *p, double *q, int n) {
+	int i;
+	for (i = 0; i < n; i++)
+		p[i] = q[i] * 2.0;
+}
+int main() {
+	kernel(a, a, 16);
+	return 0;
+}
+`)
+	r := Run(res)
+	var loop *LoopReport
+	for _, l := range r.Loops {
+		if l.Fn.Name() == "kernel" {
+			loop = l
+		}
+	}
+	if loop == nil {
+		t.Fatal("kernel loop not found")
+	}
+	_, _, dep, unk := loop.Counts()
+	if dep == 0 && unk == 0 {
+		t.Errorf("aliased arrays must show a dependence: %s", r.Summary())
+	}
+}
+
+func TestStrongSIVDistance(t *testing.T) {
+	res := analyze(t, `
+int a[64];
+int main() {
+	int i;
+	for (i = 0; i < 60; i++)
+		a[i] = a[i + 3];
+	return 0;
+}
+`)
+	r := Run(res)
+	loop := firstLoop(t, r)
+	foundDep := false
+	for _, p := range loop.Pairs {
+		if p.Outcome == Dependent {
+			foundDep = true
+			if p.Distance != 3 && p.Distance != -3 {
+				t.Errorf("distance = %d, want ±3", p.Distance)
+			}
+		}
+	}
+	if !foundDep {
+		t.Errorf("a[i] vs a[i+3] should be dependent: %s", r.Summary())
+	}
+}
+
+func TestSIVDistanceBeyondTrip(t *testing.T) {
+	res := analyze(t, `
+int a[300];
+int main() {
+	int i;
+	for (i = 0; i < 10; i++)
+		a[i] = a[i + 100];
+	return 0;
+}
+`)
+	r := Run(res)
+	loop := firstLoop(t, r)
+	_, sub, dep, _ := loop.Counts()
+	if dep != 0 || sub == 0 {
+		t.Errorf("distance 100 exceeds trip count 10: should be independent, got %s", r.Summary())
+	}
+}
+
+func TestZIVIndependent(t *testing.T) {
+	res := analyze(t, `
+int a[8];
+int main() {
+	int i;
+	for (i = 0; i < 8; i++) {
+		a[0] = a[0] + 1;
+		a[3] = a[3] + 2;
+	}
+	return 0;
+}
+`)
+	r := Run(res)
+	loop := firstLoop(t, r)
+	// a[0] vs a[3] pairs are ZIV-independent; a[0] vs a[0] dependent.
+	_, sub, dep, _ := loop.Counts()
+	if sub == 0 {
+		t.Errorf("ZIV pairs a[0]/a[3] should be independent: %s", r.Summary())
+	}
+	if dep == 0 {
+		t.Errorf("a[0] write/read pairs should be dependent: %s", r.Summary())
+	}
+}
+
+func TestUnalignedPointerUnknown(t *testing.T) {
+	// q = a + 2 points into the tail: subscripts are not comparable, so a
+	// shared-array pair is Unknown (assumed dependent), not falsely
+	// independent.
+	res := analyze(t, `
+int a[16];
+int main() {
+	int i;
+	int *q;
+	q = a + 2;
+	for (i = 0; i < 8; i++)
+		q[i] = a[i];
+	return 0;
+}
+`)
+	r := Run(res)
+	loop := firstLoop(t, r)
+	_, _, _, unk := loop.Counts()
+	if unk == 0 {
+		t.Errorf("unaligned pointer pair must be unknown: %s", r.Summary())
+	}
+}
+
+func TestCallMakesLoopInadmissible(t *testing.T) {
+	res := analyze(t, `
+int a[8];
+void touch(void) { a[0] = 1; }
+int main() {
+	int i;
+	for (i = 0; i < 8; i++) {
+		a[i] = i;
+		touch();
+	}
+	return 0;
+}
+`)
+	r := Run(res)
+	loop := firstLoop(t, r)
+	if loop.Admissible {
+		t.Error("loops containing calls are not admissible")
+	}
+}
+
+func TestSuiteLoops(t *testing.T) {
+	// The array benchmarks should yield admissible loops and some
+	// disjointness wins (csuite's s06x kernels get distinct arrays).
+	for _, name := range []string{"csuite", "clinpack", "lws"} {
+		prog, err := bench.Load(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := pta.Analyze(prog, pta.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := Run(res)
+		if len(r.Loops) == 0 {
+			t.Errorf("%s: no loops recognized", name)
+			continue
+		}
+		t.Logf("%s: %s", name, r.Summary())
+	}
+}

@@ -1,0 +1,228 @@
+package modref
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/cc/parser"
+	"repro/internal/pta"
+	"repro/internal/pta/invgraph"
+	"repro/internal/pta/loc"
+	"repro/internal/simple"
+	"repro/internal/simplify"
+)
+
+func analyze(t *testing.T, src string) *pta.Result {
+	t.Helper()
+	tu, err := parser.Parse("test.c", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	prog, err := simplify.Simplify(tu)
+	if err != nil {
+		t.Fatalf("Simplify: %v", err)
+	}
+	res, err := pta.Analyze(prog, pta.Options{})
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	return res
+}
+
+// callSiteIn finds the call statement to callee within caller's body.
+func callSiteIn(res *pta.Result, caller, callee string) (*invgraph.Node, *simple.Basic) {
+	var node *invgraph.Node
+	var site *simple.Basic
+	res.Graph.Walk(func(n *invgraph.Node) {
+		if n.Fn.Name() != caller || node != nil {
+			return
+		}
+		for _, c := range n.Children {
+			if c.Fn.Name() == callee {
+				node = n
+				site = c.Site
+			}
+		}
+	})
+	return node, site
+}
+
+func names(ls []*loc.Location) map[string]bool {
+	out := make(map[string]bool, len(ls))
+	for _, l := range ls {
+		out[l.Name()] = true
+	}
+	return out
+}
+
+func TestModGlobalWrite(t *testing.T) {
+	res := analyze(t, `
+int g, h;
+void touch(void) { g = 1; }
+int main() {
+	touch();
+	return h;
+}
+`)
+	mr := Compute(res)
+	node, site := callSiteIn(res, "main", "touch")
+	if node == nil {
+		t.Fatal("call site not found")
+	}
+	mod, ok := mr.ModOfCall(node, site)
+	if !ok {
+		t.Fatal("MOD not computed")
+	}
+	got := names(mod)
+	if !got["g"] {
+		t.Errorf("MOD should contain g: %v", got)
+	}
+	if got["h"] {
+		t.Errorf("MOD must not contain the untouched h: %v", got)
+	}
+}
+
+func TestModThroughPointerArgument(t *testing.T) {
+	res := analyze(t, `
+void set(int *p) { *p = 5; }
+int main() {
+	int x, y;
+	set(&x);
+	return x + y;
+}
+`)
+	mr := Compute(res)
+	node, site := callSiteIn(res, "main", "set")
+	mod, ok := mr.ModOfCall(node, site)
+	if !ok {
+		t.Fatal("MOD not computed")
+	}
+	got := names(mod)
+	if !got["x"] {
+		t.Errorf("MOD should contain x (written through the argument): %v", got)
+	}
+	if got["y"] {
+		t.Errorf("MOD must not contain y: %v", got)
+	}
+}
+
+func TestCalleeLocalsInvisible(t *testing.T) {
+	res := analyze(t, `
+void busy(void) {
+	int local;
+	int *lp;
+	local = 1;
+	lp = &local;
+	*lp = 2;
+}
+int main() {
+	busy();
+	return 0;
+}
+`)
+	mr := Compute(res)
+	node, site := callSiteIn(res, "main", "busy")
+	mod, ok := mr.ModOfCall(node, site)
+	if !ok {
+		t.Fatal("MOD not computed")
+	}
+	if len(mod) != 0 {
+		t.Errorf("purely local effects must not be caller-visible: %v", names(mod))
+	}
+}
+
+func TestModTransitive(t *testing.T) {
+	res := analyze(t, `
+int g;
+void inner(void) { g = 2; }
+void outer(void) { inner(); }
+int main() {
+	outer();
+	return 0;
+}
+`)
+	mr := Compute(res)
+	node, site := callSiteIn(res, "main", "outer")
+	mod, ok := mr.ModOfCall(node, site)
+	if !ok {
+		t.Fatal("MOD not computed")
+	}
+	if !names(mod)["g"] {
+		t.Errorf("transitive MOD should reach g: %v", names(mod))
+	}
+}
+
+func TestModRecursive(t *testing.T) {
+	res := analyze(t, `
+int g;
+void rec(int n) {
+	if (n > 0) {
+		g = n;
+		rec(n - 1);
+	}
+}
+int main() {
+	rec(3);
+	return 0;
+}
+`)
+	mr := Compute(res)
+	node, site := callSiteIn(res, "main", "rec")
+	mod, ok := mr.ModOfCall(node, site)
+	if !ok {
+		t.Fatal("MOD not computed")
+	}
+	if !names(mod)["g"] {
+		t.Errorf("recursive MOD should include g: %v", names(mod))
+	}
+}
+
+func TestRefSets(t *testing.T) {
+	res := analyze(t, `
+int src, dst;
+void copyit(void) { dst = src; }
+int main() {
+	copyit();
+	return 0;
+}
+`)
+	mr := Compute(res)
+	var node *invgraph.Node
+	res.Graph.Walk(func(n *invgraph.Node) {
+		if n.Fn.Name() == "copyit" {
+			node = n
+		}
+	})
+	if node == nil {
+		t.Fatal("copyit node missing")
+	}
+	if !names(mr.RefOf(node))["src"] {
+		t.Errorf("REF should contain src: %v", names(mr.RefOf(node)))
+	}
+	if !names(mr.ModOf(node))["dst"] {
+		t.Errorf("MOD should contain dst: %v", names(mr.ModOf(node)))
+	}
+}
+
+func TestModOnBenchmarks(t *testing.T) {
+	for _, name := range []string{"hash", "mway", "stanford"} {
+		prog, err := bench.Load(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := pta.Analyze(prog, pta.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mr := Compute(res)
+		// Every node must have a computed (possibly empty) MOD set.
+		n := 0
+		res.Graph.Walk(func(node *invgraph.Node) {
+			n++
+			_ = mr.ModOf(node)
+		})
+		if n == 0 {
+			t.Fatalf("%s: empty graph", name)
+		}
+	}
+}

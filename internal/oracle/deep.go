@@ -1,0 +1,214 @@
+package oracle
+
+import (
+	"fmt"
+
+	"repro/internal/interp"
+	"repro/internal/pta"
+	"repro/internal/pta/invgraph"
+	"repro/internal/pta/loc"
+	"repro/internal/simple"
+)
+
+// deepChecker walks the invocation graph alongside the concrete call stack
+// and checks Definition 3.3 at *every* frame depth: a concrete pointer fact
+// is translated into the current context's naming (globals stay themselves,
+// caller cells become the symbolic names assigned by the map step) and must
+// be covered by the executing statement's points-to annotation. This
+// directly validates the symbolic-name machinery of §4.1.
+type deepChecker struct {
+	res *pta.Result
+	ip  *interp.Interp
+
+	// nodes parallels the interpreter's frame stack; nodes[0] is main's
+	// root node. flagged marks entries pushed under a recursion
+	// approximation; while any are present, per-statement checks are
+	// skipped (the approximation generalizes inputs, so the per-context
+	// naming chain is no longer exact).
+	nodes     []*invgraph.Node
+	flagged   []bool
+	redirects int
+
+	err     error
+	checked int
+	seen    int
+
+	// SampleEvery checks one in every N traced statements once the first
+	// two thousand have been checked exhaustively (fact enumeration per
+	// statement is the dominant cost on long executions). 0 disables
+	// sampling.
+	SampleEvery int
+}
+
+// RunAndCheckDeep interprets the program with full-depth soundness
+// checking. It reports the first violation found.
+func RunAndCheckDeep(res *pta.Result, prog *simple.Program, maxSteps int) error {
+	ip := interp.New(prog)
+	if maxSteps > 0 {
+		ip.MaxSteps = maxSteps
+	}
+	d := &deepChecker{res: res, ip: ip,
+		nodes: []*invgraph.Node{res.Graph.Root}, flagged: []bool{false},
+		SampleEvery: 9}
+	ip.OnCall = d.onCall
+	ip.OnReturn = d.onReturn
+	ip.Trace = d.trace
+	if _, err := ip.Run(); err != nil {
+		if _, isExit := interp.ExitCode(err); !isExit {
+			return fmt.Errorf("interpretation failed: %w", err)
+		}
+	}
+	if d.err != nil {
+		return d.err
+	}
+	if d.checked == 0 {
+		return fmt.Errorf("deep oracle made no checks (hook wiring broken?)")
+	}
+	return nil
+}
+
+func (d *deepChecker) top() *invgraph.Node { return d.nodes[len(d.nodes)-1] }
+
+func (d *deepChecker) push(n *invgraph.Node, flag bool) {
+	d.nodes = append(d.nodes, n)
+	d.flagged = append(d.flagged, flag)
+	if flag {
+		d.redirects++
+	}
+}
+
+func (d *deepChecker) onCall(b *simple.Basic, callee *simple.Function) error {
+	cur := d.top()
+	redirected := false
+	if cur.Kind == invgraph.Approximate {
+		// The approximate node has no children; its recursive partner's
+		// subtree stands in for all unrollings.
+		cur = cur.RecPartner
+		redirected = true
+	}
+	var child *invgraph.Node
+	for _, c := range cur.Children {
+		if c.Site == b && c.Fn == callee {
+			child = c
+			break
+		}
+	}
+	if child == nil {
+		if d.redirects > 0 || redirected {
+			// Deep recursion beyond the approximation: keep depths
+			// aligned with a flagged placeholder.
+			d.push(cur, true)
+			return nil
+		}
+		d.err = fmt.Errorf("%s: execution calls %s but the invocation graph has no such edge from %s",
+			b.Pos, callee.Name(), cur.Fn.Name())
+		return d.err
+	}
+	d.push(child, redirected || child.Kind == invgraph.Approximate)
+	return nil
+}
+
+func (d *deepChecker) onReturn() {
+	last := len(d.nodes) - 1
+	if d.flagged[last] {
+		d.redirects--
+	}
+	d.nodes = d.nodes[:last]
+	d.flagged = d.flagged[:last]
+}
+
+// namesAt translates a concrete pointer (a cell address) into the abstract
+// names valid in the context at stack depth targetDepth (1 = main).
+// ownerDepth is the frame depth owning the cell (0 for globals/heap).
+func (d *deepChecker) namesAt(p interp.Pointer, targetDepth int) []*loc.Location {
+	base := abstractLocOpts(d.res.Table, p, d.res.Opts.SingleArrayLoc)
+	if base == nil {
+		return nil
+	}
+	ownerDepth := 0
+	if p.Frame != nil {
+		ownerDepth = p.Frame.Depth
+	}
+	names := []*loc.Location{base}
+	for lvl := ownerDepth; lvl < targetDepth; lvl++ {
+		// Crossing the call edge into nodes[lvl] (frame depth lvl+1).
+		node := d.nodes[lvl]
+		mi, ok := node.MapInfo.(*pta.MapInfo)
+		if !ok {
+			if lvl == 0 {
+				continue // main has no map step; globals pass through
+			}
+			return nil
+		}
+		var next []*loc.Location
+		for _, n := range names {
+			next = append(next, mi.CalleeNames(d.res, n)...)
+		}
+		if len(next) == 0 {
+			return nil
+		}
+		names = next
+	}
+	return names
+}
+
+func (d *deepChecker) trace(b *simple.Basic, depth int) error {
+	if d.err != nil || d.redirects > 0 {
+		return d.err
+	}
+	d.seen++
+	if d.SampleEvery > 1 && d.seen > 2000 && d.seen%d.SampleEvery != 0 {
+		return nil
+	}
+	if depth != len(d.nodes) {
+		// GlobalInit runs with a pre-frame; skip alignment corner cases.
+		return nil
+	}
+	in, ok := d.res.Annots.At(b)
+	if !ok {
+		d.err = fmt.Errorf("executed statement `%s` (%s) has no annotation", b, b.Pos)
+		return d.err
+	}
+	// Facts over every live frame at or above the current depth plus
+	// globals and the heap.
+	facts := d.ip.PointerFacts(func(fr *interp.Frame) bool { return fr.Depth <= depth })
+	for _, f := range facts {
+		if !liveFact(f) {
+			continue
+		}
+		srcNames := d.namesAt(f.Src, depth)
+		if len(srcNames) == 0 {
+			continue // cell not nameable in this context: no claim made
+		}
+		var dstNames []*loc.Location
+		switch {
+		case f.DstFn != nil:
+			dstNames = []*loc.Location{d.res.Table.FuncLoc(f.DstFn)}
+		case f.DstStr:
+			dstNames = []*loc.Location{d.res.Table.StrLoc()}
+		default:
+			dstNames = d.namesAt(f.Dst, depth)
+		}
+		if len(dstNames) == 0 {
+			continue
+		}
+		// Every name of the source cell must cover the fact through at
+		// least one name of the target cell.
+		for _, sn := range srcNames {
+			covered := false
+			for _, dn := range dstNames {
+				if _, ok := in.Lookup(sn, dn); ok {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				d.err = fmt.Errorf("at `%s` (%s) depth %d: unsound: %s -> %s not covered under name %s (targets %s)",
+					b, b.Pos, depth, f.Src, describeDst(f), sn.Name(), loc.Fmt(dstNames))
+				return d.err
+			}
+			d.checked++
+		}
+	}
+	return nil
+}

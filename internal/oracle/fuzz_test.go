@@ -1,0 +1,78 @@
+package oracle
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/cc/parser"
+	"repro/internal/pta"
+	"repro/internal/simplify"
+)
+
+// TestGeneratedProgramsSound generates random programs and checks that the
+// analysis soundly covers their concrete executions — the heavyweight
+// property test of DESIGN.md §6 (the interpreter oracle).
+func TestGeneratedProgramsSound(t *testing.T) {
+	seeds := 40
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := 0; seed < seeds; seed++ {
+		cfg := bench.DefaultGenConfig(int64(seed))
+		// Vary the shape with the seed.
+		cfg.Funcs = 2 + seed%3
+		cfg.StmtsPer = 8 + seed%10
+		cfg.UseFnPtrs = seed%2 == 0
+		src := bench.Generate(cfg)
+
+		tu, err := parser.Parse("gen.c", src)
+		if err != nil {
+			t.Fatalf("seed %d: parse: %v\n%s", seed, err, src)
+		}
+		prog, err := simplify.Simplify(tu)
+		if err != nil {
+			t.Fatalf("seed %d: simplify: %v\n%s", seed, err, src)
+		}
+		res, err := pta.Analyze(prog, pta.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: analyze: %v\n%s", seed, err, src)
+		}
+		if err := RunAndCheck(res, prog, 500_000); err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
+		}
+	}
+}
+
+// TestGeneratedProgramsSoundUnderAblations repeats a few seeds under each
+// ablation configuration: ablations trade precision, never soundness.
+func TestGeneratedProgramsSoundUnderAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	configs := []pta.Options{
+		{NoDefinite: true},
+		{SingleArrayLoc: true},
+		{ContextInsensitive: true},
+		{NoMemo: true},
+	}
+	for seed := 100; seed < 110; seed++ {
+		src := bench.Generate(bench.DefaultGenConfig(int64(seed)))
+		tu, err := parser.Parse("gen.c", src)
+		if err != nil {
+			t.Fatalf("seed %d: parse: %v", seed, err)
+		}
+		prog, err := simplify.Simplify(tu)
+		if err != nil {
+			t.Fatalf("seed %d: simplify: %v", seed, err)
+		}
+		for i, opts := range configs {
+			res, err := pta.Analyze(prog, opts)
+			if err != nil {
+				t.Fatalf("seed %d cfg %d: analyze: %v", seed, i, err)
+			}
+			if err := RunAndCheck(res, prog, 500_000); err != nil {
+				t.Fatalf("seed %d cfg %d: %v\n%s", seed, i, err, src)
+			}
+		}
+	}
+}

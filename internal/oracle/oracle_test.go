@@ -1,0 +1,234 @@
+package oracle
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/cc/parser"
+	"repro/internal/interp"
+	"repro/internal/pta"
+	"repro/internal/simplify"
+)
+
+// TestBenchmarksSound runs every benchmark program concretely and checks
+// that the analysis covers all observed pointer relationships (Definition
+// 3.3): at every executed statement in main against the statement's
+// annotation, and at program exit against MainOut.
+func TestBenchmarksSound(t *testing.T) {
+	for _, name := range bench.AvailableOnDisk() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			prog, err := bench.Load(name)
+			if err != nil {
+				t.Fatalf("Load: %v", err)
+			}
+			res, err := pta.Analyze(prog, pta.Options{})
+			if err != nil {
+				t.Fatalf("Analyze: %v", err)
+			}
+			if err := RunAndCheck(res, prog, 0); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestBenchmarksRunAndProduceOutput checks that every benchmark executes to
+// completion and prints something sensible.
+func TestBenchmarksRunAndProduceOutput(t *testing.T) {
+	for _, name := range bench.AvailableOnDisk() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			prog, err := bench.Load(name)
+			if err != nil {
+				t.Fatalf("Load: %v", err)
+			}
+			ip := interp.New(prog)
+			if _, err := ip.Run(); err != nil {
+				if _, isExit := interp.ExitCode(err); !isExit {
+					t.Fatalf("Run: %v\noutput: %s", err, ip.Out.String())
+				}
+			}
+			out := ip.Out.String()
+			if strings.TrimSpace(out) == "" {
+				t.Error("benchmark produced no output")
+			}
+			t.Logf("output: %s", strings.TrimSpace(out))
+		})
+	}
+}
+
+// TestOracleSmall exercises the oracle on handwritten programs with
+// interesting pointer behaviour.
+func TestOracleSmall(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"strong-update", `
+int main() {
+	int x, y;
+	int *p;
+	p = &x;
+	*p = 1;
+	p = &y;
+	*p = 2;
+	return x + y;
+}
+`},
+		{"through-call", `
+int g;
+void set(int **h, int *v) { *h = v; }
+int main() {
+	int x;
+	int *p;
+	set(&p, &x);
+	*p = 5;
+	set(&p, &g);
+	*p = 6;
+	return x + g;
+}
+`},
+		{"fnptr", `
+int a, b;
+void fa(void) { a = 1; }
+void fb(void) { b = 2; }
+void (*fp)(void);
+int main() {
+	int c;
+	c = 1;
+	if (c) fp = fa; else fp = fb;
+	fp();
+	return a + b;
+}
+`},
+		{"recursion", `
+struct node { int v; struct node *next; };
+struct node *build(int n) {
+	struct node *nd;
+	if (n == 0) return 0;
+	nd = (struct node *) malloc(sizeof(struct node));
+	nd->v = n;
+	nd->next = build(n - 1);
+	return nd;
+}
+int main() {
+	struct node *l;
+	int s;
+	s = 0;
+	l = build(5);
+	while (l) {
+		s += l->v;
+		l = l->next;
+	}
+	return s;
+}
+`},
+		{"array-cursor", `
+int main() {
+	int arr[8];
+	int *p;
+	int i, s;
+	for (i = 0; i < 8; i++)
+		arr[i] = i;
+	s = 0;
+	for (p = arr; p < arr + 8; p++)
+		s += *p;
+	return s;
+}
+`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tu, err := parser.Parse(tc.name+".c", tc.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := simplify.Simplify(tu)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := pta.Analyze(prog, pta.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := RunAndCheck(res, prog, 0); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestOracleAblations checks soundness is preserved under every ablation
+// configuration (they trade precision, never safety).
+func TestOracleAblations(t *testing.T) {
+	opts := []struct {
+		name string
+		o    pta.Options
+	}{
+		{"no-definite", pta.Options{NoDefinite: true}},
+		{"single-array", pta.Options{SingleArrayLoc: true}},
+		{"no-memo", pta.Options{NoMemo: true}},
+		{"context-insensitive", pta.Options{ContextInsensitive: true}},
+	}
+	for _, name := range []string{"hash", "xref", "stanford", "travel", "livc"} {
+		prog, err := bench.Load(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cfg := range opts {
+			t.Run(name+"/"+cfg.name, func(t *testing.T) {
+				res, err := pta.Analyze(prog, cfg.o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := RunAndCheck(res, prog, 0); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestUnionOracle checks that the collapsed union cell behaves consistently
+// between the analysis and the interpreter.
+func TestUnionOracle(t *testing.T) {
+	src := `
+union u { int *p; int *q; };
+int deref(union u *pu) {
+	return *pu->q;
+}
+int main() {
+	union u v;
+	int x;
+	x = 7;
+	v.p = &x;
+	return deref(&v);
+}
+`
+	tu, err := parser.Parse("u.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := simplify.Simplify(tu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pta.Analyze(prog, pta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RunAndCheck(res, prog, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := RunAndCheckDeep(res, prog, 0); err != nil {
+		t.Fatal(err)
+	}
+	// And the program computes the right value.
+	ip := interp.New(prog)
+	code, err := ip.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 7 {
+		t.Errorf("exit = %d, want 7 (read through overlapping member)", code)
+	}
+}

@@ -1,0 +1,40 @@
+package pta
+
+import (
+	"repro/internal/pta/ptset"
+	"repro/internal/simple"
+)
+
+// Annotations accumulates the program-point-specific points-to information:
+// for every basic statement, the merge of the input points-to sets over all
+// analyzed calling contexts. Tables 3–5 of the paper are computed from it.
+type Annotations struct {
+	in map[*simple.Basic]ptset.Set
+}
+
+// NewAnnotations returns an empty annotation store.
+func NewAnnotations() *Annotations {
+	return &Annotations{in: make(map[*simple.Basic]ptset.Set)}
+}
+
+// Record merges the input set flowing into b.
+func (a *Annotations) Record(b *simple.Basic, in ptset.Set) {
+	if in.IsBottom() {
+		return
+	}
+	if old, ok := a.in[b]; ok {
+		a.in[b] = ptset.Merge(old, in)
+		return
+	}
+	a.in[b] = in.Clone()
+}
+
+// At returns the merged points-to set flowing into b and whether the
+// statement was ever reached.
+func (a *Annotations) At(b *simple.Basic) (ptset.Set, bool) {
+	s, ok := a.in[b]
+	return s, ok
+}
+
+// Len returns the number of annotated statements.
+func (a *Annotations) Len() int { return len(a.in) }

@@ -1,0 +1,96 @@
+package pta
+
+import (
+	"repro/internal/pta/invgraph"
+	"repro/internal/pta/ptset"
+	"repro/internal/simple"
+)
+
+// processBasic implements process_basic_stmt of Figure 1, dispatching call
+// statements to the interprocedural machinery.
+func (a *analyzer) processBasic(b *simple.Basic, in ptset.Set, ign *invgraph.Node) ptset.Set {
+	a.step()
+	a.ann.Record(b, in)
+
+	switch b.Kind {
+	case simple.AsgnCall:
+		return a.processDirectCall(b, in, ign)
+	case simple.AsgnCallInd:
+		return a.processIndirectCall(b, in, ign)
+	case simple.StmtNop:
+		return in
+	}
+
+	if !isPointerStmt(b) {
+		return in
+	}
+	lls := a.llocs(b.LHS, in)
+	rls := a.rlocs(b, in)
+	out := in.Clone()
+	a.applyAssign(out, lls, rls)
+	return out
+}
+
+// applyAssign mutates s with the kill/change/gen sets of a pointer
+// assignment: L-locations lls receive the R-locations rls.
+//
+//	kill:   all relationships from definite, single L-locations
+//	change: definite relationships from possible or multi L-locations
+//	        become possible
+//	gen:    every (L-location, R-location) pair; definite only when both
+//	        derivations are definite and the source represents a single
+//	        real location. (A definite relationship *to* a multi location
+//	        such as a_tail is allowed — Table 1 gives &a[i>0] the R-set
+//	        {(a_tail, D)} — because only source-side definiteness drives
+//	        strong kills.)
+func (a *analyzer) applyAssign(s ptset.Set, lls, rls []locD) {
+	for _, p := range lls {
+		if p.d == ptset.D && !p.l.Multi() && !a.opts.NoDefinite {
+			s.Kill(p.l)
+		} else {
+			s.Weaken(p.l)
+		}
+	}
+	for _, p := range lls {
+		for _, x := range rls {
+			d := p.d.And(x.d)
+			if p.l.Multi() || a.opts.NoDefinite {
+				d = ptset.P
+			}
+			s.Insert(p.l, x.l, d)
+		}
+	}
+}
+
+// externalReturnsArg maps library functions that return one of their
+// pointer arguments to the argument index (strcpy returns its destination,
+// and so on). Other externals have no effect on stack points-to
+// relationships.
+var externalReturnsArg = map[string]int{
+	"strcpy":  0,
+	"strncpy": 0,
+	"strcat":  0,
+	"memcpy":  0,
+	"memmove": 0,
+	"memset":  0,
+}
+
+// processExternalCall models a call to a function with no body in the
+// program (libc stubs). The modeled functions do not create or destroy
+// stack points-to relationships except through their returned pointer.
+func (a *analyzer) processExternalCall(b *simple.Basic, in ptset.Set) ptset.Set {
+	if b.LHS == nil || !isPointerStmt(b) {
+		return in
+	}
+	var rls []locD
+	if idx, ok := externalReturnsArg[b.Callee.Name]; ok && idx < len(b.Args) {
+		rls = a.rlocsOfOperand(b.Args[idx], in)
+	} else {
+		a.diagf("%s: call to external %s with pointer result treated as NULL",
+			b.Pos, b.Callee.Name)
+		rls = []locD{{a.tab.NullLoc(), ptset.P}}
+	}
+	out := in.Clone()
+	a.applyAssign(out, a.llocs(b.LHS, in), rls)
+	return out
+}

@@ -1,0 +1,69 @@
+package pta
+
+import (
+	"repro/internal/pta/invgraph"
+	"repro/internal/pta/ptset"
+	"repro/internal/simple"
+)
+
+// ciSummary is the per-function state of the context-insensitive variant
+// (Options.ContextInsensitive): one merged input and one output summary per
+// function, instead of one per invocation path.
+type ciSummary struct {
+	in, out ptset.Set
+	node    *invgraph.Node // canonical node carrying the merged input
+	running bool
+}
+
+// processCI analyzes fn against the merge of every input seen so far and
+// returns its (monotonically growing) output summary. Convergence across
+// mutual recursion is driven by the global rounds in run().
+func (a *analyzer) processCI(fn *simple.Function, funcInput ptset.Set) ptset.Set {
+	s := a.ci[fn]
+	if s == nil {
+		s = &ciSummary{
+			in:   ptset.NewBottom(),
+			out:  ptset.NewBottom(),
+			node: &invgraph.Node{Fn: fn},
+		}
+		a.ci[fn] = s
+	}
+	newIn := ptset.Merge(s.in, funcInput)
+	if !ptset.Equal(newIn, s.in) {
+		s.in = newIn
+		a.ciChanged = true
+	}
+	if s.running {
+		return s.out // recursive re-entry: current approximation
+	}
+	s.running = true
+	for {
+		s.node.StoredInput = s.in
+		s.node.HasInput = true
+		out := a.analyzeBody(s.node)
+		if ptset.Subset(out, s.out) {
+			break
+		}
+		s.out = ptset.Merge(s.out, out)
+		a.ciChanged = true
+	}
+	s.running = false
+	return s.out
+}
+
+// runCI drives the context-insensitive analysis to a global fixed point.
+func (a *analyzer) runCI(mainFn *simple.Function, entry ptset.Set) {
+	a.ci = make(map[*simple.Function]*ciSummary)
+	const maxRounds = 1000
+	for round := 0; ; round++ {
+		a.ciChanged = false
+		a.mainOut = a.processCI(mainFn, entry)
+		if !a.ciChanged {
+			return
+		}
+		if round >= maxRounds {
+			a.diagf("context-insensitive analysis did not converge in %d rounds", maxRounds)
+			return
+		}
+	}
+}

@@ -1,0 +1,306 @@
+// Package invgraph implements the invocation graph of the paper (§4): an
+// explicit tree of procedure invocations rooted at main, where every calling
+// context is a unique path. Recursion is approximated by matched pairs of
+// *recursive* and *approximate* nodes connected by a back-edge, and function
+// pointer call sites grow children dynamically as the points-to analysis
+// discovers their targets (§5).
+package invgraph
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/pta/ptset"
+	"repro/internal/simple"
+)
+
+// NodeKind classifies invocation graph nodes.
+type NodeKind int
+
+// Node kinds.
+const (
+	Ordinary NodeKind = iota
+	Recursive
+	Approximate
+)
+
+func (k NodeKind) String() string {
+	switch k {
+	case Ordinary:
+		return "ordinary"
+	case Recursive:
+		return "recursive"
+	case Approximate:
+		return "approximate"
+	}
+	return "?"
+}
+
+// Node is one invocation of a function along a specific call chain.
+type Node struct {
+	Fn     *simple.Function
+	Kind   NodeKind
+	Parent *Node
+	// Site is the call statement in the parent's body that creates this
+	// invocation (nil for the root).
+	Site     *simple.Basic
+	Children []*Node
+
+	// RecPartner links an Approximate node to its matching Recursive
+	// ancestor (the special back-edge of Figure 2).
+	RecPartner *Node
+
+	// Analysis memoization (paper Figure 4). HasInput marks StoredInput
+	// as valid (it is set while the node is being processed); HasResult
+	// marks StoredOutput as a completed summary for StoredInput.
+	HasInput     bool
+	HasResult    bool
+	StoredInput  ptset.Set
+	StoredOutput ptset.Set
+	Pending      []ptset.Set
+
+	// MapInfo records the context-sensitive association between symbolic
+	// names and the invisible variables they represent for this
+	// invocation. It is owned by the analysis (package pta).
+	MapInfo any
+}
+
+// Graph is the invocation graph of a program.
+type Graph struct {
+	Root *Node
+	Prog *simple.Program
+}
+
+// Build constructs the initial invocation graph by a depth-first traversal
+// of direct calls starting at main. Indirect (function pointer) call sites
+// are left incomplete; the analysis adds their children via AddIndirectChild.
+func Build(prog *simple.Program) (*Graph, error) {
+	mainFn := prog.Main()
+	if mainFn == nil {
+		return nil, fmt.Errorf("invgraph: program has no main function")
+	}
+	g := &Graph{Prog: prog}
+	g.Root = &Node{Fn: mainFn}
+	g.expand(g.Root)
+	return g, nil
+}
+
+// expand adds static children for every direct call in n.Fn's body.
+func (g *Graph) expand(n *Node) {
+	for _, site := range CallSites(n.Fn) {
+		if site.Kind != simple.AsgnCall {
+			continue // indirect sites expand during analysis
+		}
+		callee := g.Prog.Lookup(site.Callee.Name)
+		if callee == nil {
+			continue // external function: no body, no node
+		}
+		g.addChild(n, site, callee)
+	}
+}
+
+// addChild creates a child node of parent for a call to fn at site,
+// performing the recursion check against the ancestor chain.
+func (g *Graph) addChild(parent *Node, site *simple.Basic, fn *simple.Function) *Node {
+	for a := parent; a != nil; a = a.Parent {
+		if a.Fn == fn {
+			// Repeated function name on the chain from main: terminate
+			// with an approximate node paired to the ancestor.
+			a.Kind = Recursive
+			child := &Node{Fn: fn, Kind: Approximate, Parent: parent, Site: site, RecPartner: a}
+			parent.Children = append(parent.Children, child)
+			return child
+		}
+	}
+	child := &Node{Fn: fn, Parent: parent, Site: site}
+	parent.Children = append(parent.Children, child)
+	g.expand(child)
+	return child
+}
+
+// ChildFor returns the child of n for the given direct call site.
+func (n *Node) ChildFor(site *simple.Basic) *Node {
+	for _, c := range n.Children {
+		if c.Site == site {
+			return c
+		}
+	}
+	return nil
+}
+
+// IndirectChild returns the child of n for (site, fn) if it exists.
+func (n *Node) IndirectChild(site *simple.Basic, fn *simple.Function) *Node {
+	for _, c := range n.Children {
+		if c.Site == site && c.Fn == fn {
+			return c
+		}
+	}
+	return nil
+}
+
+// AddIndirectChild records that the indirect call at site can invoke fn,
+// updating the invocation graph (paper Figure 5's updateInvocGraph). The
+// child subtree for fn's own direct calls is built immediately.
+func (g *Graph) AddIndirectChild(parent *Node, site *simple.Basic, fn *simple.Function) *Node {
+	if c := parent.IndirectChild(site, fn); c != nil {
+		return c
+	}
+	return g.addChild(parent, site, fn)
+}
+
+// CallSites returns the call statements (direct and indirect) of fn's body
+// in textual order.
+func CallSites(fn *simple.Function) []*simple.Basic {
+	var out []*simple.Basic
+	var walk func(s simple.Stmt)
+	walk = func(s simple.Stmt) {
+		switch s := s.(type) {
+		case *simple.Basic:
+			if s.Kind == simple.AsgnCall || s.Kind == simple.AsgnCallInd {
+				out = append(out, s)
+			}
+		case *simple.Seq:
+			if s == nil {
+				return
+			}
+			for _, c := range s.List {
+				walk(c)
+			}
+		case *simple.If:
+			walk(s.Then)
+			if s.Else != nil {
+				walk(s.Else)
+			}
+		case *simple.While:
+			walk(s.CondEval)
+			walk(s.Body)
+		case *simple.DoWhile:
+			walk(s.Body)
+			walk(s.CondEval)
+		case *simple.For:
+			walk(s.Init)
+			walk(s.CondEval)
+			walk(s.Body)
+			walk(s.Post)
+		case *simple.Switch:
+			for _, c := range s.Cases {
+				walk(c.Body)
+			}
+		}
+	}
+	walk(fn.Body)
+	return out
+}
+
+// Stats summarizes a graph for Table 6.
+type Stats struct {
+	Nodes       int
+	CallSites   int // call statements in the program (to defined functions)
+	Functions   int // distinct functions appearing in the graph
+	Recursive   int
+	Approximate int
+}
+
+// AvgPerCallSite returns nodes per call site.
+func (s Stats) AvgPerCallSite() float64 {
+	if s.CallSites == 0 {
+		return 0
+	}
+	return float64(s.Nodes) / float64(s.CallSites)
+}
+
+// AvgPerFunction returns nodes per called function.
+func (s Stats) AvgPerFunction() float64 {
+	if s.Functions == 0 {
+		return 0
+	}
+	return float64(s.Nodes) / float64(s.Functions)
+}
+
+// ComputeStats gathers Table 6 statistics.
+func (g *Graph) ComputeStats() Stats {
+	var st Stats
+	fns := make(map[*simple.Function]bool)
+	g.Walk(func(n *Node) {
+		st.Nodes++
+		fns[n.Fn] = true
+		switch n.Kind {
+		case Recursive:
+			st.Recursive++
+		case Approximate:
+			st.Approximate++
+		}
+	})
+	st.Functions = len(fns)
+	for _, f := range g.Prog.Functions {
+		for _, site := range CallSites(f) {
+			if site.Kind == simple.AsgnCall && g.Prog.Lookup(site.Callee.Name) == nil {
+				continue
+			}
+			st.CallSites++
+		}
+	}
+	return st
+}
+
+// Walk visits every node of the graph in depth-first preorder.
+func (g *Graph) Walk(f func(*Node)) {
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		f(n)
+		for _, c := range n.Children {
+			rec(c)
+		}
+	}
+	rec(g.Root)
+}
+
+// Path renders the call chain from main to n.
+func (n *Node) Path() string {
+	var names []string
+	for cur := n; cur != nil; cur = cur.Parent {
+		names = append(names, cur.Fn.Name())
+	}
+	for i, j := 0, len(names)-1; i < j; i, j = i+1, j-1 {
+		names[i], names[j] = names[j], names[i]
+	}
+	return strings.Join(names, " -> ")
+}
+
+// WriteDot emits the graph in Graphviz DOT form (Figure 2/7 style):
+// approximate nodes are dashed, recursive nodes doubled, and the
+// approximate->recursive back-edges dotted.
+func (g *Graph) WriteDot(w io.Writer) {
+	fmt.Fprintln(w, "digraph invocation {")
+	fmt.Fprintln(w, "  node [shape=ellipse];")
+	ids := make(map[*Node]int)
+	g.Walk(func(n *Node) { ids[n] = len(ids) })
+	// Deterministic order.
+	nodes := make([]*Node, len(ids))
+	for n, id := range ids {
+		nodes[id] = n
+	}
+	for id, n := range nodes {
+		attrs := ""
+		switch n.Kind {
+		case Recursive:
+			attrs = ", peripheries=2"
+		case Approximate:
+			attrs = ", style=dashed"
+		}
+		fmt.Fprintf(w, "  n%d [label=%q%s];\n", id, n.Fn.Name(), attrs)
+	}
+	for id, n := range nodes {
+		children := append([]*Node{}, n.Children...)
+		sort.Slice(children, func(i, j int) bool { return ids[children[i]] < ids[children[j]] })
+		for _, c := range children {
+			fmt.Fprintf(w, "  n%d -> n%d;\n", id, ids[c])
+		}
+		if n.RecPartner != nil {
+			fmt.Fprintf(w, "  n%d -> n%d [style=dotted, constraint=false];\n", id, ids[n.RecPartner])
+		}
+	}
+	fmt.Fprintln(w, "}")
+}

@@ -1,0 +1,243 @@
+package invgraph
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cc/parser"
+	"repro/internal/simple"
+	"repro/internal/simplify"
+)
+
+func load(t *testing.T, src string) *simple.Program {
+	t.Helper()
+	tu, err := parser.Parse("test.c", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	prog, err := simplify.Simplify(tu)
+	if err != nil {
+		t.Fatalf("Simplify: %v", err)
+	}
+	return prog
+}
+
+func build(t *testing.T, src string) *Graph {
+	t.Helper()
+	g, err := Build(load(t, src))
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g
+}
+
+// Figure 2(a): two call sites of g, each calling f — four paths, and the
+// two f invocations are distinct nodes.
+func TestFigure2aDistinctContexts(t *testing.T) {
+	g := build(t, `
+void f(void) {}
+void g(void) { f(); }
+int main() {
+	g();
+	g();
+	f();
+	return 0;
+}
+`)
+	st := g.ComputeStats()
+	// main, g, f (under first g), g, f (under second g), f (direct) = 6.
+	if st.Nodes != 6 {
+		t.Errorf("nodes = %d, want 6", st.Nodes)
+	}
+	if st.Recursive != 0 || st.Approximate != 0 {
+		t.Errorf("no recursion expected, got R=%d A=%d", st.Recursive, st.Approximate)
+	}
+	// f appears under both g invocations: count f nodes.
+	nf := 0
+	g.Walk(func(n *Node) {
+		if n.Fn.Name() == "f" {
+			nf++
+		}
+	})
+	if nf != 3 {
+		t.Errorf("f nodes = %d, want 3 (distinct invocation chains)", nf)
+	}
+}
+
+// Figure 2(b): simple recursion gets a recursive/approximate pair.
+func TestFigure2bSimpleRecursion(t *testing.T) {
+	g := build(t, `
+void f(int n) { if (n > 0) f(n - 1); }
+int main() { f(5); return 0; }
+`)
+	st := g.ComputeStats()
+	if st.Nodes != 3 {
+		t.Errorf("nodes = %d, want 3 (main, f-R, f-A)", st.Nodes)
+	}
+	if st.Recursive != 1 || st.Approximate != 1 {
+		t.Errorf("R=%d A=%d, want 1/1", st.Recursive, st.Approximate)
+	}
+	// The approximate node's partner is the recursive ancestor.
+	g.Walk(func(n *Node) {
+		if n.Kind == Approximate {
+			if n.RecPartner == nil || n.RecPartner.Kind != Recursive ||
+				n.RecPartner.Fn != n.Fn {
+				t.Error("approximate node must pair with its recursive ancestor")
+			}
+		}
+	})
+}
+
+// Figure 2(c): simple and mutual recursion combined.
+func TestFigure2cMutualRecursion(t *testing.T) {
+	g := build(t, `
+void g(int n);
+void f(int n) {
+	if (n > 0) f(n - 1);
+	if (n > 1) g(n - 1);
+}
+void g(int n) {
+	if (n > 0) f(n - 1);
+}
+int main() { f(3); return 0; }
+`)
+	st := g.ComputeStats()
+	// f repeats on both the f->f chain and the f->g->f chain, so f is the
+	// single recursive node with two approximate partners; g never
+	// repeats on a chain from main.
+	if st.Recursive != 1 || st.Approximate != 2 {
+		t.Errorf("expected R=1 A=2, got R=%d A=%d", st.Recursive, st.Approximate)
+	}
+	// Every approximate node must point back to an ancestor on its path.
+	g.Walk(func(n *Node) {
+		if n.Kind != Approximate {
+			return
+		}
+		found := false
+		for a := n.Parent; a != nil; a = a.Parent {
+			if a == n.RecPartner {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("approximate node %s: partner not an ancestor", n.Path())
+		}
+	})
+}
+
+func TestExternalCallsIgnored(t *testing.T) {
+	g := build(t, `
+int main() {
+	printf("hi\n");
+	return 0;
+}
+`)
+	st := g.ComputeStats()
+	if st.Nodes != 1 {
+		t.Errorf("nodes = %d, want 1 (externals have no nodes)", st.Nodes)
+	}
+	if st.CallSites != 0 {
+		t.Errorf("call sites = %d, want 0 (external calls not counted)", st.CallSites)
+	}
+}
+
+func TestNoMainError(t *testing.T) {
+	prog := load(t, `void f(void) {}`)
+	if _, err := Build(prog); err == nil {
+		t.Fatal("Build should fail without main")
+	}
+}
+
+func TestAddIndirectChild(t *testing.T) {
+	prog := load(t, `
+void cb(void) {}
+void (*fp)(void);
+int main() {
+	fp = cb;
+	fp();
+	return 0;
+}
+`)
+	g, err := Build(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Root.Children) != 0 {
+		t.Fatalf("indirect site should start unexpanded, children=%d", len(g.Root.Children))
+	}
+	sites := CallSites(g.Root.Fn)
+	var ind *simple.Basic
+	for _, s := range sites {
+		if s.Kind == simple.AsgnCallInd {
+			ind = s
+		}
+	}
+	if ind == nil {
+		t.Fatal("indirect call site not found")
+	}
+	cbFn := prog.Lookup("cb")
+	c1 := g.AddIndirectChild(g.Root, ind, cbFn)
+	c2 := g.AddIndirectChild(g.Root, ind, cbFn)
+	if c1 != c2 {
+		t.Error("AddIndirectChild must be idempotent per (site, fn)")
+	}
+	if len(g.Root.Children) != 1 {
+		t.Errorf("children = %d, want 1", len(g.Root.Children))
+	}
+}
+
+func TestWriteDot(t *testing.T) {
+	g := build(t, `
+void f(int n) { if (n) f(n - 1); }
+int main() { f(1); return 0; }
+`)
+	var sb strings.Builder
+	g.WriteDot(&sb)
+	dot := sb.String()
+	for _, want := range []string{"digraph invocation", `label="main"`, "peripheries=2", "style=dashed", "style=dotted"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestCallSitesOrder(t *testing.T) {
+	prog := load(t, `
+void a(void) {}
+void b(void) {}
+int main() {
+	a();
+	if (1) { b(); }
+	while (0) { a(); }
+	return 0;
+}
+`)
+	sites := CallSites(prog.Main())
+	if len(sites) != 3 {
+		t.Fatalf("call sites = %d, want 3", len(sites))
+	}
+	if sites[0].Callee.Name != "a" || sites[1].Callee.Name != "b" || sites[2].Callee.Name != "a" {
+		t.Errorf("sites out of order: %v %v %v",
+			sites[0].Callee.Name, sites[1].Callee.Name, sites[2].Callee.Name)
+	}
+}
+
+func TestPath(t *testing.T) {
+	g := build(t, `
+void inner(void) {}
+void outer(void) { inner(); }
+int main() { outer(); return 0; }
+`)
+	var leaf *Node
+	g.Walk(func(n *Node) {
+		if n.Fn.Name() == "inner" {
+			leaf = n
+		}
+	})
+	if leaf == nil {
+		t.Fatal("inner not in graph")
+	}
+	if got := leaf.Path(); got != "main -> outer -> inner" {
+		t.Errorf("Path() = %q", got)
+	}
+}

@@ -1,0 +1,434 @@
+// Package loc defines abstract stack locations (paper §3.1): named
+// abstractions of the real stack locations a program can access. A location
+// is a variable (with an optional selector path through struct fields and
+// the two-location array abstraction a_head/a_tail), a symbolic name for
+// invisible variables (1_x, 2_x, …), the single heap location, the NULL
+// pseudo-location, string-literal storage, or a function (the target of a
+// function pointer).
+package loc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cc/ast"
+	"repro/internal/cc/types"
+	"repro/internal/simple"
+)
+
+// Kind discriminates Location.
+type Kind int
+
+// Location kinds.
+const (
+	Var      Kind = iota // named variable (local, global, parameter) + path
+	Symbolic             // invisible-variable stand-in, scoped to a function
+	Heap                 // the single abstract heap location
+	Null                 // the NULL pseudo-target
+	Str                  // string-literal storage
+	Func                 // a function, target of function pointers
+)
+
+// Elem is one element of a location's selector path.
+type Elem struct {
+	Field string // field name, or "" for an array part
+	Tail  bool   // array part: false = head (element 0), true = tail (1..n)
+	Arr   bool   // true when this element is an array part
+}
+
+func (e Elem) String() string {
+	if !e.Arr {
+		return "." + e.Field
+	}
+	if e.Tail {
+		return "[*]"
+	}
+	return "[0]"
+}
+
+// HeadElem and TailElem are the two abstract array parts. UnionElem is the
+// collapsed representative of all members of a union: the members overlap
+// in memory, so they share one absorbing abstract location (any further
+// selector stays at it), which is conservatively multi.
+var (
+	HeadElem  = Elem{Arr: true}
+	TailElem  = Elem{Arr: true, Tail: true}
+	UnionElem = Elem{Field: "$union"}
+)
+
+// FieldElem returns a field path element.
+func FieldElem(name string) Elem { return Elem{Field: name} }
+
+// Location is one interned abstract stack location. Locations are created
+// only by a Table; pointer equality is identity.
+type Location struct {
+	Kind Kind
+	Obj  *ast.Object      // Var: the variable; Func: the function object
+	Fn   *simple.Function // Symbolic: owning function; Var: nil for globals
+	Path []Elem           // Var/Symbolic: selector path
+	Sym  string           // Symbolic: root name, e.g. "1_x"
+
+	name    string // cached render
+	sortKey string // cached deterministic ordering key
+	multi   bool   // represents more than one real stack location
+	blob    bool   // union-collapsed location: absorbs further selectors
+	typ     *types.Type
+}
+
+// Name returns the display name of the location (unique within its scope).
+func (l *Location) Name() string { return l.name }
+
+// Multi reports whether the location may represent more than one real stack
+// location (a_tail parts, heap, string storage). Definite relationships must
+// not be generated from or killed at such locations.
+func (l *Location) Multi() bool { return l.multi }
+
+// Type returns the C type of the location's content, when known.
+func (l *Location) Type() *types.Type { return l.typ }
+
+// IsGlobalish reports whether the location is visible in every function:
+// global variables, heap, NULL, strings, and functions.
+func (l *Location) IsGlobalish() bool {
+	switch l.Kind {
+	case Heap, Null, Str, Func:
+		return true
+	case Var:
+		return l.Obj.Global
+	}
+	return false
+}
+
+// Owner returns the owning function for locals and symbolics, or nil.
+func (l *Location) Owner() *simple.Function { return l.Fn }
+
+func (l *Location) String() string { return l.name }
+
+// SortKey orders locations deterministically. It is computed once at
+// interning time (locations are immutable), since set iteration sorts by it
+// in hot paths.
+func (l *Location) SortKey() string { return l.sortKey }
+
+// initSortKey fills the cached ordering key; called by the Table when a
+// location is created.
+func (l *Location) initSortKey() {
+	owner := ""
+	if l.Fn != nil {
+		owner = l.Fn.Name()
+	}
+	l.sortKey = owner + "\x00" + l.name
+}
+
+// ---------------------------------------------------------------------------
+// Table
+
+// Table interns all locations of one program analysis.
+type Table struct {
+	vars   map[varKey]*Location
+	syms   map[symKey]*Location
+	funcs  map[*ast.Object]*Location
+	heap   *Location
+	null   *Location
+	str    *Location
+	owners map[*ast.Object]*simple.Function // local/param -> function
+}
+
+type varKey struct {
+	obj  *ast.Object
+	path string
+}
+
+type symKey struct {
+	fn   *simple.Function
+	sym  string
+	path string
+}
+
+// NewTable returns an empty location table, registering ownership of locals
+// and parameters for the given program.
+func NewTable(prog *simple.Program) *Table {
+	t := &Table{
+		vars:   make(map[varKey]*Location),
+		syms:   make(map[symKey]*Location),
+		funcs:  make(map[*ast.Object]*Location),
+		owners: make(map[*ast.Object]*simple.Function),
+	}
+	t.heap = &Location{Kind: Heap, name: "heap", multi: true}
+	t.null = &Location{Kind: Null, name: "NULL"}
+	t.str = &Location{Kind: Str, name: "_string_", multi: true}
+	t.heap.initSortKey()
+	t.null.initSortKey()
+	t.str.initSortKey()
+	if prog != nil {
+		for _, f := range prog.Functions {
+			for _, p := range f.Params {
+				t.owners[p] = f
+			}
+			for _, l := range f.Locals {
+				t.owners[l] = f
+			}
+			if f.RetVal != nil {
+				t.owners[f.RetVal] = f
+			}
+		}
+	}
+	return t
+}
+
+// RegisterLocal records that obj is a local of fn (used for temporaries
+// added after table construction).
+func (t *Table) RegisterLocal(obj *ast.Object, fn *simple.Function) { t.owners[obj] = fn }
+
+// HeapLoc returns the single heap location.
+func (t *Table) HeapLoc() *Location { return t.heap }
+
+// NullLoc returns the NULL pseudo-location.
+func (t *Table) NullLoc() *Location { return t.null }
+
+// StrLoc returns the string-literal storage location.
+func (t *Table) StrLoc() *Location { return t.str }
+
+// FuncLoc returns the location standing for a function (the target of
+// function pointers).
+func (t *Table) FuncLoc(obj *ast.Object) *Location {
+	if l, ok := t.funcs[obj]; ok {
+		return l
+	}
+	l := &Location{Kind: Func, Obj: obj, name: obj.Name, typ: obj.Type}
+	l.initSortKey()
+	t.funcs[obj] = l
+	return l
+}
+
+func pathString(path []Elem) string {
+	var sb strings.Builder
+	for _, e := range path {
+		sb.WriteString(e.String())
+	}
+	return sb.String()
+}
+
+// VarLoc returns the location for a variable plus selector path.
+func (t *Table) VarLoc(obj *ast.Object, path []Elem) *Location {
+	key := varKey{obj: obj, path: pathString(path)}
+	if l, ok := t.vars[key]; ok {
+		return l
+	}
+	l := &Location{
+		Kind: Var,
+		Obj:  obj,
+		Fn:   t.owners[obj],
+		Path: append([]Elem{}, path...),
+		name: obj.Name + key.path,
+		typ:  typeAt(obj.Type, path),
+	}
+	for _, e := range path {
+		if e.Arr && e.Tail {
+			l.multi = true
+		}
+		if !e.Arr && e.Field == "$union" {
+			l.multi = true
+			l.blob = true
+		}
+	}
+	l.initSortKey()
+	t.vars[key] = l
+	return l
+}
+
+// SymLoc returns the symbolic location with the given root name and path,
+// scoped to fn.
+func (t *Table) SymLoc(fn *simple.Function, sym string, path []Elem, typ *types.Type) *Location {
+	key := symKey{fn: fn, sym: sym, path: pathString(path)}
+	if l, ok := t.syms[key]; ok {
+		return l
+	}
+	l := &Location{
+		Kind: Symbolic,
+		Fn:   fn,
+		Sym:  sym,
+		Path: append([]Elem{}, path...),
+		name: sym + key.path,
+		typ:  typ,
+	}
+	for _, e := range path {
+		if e.Arr && e.Tail {
+			l.multi = true
+		}
+		if !e.Arr && e.Field == "$union" {
+			l.multi = true
+			l.blob = true
+		}
+	}
+	l.initSortKey()
+	t.syms[key] = l
+	return l
+}
+
+// Extend returns the location reached from l by appending one path element.
+// Heap, string and union-collapsed locations absorb selectors (they each
+// stand for one undifferentiated region); NULL and functions cannot be
+// extended and return nil. A field selector applied to a union type lands
+// on the collapsed $union member (union members overlap in memory).
+func (t *Table) Extend(l *Location, e Elem) *Location {
+	switch l.Kind {
+	case Heap, Str:
+		return l
+	case Null, Func:
+		return nil
+	}
+	if l.blob {
+		return l
+	}
+	if !e.Arr && l.typ != nil && l.typ.Kind == types.Union {
+		e = UnionElem
+	}
+	switch l.Kind {
+	case Var:
+		return t.VarLoc(l.Obj, append(append([]Elem{}, l.Path...), e))
+	case Symbolic:
+		return t.SymLoc(l.Fn, l.Sym, append(append([]Elem{}, l.Path...), e), elemType(l.typ, e))
+	}
+	return nil
+}
+
+// Root returns the location with the path stripped (the variable or
+// symbolic root itself).
+func (t *Table) Root(l *Location) *Location {
+	if len(l.Path) == 0 {
+		return l
+	}
+	switch l.Kind {
+	case Var:
+		return t.VarLoc(l.Obj, nil)
+	case Symbolic:
+		return t.SymLoc(l.Fn, l.Sym, nil, nil)
+	}
+	return l
+}
+
+func elemType(t *types.Type, e Elem) *types.Type {
+	if t == nil {
+		return nil
+	}
+	if !e.Arr && e.Field == "$union" {
+		return nil // collapsed union member: type indeterminate
+	}
+	if e.Arr {
+		d := t.Decay()
+		if d.Kind == types.Pointer {
+			return d.Elem
+		}
+		return nil
+	}
+	if f := t.FieldByName(e.Field); f != nil {
+		return f.Type
+	}
+	return nil
+}
+
+func typeAt(t *types.Type, path []Elem) *types.Type {
+	for _, e := range path {
+		t = elemType(t, e)
+		if t == nil {
+			return nil
+		}
+	}
+	return t
+}
+
+// SymCount returns the number of distinct symbolic root names created for
+// fn (Table 2 counts them among the function's abstract stack variables).
+func (t *Table) SymCount(fn *simple.Function) int {
+	names := make(map[string]bool)
+	for k := range t.syms {
+		if k.fn == fn && k.path == "" {
+			names[k.sym] = true
+		}
+	}
+	return len(names)
+}
+
+// SortLocs sorts a slice of locations deterministically in place and
+// returns it.
+func SortLocs(ls []*Location) []*Location {
+	sort.Slice(ls, func(i, j int) bool { return ls[i].SortKey() < ls[j].SortKey() })
+	return ls
+}
+
+// PointerPaths enumerates the selector paths within type t that denote
+// pointer-carrying scalar locations (pointers themselves). It is used to
+// enumerate the abstract locations of aggregates: for `struct {int *p;
+// int *a[4];} s` it yields [.p], [.a[0]], [.a[*]].
+func PointerPaths(t *types.Type) [][]Elem {
+	var out [][]Elem
+	var walk func(t *types.Type, path []Elem, depth int)
+	walk = func(t *types.Type, path []Elem, depth int) {
+		if t == nil || depth > 12 {
+			return
+		}
+		switch t.Kind {
+		case types.Pointer:
+			out = append(out, path)
+		case types.Array:
+			if !t.Elem.HasPointers() {
+				return
+			}
+			walk(t.Elem, appendElem(path, HeadElem), depth+1)
+			walk(t.Elem, appendElem(path, TailElem), depth+1)
+		case types.Struct:
+			for _, f := range t.Fields {
+				if !f.Type.HasPointers() {
+					continue
+				}
+				walk(f.Type, appendElem(path, FieldElem(f.Name)), depth+1)
+			}
+		case types.Union:
+			// All members collapse into one absorbing location.
+			out = append(out, appendElem(path, UnionElem))
+		}
+	}
+	walk(t, nil, 0)
+	return out
+}
+
+// appendElem appends without sharing backing arrays between branches.
+func appendElem(path []Elem, e Elem) []Elem {
+	return append(append(make([]Elem, 0, len(path)+1), path...), e)
+}
+
+// AllPaths enumerates every scalar selector path of t, pointer-carrying or
+// not (used to count abstract stack variables for Table 2).
+func AllPaths(t *types.Type) [][]Elem {
+	var out [][]Elem
+	var walk func(t *types.Type, path []Elem, depth int)
+	walk = func(t *types.Type, path []Elem, depth int) {
+		if t == nil || depth > 12 {
+			return
+		}
+		switch t.Kind {
+		case types.Array:
+			walk(t.Elem, appendElem(path, HeadElem), depth+1)
+			walk(t.Elem, appendElem(path, TailElem), depth+1)
+		case types.Struct:
+			for _, f := range t.Fields {
+				walk(f.Type, appendElem(path, FieldElem(f.Name)), depth+1)
+			}
+		case types.Union:
+			out = append(out, appendElem(path, UnionElem))
+		default:
+			out = append(out, path)
+		}
+	}
+	walk(t, nil, 0)
+	return out
+}
+
+// Fmt renders a location list for diagnostics.
+func Fmt(ls []*Location) string {
+	names := make([]string, len(ls))
+	for i, l := range SortLocs(append([]*Location{}, ls...)) {
+		names[i] = l.Name()
+	}
+	return fmt.Sprintf("[%s]", strings.Join(names, " "))
+}

@@ -1,0 +1,301 @@
+package pta
+
+import (
+	"fmt"
+
+	"repro/internal/cc/ast"
+	"repro/internal/cc/types"
+	"repro/internal/pta/invgraph"
+	"repro/internal/pta/loc"
+	"repro/internal/pta/ptset"
+	"repro/internal/simple"
+)
+
+// FnPtrStrategy selects how indirect call sites are resolved (paper §5 and
+// §6's livc study).
+type FnPtrStrategy int
+
+// Function-pointer resolution strategies.
+const (
+	// Precise resolves an indirect call to the current points-to set of
+	// the function pointer — the paper's algorithm (Figure 5).
+	Precise FnPtrStrategy = iota
+	// AddrTaken resolves every indirect call to all functions whose
+	// address is taken somewhere in the program.
+	AddrTaken
+	// AllFuncs resolves every indirect call to every defined function.
+	AllFuncs
+)
+
+// Options configures an analysis run; the zero value is the paper's
+// algorithm.
+type Options struct {
+	FnPtr FnPtrStrategy
+
+	// NoDefinite downgrades every generated relationship to possible and
+	// disables strong updates — the "definite information" ablation.
+	NoDefinite bool
+
+	// SingleArrayLoc collapses the two-location array abstraction
+	// (a_head/a_tail) into a single location per array — the array
+	// abstraction ablation.
+	SingleArrayLoc bool
+
+	// NoMemo disables memoization of IN/OUT pairs on invocation graph
+	// nodes (§4's advantage (3)) — the memoization ablation.
+	NoMemo bool
+
+	// ContextInsensitive merges the inputs from all call sites of a
+	// function and analyzes each function against the merged input — the
+	// context-sensitivity ablation (one summary per function instead of
+	// one per invocation path). Implemented in package baseline.
+	ContextInsensitive bool
+
+	// ShareContexts enables the optimization the paper proposes as future
+	// work in §6: a global per-function cache of (input, output) summary
+	// pairs, so an invocation whose mapped input has already been analyzed
+	// anywhere in the graph reuses the stored output instead of
+	// re-analyzing the body (subtree sharing by memoization).
+	ShareContexts bool
+
+	// MaxSteps bounds the number of basic-statement evaluations as a
+	// runaway guard (0 means the default of 50 million).
+	MaxSteps int
+}
+
+// Result is the outcome of an analysis.
+type Result struct {
+	Prog  *simple.Program
+	Table *loc.Table
+	Graph *invgraph.Graph
+	Opts  Options
+
+	// Annots holds the merged points-to set flowing into every basic
+	// statement, across all analyzed calling contexts.
+	Annots *Annotations
+
+	// MainOut is the points-to set at the exit of main.
+	MainOut ptset.Set
+
+	// Diags collects non-fatal analysis diagnostics (unresolved function
+	// pointers, calls to unknown externals with pointer results, …).
+	Diags []string
+
+	// Steps is the number of basic-statement evaluations performed.
+	Steps int
+
+	// SharedHits counts summary-cache reuses under Options.ShareContexts.
+	SharedHits int
+}
+
+// Analyze runs the points-to analysis on a SIMPLE program.
+func Analyze(prog *simple.Program, opts Options) (*Result, error) {
+	g, err := invgraph.Build(prog)
+	if err != nil {
+		return nil, err
+	}
+	a := &analyzer{
+		prog:     prog,
+		tab:      loc.NewTable(prog),
+		g:        g,
+		opts:     opts,
+		ann:      NewAnnotations(),
+		maxSteps: opts.MaxSteps,
+	}
+	if a.maxSteps == 0 {
+		a.maxSteps = 50_000_000
+	}
+	if opts.ShareContexts {
+		a.shared = make(map[*simple.Function][]sharedSummary)
+	}
+	res := &Result{Prog: prog, Table: a.tab, Graph: g, Opts: opts, Annots: a.ann}
+
+	if err := a.run(); err != nil {
+		return nil, err
+	}
+	res.MainOut = a.mainOut
+	res.Diags = a.diags
+	res.Steps = a.steps
+	res.SharedHits = a.sharedHits
+	return res, nil
+}
+
+type analyzer struct {
+	prog     *simple.Program
+	tab      *loc.Table
+	g        *invgraph.Graph
+	opts     Options
+	ann      *Annotations
+	diags    []string
+	steps    int
+	maxSteps int
+	mainOut  ptset.Set
+
+	// Context-insensitive variant state.
+	ci        map[*simple.Function]*ciSummary
+	ciChanged bool
+
+	// shared caches completed (input, output) summaries per function when
+	// Options.ShareContexts is set.
+	shared map[*simple.Function][]sharedSummary
+
+	// SharedHits counts cache reuses (reported via Result.SharedHits).
+	sharedHits int
+}
+
+// sharedSummary is one cached function summary.
+type sharedSummary struct {
+	in, out ptset.Set
+}
+
+func (a *analyzer) diagf(format string, args ...any) {
+	a.diags = append(a.diags, fmt.Sprintf(format, args...))
+}
+
+type stepsExceeded struct{}
+
+func (a *analyzer) step() {
+	a.steps++
+	if a.steps > a.maxSteps {
+		panic(stepsExceeded{})
+	}
+}
+
+func (a *analyzer) run() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(stepsExceeded); ok {
+				err = fmt.Errorf("pta: analysis exceeded %d steps (non-terminating fixed point?)", a.maxSteps)
+				return
+			}
+			panic(r)
+		}
+	}()
+
+	// Initial environment: global pointers are NULL, then the synthesized
+	// global initializers run.
+	in := ptset.New()
+	for _, gv := range a.prog.Globals {
+		a.initNull(in, gv)
+	}
+	f := a.processStmt(a.prog.GlobalInit, in, a.g.Root)
+	entry := f.out
+
+	// Seed main's pointer parameters (argc/argv) with symbolic targets so
+	// programs that traverse argv have something sound to point at.
+	mainFn := a.prog.Main()
+	for _, p := range mainFn.Params {
+		if p.Type == nil {
+			continue
+		}
+		depth := p.Type.PointerDepth()
+		cur := a.tab.VarLoc(p, nil)
+		t := p.Type
+		for lvl := 1; lvl <= depth; lvl++ {
+			t = pointeeType(t)
+			sym := a.tab.SymLoc(mainFn, fmt.Sprintf("%d_%s", lvl, p.Name), nil, t)
+			entry.Insert(cur, sym, ptset.P)
+			cur = sym
+		}
+	}
+
+	if a.opts.ContextInsensitive {
+		a.runCI(mainFn, entry)
+	} else {
+		a.mainOut = a.processCallNode(a.g.Root, entry)
+	}
+	return nil
+}
+
+// BaseLoc is an exported (location, definiteness) pair for reporting code.
+type BaseLoc struct {
+	Loc *loc.Location
+	Def ptset.Def
+}
+
+// EvalBaseLocs exposes the named base locations of a reference (the
+// locations of r.Var with r.Path applied, before any dereference) for the
+// statistics in package report.
+func EvalBaseLocs(res *Result, r *simple.Ref) []BaseLoc {
+	a := &analyzer{prog: res.Prog, tab: res.Table, opts: res.Opts}
+	var out []BaseLoc
+	for _, ld := range a.evalBase(r.Var, r.Path) {
+		out = append(out, BaseLoc{ld.l, ld.d})
+	}
+	return out
+}
+
+// EvalLLocs exposes the L-location set of a reference under a given
+// points-to set (Table 1) for follow-on analyses.
+func EvalLLocs(res *Result, r *simple.Ref, in ptset.Set) []BaseLoc {
+	a := &analyzer{prog: res.Prog, tab: res.Table, opts: res.Opts}
+	var out []BaseLoc
+	for _, ld := range a.llocs(r, in) {
+		out = append(out, BaseLoc{ld.l, ld.d})
+	}
+	return out
+}
+
+// EvalRLocsOfRef exposes the R-location set of a reference used as an
+// rvalue under a given points-to set.
+func EvalRLocsOfRef(res *Result, r *simple.Ref, in ptset.Set) []BaseLoc {
+	a := &analyzer{prog: res.Prog, tab: res.Table, opts: res.Opts}
+	var out []BaseLoc
+	for _, ld := range a.rlocsOfRef(r, in) {
+		out = append(out, BaseLoc{ld.l, ld.d})
+	}
+	return out
+}
+
+// EvalRLocs exposes the R-location set of a basic statement's right-hand
+// side under a given points-to set (used by the flow-insensitive baseline).
+func EvalRLocs(res *Result, b *simple.Basic, in ptset.Set) []BaseLoc {
+	a := &analyzer{prog: res.Prog, tab: res.Table, opts: res.Opts}
+	var out []BaseLoc
+	for _, ld := range a.rlocs(b, in) {
+		out = append(out, BaseLoc{ld.l, ld.d})
+	}
+	return out
+}
+
+// NewShellResult builds a Result without running the full analysis: a
+// program plus a fresh location table, so baseline analyses can reuse the
+// reference evaluators and the reporting machinery with their own
+// annotations.
+func NewShellResult(prog *simple.Program, opts Options) *Result {
+	return &Result{
+		Prog:   prog,
+		Table:  loc.NewTable(prog),
+		Opts:   opts,
+		Annots: NewAnnotations(),
+	}
+}
+
+func pointeeType(t *types.Type) *types.Type {
+	if t == nil {
+		return nil
+	}
+	d := t.Decay()
+	if d.Kind == types.Pointer {
+		return d.Elem
+	}
+	return nil
+}
+
+// initNull inserts the NULL-initialization relationships for every
+// pointer-carrying location of obj (paper: "we initialize all pointers to
+// NULL"). Locations that stand for more than one real location (array
+// tails) get only a possible relationship.
+func (a *analyzer) initNull(s ptset.Set, obj *ast.Object) {
+	if obj.Type == nil || !obj.Type.HasPointers() {
+		return
+	}
+	for _, path := range loc.PointerPaths(obj.Type) {
+		l := a.tab.VarLoc(obj, path)
+		d := ptset.D
+		if l.Multi() {
+			d = ptset.P
+		}
+		s.Insert(l, a.tab.NullLoc(), d)
+	}
+}

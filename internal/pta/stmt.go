@@ -1,0 +1,207 @@
+package pta
+
+import (
+	"repro/internal/pta/invgraph"
+	"repro/internal/pta/ptset"
+	"repro/internal/simple"
+)
+
+// flow is the result of processing a statement compositionally: the
+// fall-through output plus the sets escaping through break, continue and
+// return (the complete rules of [13] for the full SIMPLE statement set).
+type flow struct {
+	out   ptset.Set
+	brks  []ptset.Set
+	conts []ptset.Set
+	rets  []ptset.Set
+}
+
+func bottomFlow() flow { return flow{out: ptset.NewBottom()} }
+
+func (f *flow) absorbEscapes(g flow) {
+	f.brks = append(f.brks, g.brks...)
+	f.conts = append(f.conts, g.conts...)
+	f.rets = append(f.rets, g.rets...)
+}
+
+// processStmt implements process_stmt of Figure 1 over all SIMPLE
+// statements. A BOTTOM input denotes an unreachable/unknown state during
+// recursion fixed-points and propagates unchanged.
+func (a *analyzer) processStmt(s simple.Stmt, in ptset.Set, ign *invgraph.Node) flow {
+	if in.IsBottom() {
+		return bottomFlow()
+	}
+	switch s := s.(type) {
+	case nil:
+		return flow{out: in}
+
+	case *simple.Basic:
+		return flow{out: a.processBasic(s, in, ign)}
+
+	case *simple.Seq:
+		return a.processSeq(s, in, ign)
+
+	case *simple.If:
+		thenF := a.processStmt(s.Then, in, ign)
+		var elseF flow
+		if s.Else != nil {
+			elseF = a.processStmt(s.Else, in, ign)
+		} else {
+			elseF = flow{out: in}
+		}
+		out := flow{out: ptset.Merge(thenF.out, elseF.out)}
+		out.absorbEscapes(thenF)
+		out.absorbEscapes(elseF)
+		return out
+
+	case *simple.While:
+		return a.processLoop(nil, s.CondEval, s.Body, nil, false, in, ign)
+
+	case *simple.DoWhile:
+		return a.processLoop(nil, s.CondEval, s.Body, nil, true, in, ign)
+
+	case *simple.For:
+		return a.processLoop(s.Init, s.CondEval, s.Body, s.Post, false, in, ign)
+
+	case *simple.Switch:
+		return a.processSwitch(s, in, ign)
+
+	case *simple.Break:
+		return flow{out: ptset.NewBottom(), brks: []ptset.Set{in}}
+
+	case *simple.Continue:
+		return flow{out: ptset.NewBottom(), conts: []ptset.Set{in}}
+
+	case *simple.Return:
+		// The __retval assignment was emitted by the simplifier just
+		// before this statement; here the path simply leaves the body.
+		return flow{out: ptset.NewBottom(), rets: []ptset.Set{in}}
+	}
+	return flow{out: in}
+}
+
+func (a *analyzer) processSeq(s *simple.Seq, in ptset.Set, ign *invgraph.Node) flow {
+	f := flow{out: in}
+	if s == nil {
+		return f
+	}
+	for _, c := range s.List {
+		g := a.processStmt(c, f.out, ign)
+		f.out = g.out
+		f.absorbEscapes(g)
+		if f.out.IsBottom() {
+			// The rest of the sequence is unreachable on this path
+			// (after break/continue/return) or pending (recursion).
+			// Remaining statements see BOTTOM, which processStmt skips,
+			// so we can stop here.
+			break
+		}
+	}
+	return f
+}
+
+// processLoop implements the fixed-point rules for while, do-while and for
+// (paper Figure 1's process_while, generalized):
+//
+//	init; condEval; while (cond) { body; post; condEval }     (doFirst=false)
+//	do { body; condEval } while (cond)                        (doFirst=true)
+//
+// Break escapes to the loop exit, continue re-enters at post/condEval.
+func (a *analyzer) processLoop(init, condEval, body, post *simple.Seq, doFirst bool, in ptset.Set, ign *invgraph.Node) flow {
+	result := flow{}
+	if init != nil {
+		f := a.processSeq(init, in, ign)
+		in = f.out
+		result.rets = append(result.rets, f.rets...)
+		if in.IsBottom() {
+			result.out = in
+			return result
+		}
+	}
+
+	var exits []ptset.Set // sets that can leave the loop
+	evalOnce := func(s ptset.Set) ptset.Set {
+		f := a.processSeq(condEval, s, ign)
+		result.rets = append(result.rets, f.rets...)
+		return f.out
+	}
+
+	cur := in // set at the loop head (before the condition test)
+	if !doFirst {
+		cur = evalOnce(in)
+	}
+
+	const maxIter = 10000
+	for iter := 0; ; iter++ {
+		if iter > maxIter {
+			a.diagf("loop fixed point did not converge at %s", body.Position())
+			break
+		}
+		// One trip through the body from the current head set.
+		bodyIn := cur
+		f := a.processSeq(body, bodyIn, ign)
+		result.rets = append(result.rets, f.rets...)
+		exits = append(exits, f.brks...)
+
+		// continue joins the normal body exit before post/condEval.
+		backIn := ptset.MergeAll(append(f.conts, f.out)...)
+		if post != nil && !backIn.IsBottom() {
+			pf := a.processSeq(post, backIn, ign)
+			result.rets = append(result.rets, pf.rets...)
+			backIn = pf.out
+		}
+		if !backIn.IsBottom() {
+			backIn = evalOnce(backIn)
+		}
+
+		next := ptset.Merge(cur, backIn)
+		if ptset.Subset(next, cur) && ptset.Subset(cur, next) {
+			break
+		}
+		cur = next
+	}
+
+	if doFirst {
+		// The loop exits after the condition test, which follows one body
+		// execution: the exit set is the post-condEval set, approximated
+		// by the head fixed point after at least one iteration.
+		f := a.processSeq(body, cur, ign)
+		result.rets = append(result.rets, f.rets...)
+		exits = append(exits, f.brks...)
+		after := ptset.MergeAll(append(f.conts, f.out)...)
+		if !after.IsBottom() {
+			after = evalOnce(after)
+		}
+		exits = append(exits, after)
+	} else {
+		// The condition may be false at the head: cur flows out.
+		exits = append(exits, cur)
+	}
+
+	result.out = ptset.MergeAll(exits...)
+	return result
+}
+
+func (a *analyzer) processSwitch(s *simple.Switch, in ptset.Set, ign *invgraph.Node) flow {
+	result := flow{}
+	var exits []ptset.Set
+	hasDefault := false
+	fall := ptset.NewBottom() // set falling through from the previous arm
+	for _, c := range s.Cases {
+		if c.IsDefault {
+			hasDefault = true
+		}
+		armIn := ptset.Merge(in, fall) // entered via label or fallthrough
+		f := a.processSeq(c.Body, armIn, ign)
+		result.rets = append(result.rets, f.rets...)
+		result.conts = append(result.conts, f.conts...)
+		exits = append(exits, f.brks...) // break leaves the switch
+		fall = f.out
+	}
+	exits = append(exits, fall)
+	if !hasDefault || len(s.Cases) == 0 {
+		exits = append(exits, in) // no case taken
+	}
+	result.out = ptset.MergeAll(exits...)
+	return result
+}

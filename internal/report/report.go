@@ -1,0 +1,315 @@
+// Package report computes the per-benchmark statistics reported in the
+// paper's evaluation (§6): program characteristics (Table 2), resolution of
+// indirect references (Table 3), categorization of the points-to pairs they
+// use (Table 4), program-point pair totals (Table 5) and invocation graph
+// measurements (Table 6).
+package report
+
+import (
+	"repro/internal/cc/ast"
+	"repro/internal/pta"
+	"repro/internal/pta/invgraph"
+	"repro/internal/pta/loc"
+	"repro/internal/pta/ptset"
+	"repro/internal/simple"
+)
+
+// RefFamilyCounts classifies indirect references by the number of stack
+// locations the dereferenced pointer can point to (Table 3, columns 1–4+).
+type RefFamilyCounts struct {
+	OneD     int // definitely a single stack location
+	OneP     int // possibly a single stack location (the other being NULL)
+	Two      int
+	Three    int
+	FourPlus int
+}
+
+func (c RefFamilyCounts) total() int { return c.OneD + c.OneP + c.Two + c.Three + c.FourPlus }
+
+// IndirectStats is Table 3 for one benchmark. Norm covers *x and (*x).y.z
+// references; Arr covers x[i][j] references through a pointer to an array.
+type IndirectStats struct {
+	Norm, Arr RefFamilyCounts
+	IndRefs   int // total indirect references
+	ScalarRep int // replaceable by a direct reference via definite info
+	ToStack   int // points-to pairs used, target on the stack
+	ToHeap    int // points-to pairs used, target in the heap
+}
+
+// Tot returns the total pairs used by indirect references.
+func (s IndirectStats) Tot() int { return s.ToStack + s.ToHeap }
+
+// Avg returns the average number of pairs per indirect reference.
+func (s IndirectStats) Avg() float64 {
+	if s.IndRefs == 0 {
+		return 0
+	}
+	return float64(s.Tot()) / float64(s.IndRefs)
+}
+
+// Categ is one From/To categorization row of Table 4: pairs used by
+// indirect references whose target is on the stack, classified by the kind
+// of abstract location at each end.
+type Categ struct {
+	Local, Global, Formal, Symbolic int
+}
+
+// CategStats is Table 4 for one benchmark.
+type CategStats struct {
+	From, To Categ
+}
+
+// PairStats is Table 5 for one benchmark: points-to pairs summed over every
+// basic statement of the simplified program, classified by the memory areas
+// of source and target.
+type PairStats struct {
+	StackToStack int
+	StackToHeap  int
+	HeapToHeap   int
+	HeapToStack  int
+	Stmts        int
+	MaxPerStmt   int
+}
+
+// Total returns the total program-point pairs.
+func (p PairStats) Total() int {
+	return p.StackToStack + p.StackToHeap + p.HeapToHeap + p.HeapToStack
+}
+
+// Avg returns the average pairs per statement.
+func (p PairStats) Avg() float64 {
+	if p.Stmts == 0 {
+		return 0
+	}
+	return float64(p.Total()) / float64(p.Stmts)
+}
+
+// BenchStats aggregates every table's data for one benchmark.
+type BenchStats struct {
+	Name        string
+	Description string
+
+	// Table 2.
+	Lines       int
+	SimpleStmts int
+	MinVars     int
+	MaxVars     int
+
+	Indirect IndirectStats  // Table 3
+	Categ    CategStats     // Table 4
+	Pairs    PairStats      // Table 5
+	IG       invgraph.Stats // Table 6
+}
+
+// Compute derives all statistics from an analysis result.
+func Compute(name string, res *pta.Result) *BenchStats {
+	bs := &BenchStats{
+		Name:        name,
+		Lines:       res.Prog.SourceLines,
+		SimpleStmts: res.Prog.NumBasicStmts,
+		IG:          res.Graph.ComputeStats(),
+	}
+	computeVarCounts(bs, res)
+	computeIndirect(bs, res)
+	computePairs(bs, res)
+	return bs
+}
+
+// computeVarCounts fills the Table 2 min/max abstract-stack variable counts:
+// for each function, the number of abstract locations in its scope (globals,
+// parameters, locals including temporaries, and the symbolic variables the
+// analysis created for it).
+func computeVarCounts(bs *BenchStats, res *pta.Result) {
+	globalCount := 0
+	for _, g := range res.Prog.Globals {
+		globalCount += len(loc.AllPaths(g.Type))
+	}
+	bs.MinVars, bs.MaxVars = -1, 0
+	for _, f := range res.Prog.Functions {
+		n := globalCount
+		for _, p := range f.Params {
+			n += len(loc.AllPaths(p.Type))
+		}
+		for _, l := range f.Locals {
+			n += len(loc.AllPaths(l.Type))
+		}
+		n += res.Table.SymCount(f)
+		if bs.MinVars < 0 || n < bs.MinVars {
+			bs.MinVars = n
+		}
+		if n > bs.MaxVars {
+			bs.MaxVars = n
+		}
+	}
+	if bs.MinVars < 0 {
+		bs.MinVars = 0
+	}
+}
+
+// category classifies a location for Table 4.
+func category(l *loc.Location) int {
+	switch l.Kind {
+	case loc.Symbolic:
+		return 3
+	case loc.Var:
+		switch {
+		case l.Obj.Global:
+			return 1
+		case l.Obj.Kind == ast.Param:
+			return 2
+		default:
+			return 0
+		}
+	}
+	return 0
+}
+
+func addCateg(c *Categ, which int) {
+	switch which {
+	case 0:
+		c.Local++
+	case 1:
+		c.Global++
+	case 2:
+		c.Formal++
+	case 3:
+		c.Symbolic++
+	}
+}
+
+// computeIndirect fills Tables 3 and 4 by classifying every textual indirect
+// reference of the program under the merged program-point annotation.
+func computeIndirect(bs *BenchStats, res *pta.Result) {
+	seen := make(map[*simple.Basic]bool)
+	res.Prog.ForEachBasic(func(b *simple.Basic) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		in, ok := res.Annots.At(b)
+		if !ok {
+			return // unreachable statement
+		}
+		for _, r := range b.Refs() {
+			if !r.Deref {
+				continue
+			}
+			bs.classifyIndirectRef(res, r, in)
+		}
+	})
+}
+
+// classifyIndirectRef classifies one indirect reference. The dereferenced
+// pointer is the named location of (Var, Path); its points-to pairs in the
+// merged annotation drive Tables 3 and 4.
+func (bs *BenchStats) classifyIndirectRef(res *pta.Result, r *simple.Ref, in ptset.Set) {
+	bs.Indirect.IndRefs++
+
+	// The base locations of the dereferenced pointer.
+	baseLocs := pta.EvalBaseLocs(res, r)
+	var (
+		nNull, nStack, nHeap int
+		definite             bool
+		soleTarget           *loc.Location
+	)
+	targetSeen := make(map[*loc.Location]bool)
+	for _, bl := range baseLocs {
+		for _, t := range in.Targets(bl.Loc) {
+			if t.Dst.Kind == loc.Null {
+				nNull++
+				continue
+			}
+			if targetSeen[t.Dst] {
+				continue
+			}
+			targetSeen[t.Dst] = true
+			if t.Dst.Kind == loc.Heap {
+				nHeap++
+			} else {
+				nStack++
+			}
+			soleTarget = t.Dst
+			if t.Def == ptset.D && bl.Def == ptset.D && len(baseLocs) == 1 {
+				definite = true
+			}
+			// Table 4 categorization, stack targets only.
+			if t.Dst.Kind != loc.Heap {
+				addCateg(&bs.Categ.From, category(bl.Loc))
+				addCateg(&bs.Categ.To, category(t.Dst))
+			}
+		}
+	}
+	nTargets := nStack + nHeap
+	bs.Indirect.ToStack += nStack
+	bs.Indirect.ToHeap += nHeap
+
+	// Family: x[i][j]-style references are dereferences whose pointee is
+	// further indexed (a pointer to an array).
+	fam := &bs.Indirect.Norm
+	for _, s := range r.DPath {
+		if s.Kind == simple.SelIndex {
+			fam = &bs.Indirect.Arr
+			break
+		}
+	}
+	switch {
+	case nTargets == 1 && definite && nNull == 0:
+		fam.OneD++
+		// Replaceable by a direct reference unless the target is
+		// invisible (symbolic), in the heap, or stands for several
+		// locations (array tail).
+		if soleTarget.Kind == loc.Var && !soleTarget.Multi() {
+			bs.Indirect.ScalarRep++
+		}
+	case nTargets == 1:
+		fam.OneP++
+	case nTargets == 2:
+		fam.Two++
+	case nTargets == 3:
+		fam.Three++
+	case nTargets >= 4:
+		fam.FourPlus++
+	default:
+		// No known target (unreachable pointer): count as possibly-one.
+		fam.OneP++
+	}
+}
+
+// computePairs fills Table 5 by summing the points-to pairs valid at every
+// basic statement (NULL-initialization pairs excluded, as in the paper).
+func computePairs(bs *BenchStats, res *pta.Result) {
+	seen := make(map[*simple.Basic]bool)
+	res.Prog.ForEachBasic(func(b *simple.Basic) {
+		if seen[b] || b.Kind == simple.StmtNop {
+			return
+		}
+		seen[b] = true
+		in, ok := res.Annots.At(b)
+		if !ok {
+			return
+		}
+		bs.Pairs.Stmts++
+		n := 0
+		for _, t := range in.Triples() {
+			if t.Dst.Kind == loc.Null {
+				continue
+			}
+			n++
+			srcHeap := t.Src.Kind == loc.Heap
+			dstHeap := t.Dst.Kind == loc.Heap
+			switch {
+			case srcHeap && dstHeap:
+				bs.Pairs.HeapToHeap++
+			case srcHeap:
+				bs.Pairs.HeapToStack++
+			case dstHeap:
+				bs.Pairs.StackToHeap++
+			default:
+				bs.Pairs.StackToStack++
+			}
+		}
+		if n > bs.Pairs.MaxPerStmt {
+			bs.Pairs.MaxPerStmt = n
+		}
+	})
+}

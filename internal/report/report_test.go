@@ -1,0 +1,186 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cc/parser"
+	"repro/internal/pta"
+	"repro/internal/simplify"
+)
+
+func computeFor(t *testing.T, src string) *BenchStats {
+	t.Helper()
+	tu, err := parser.Parse("test.c", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	prog, err := simplify.Simplify(tu)
+	if err != nil {
+		t.Fatalf("Simplify: %v", err)
+	}
+	res, err := pta.Analyze(prog, pta.Options{})
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	return Compute("test", res)
+}
+
+func TestIndirectClassification(t *testing.T) {
+	bs := computeFor(t, `
+int main() {
+	int x, y, c;
+	int *pd, *pp2;
+	pd = &x;
+	c = *pd;         /* 1 definite target */
+	if (c)
+		pp2 = &x;
+	else
+		pp2 = &y;
+	c = *pp2;        /* 2 possible targets */
+	return c;
+}
+`)
+	in := bs.Indirect
+	if in.Norm.OneD != 1 {
+		t.Errorf("OneD = %d, want 1", in.Norm.OneD)
+	}
+	if in.Norm.Two != 1 {
+		t.Errorf("Two = %d, want 1", in.Norm.Two)
+	}
+	if in.IndRefs != 2 {
+		t.Errorf("IndRefs = %d, want 2", in.IndRefs)
+	}
+	if in.ScalarRep != 1 {
+		t.Errorf("ScalarRep = %d, want 1 (only the definite ref)", in.ScalarRep)
+	}
+	if in.ToStack != 3 {
+		t.Errorf("ToStack = %d, want 3 pairs", in.ToStack)
+	}
+	if in.ToHeap != 0 {
+		t.Errorf("ToHeap = %d, want 0", in.ToHeap)
+	}
+}
+
+func TestOnePossibleWithNull(t *testing.T) {
+	bs := computeFor(t, `
+int main() {
+	int x, c;
+	int *p;
+	p = 0;
+	if (c)
+		p = &x;
+	if (p)
+		c = *p;     /* possibly x, possibly NULL: the 1P column */
+	return c;
+}
+`)
+	if bs.Indirect.Norm.OneP != 1 {
+		t.Errorf("OneP = %d, want 1", bs.Indirect.Norm.OneP)
+	}
+}
+
+func TestHeapPairCounting(t *testing.T) {
+	bs := computeFor(t, `
+struct n { struct n *next; };
+int main() {
+	struct n *p, *q;
+	p = (struct n *) malloc(8);
+	q = (struct n *) malloc(8);
+	p->next = q;       /* indirect store through heap pointer */
+	q = p->next;       /* indirect load */
+	return 0;
+}
+`)
+	if bs.Indirect.ToHeap == 0 {
+		t.Error("heap-targeted indirect references should be counted")
+	}
+	if bs.Pairs.StackToHeap == 0 {
+		t.Error("stack->heap pairs should be counted in Table 5")
+	}
+	if bs.Pairs.HeapToHeap == 0 {
+		t.Error("heap->heap pairs should be counted in Table 5")
+	}
+	if bs.Pairs.HeapToStack != 0 {
+		t.Error("no heap->stack pairs exist in this program")
+	}
+}
+
+func TestArrayFamilyClassification(t *testing.T) {
+	bs := computeFor(t, `
+void fill(double *v, int n) {
+	int i;
+	for (i = 0; i < n; i++)
+		v[i] = 1.0;       /* x[i] through a pointer: the [ij] family */
+}
+double arr[8];
+int main() {
+	fill(arr, 8);
+	return 0;
+}
+`)
+	if bs.Indirect.Arr.OneD+bs.Indirect.Arr.OneP+bs.Indirect.Arr.Two == 0 {
+		t.Errorf("pointer-indexed reference should fall in the array family: %+v", bs.Indirect)
+	}
+}
+
+func TestCategorizationFromFormalToGlobal(t *testing.T) {
+	bs := computeFor(t, `
+double garr[4];
+void kernel(double *v) {
+	v[0] = 2.0;
+}
+int main() {
+	kernel(garr);
+	return 0;
+}
+`)
+	if bs.Categ.From.Formal == 0 {
+		t.Errorf("pairs should originate at formal parameters: %+v", bs.Categ)
+	}
+	if bs.Categ.To.Global == 0 {
+		t.Errorf("pairs should target global locations: %+v", bs.Categ)
+	}
+}
+
+func TestTable2Counts(t *testing.T) {
+	bs := computeFor(t, `
+int g;
+void f(int *p) { *p = 1; }
+int main() {
+	int x;
+	f(&x);
+	return 0;
+}
+`)
+	if bs.SimpleStmts == 0 {
+		t.Error("SIMPLE statement count missing")
+	}
+	if bs.MinVars <= 0 || bs.MaxVars < bs.MinVars {
+		t.Errorf("bad var counts: min=%d max=%d", bs.MinVars, bs.MaxVars)
+	}
+	if bs.IG.Nodes != 2 {
+		t.Errorf("IG nodes = %d, want 2", bs.IG.Nodes)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	bs := computeFor(t, `
+int main() {
+	int x;
+	int *p;
+	p = &x;
+	x = *p;
+	return x;
+}
+`)
+	bs.Description = "tiny"
+	var sb strings.Builder
+	WriteAll(&sb, []*BenchStats{bs})
+	out := sb.String()
+	for _, want := range []string{"Table 2", "Table 3", "Table 4", "Table 5", "Table 6", "test", "tiny"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered tables missing %q", want)
+		}
+	}
+}

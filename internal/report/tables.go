@@ -1,0 +1,142 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// table is a tiny aligned-text table builder.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) write(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.header)
+	seps := make([]string, len(t.header))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	line(seps)
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+func itoa(n int) string { return fmt.Sprintf("%d", n) }
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// WriteTable2 renders the benchmark characteristics table.
+func WriteTable2(w io.Writer, all []*BenchStats) {
+	fmt.Fprintln(w, "Table 2: Characteristics of Benchmark Programs")
+	t := &table{header: []string{"Benchmark", "Lines", "#SIMPLE", "MinVar", "MaxVar", "Description"}}
+	for _, b := range all {
+		t.add(b.Name, itoa(b.Lines), itoa(b.SimpleStmts), itoa(b.MinVars), itoa(b.MaxVars), b.Description)
+	}
+	t.write(w)
+}
+
+// WriteTable3 renders the indirect-reference resolution table. As in the
+// paper, multi-entry columns show the *x / (*x).f family first and the
+// x[i][j] (pointer-to-array) family second.
+func WriteTable3(w io.Writer, all []*BenchStats) {
+	fmt.Fprintln(w, "Table 3: Points-to Statistics for Indirect References")
+	t := &table{header: []string{"Benchmark",
+		"1D", "1D[ij]", "1P", "1P[ij]", "2P", "2P[ij]", "3P", "3P[ij]", ">=4", ">=4[ij]",
+		"indrefs", "ScalarRep", "ToStack", "ToHeap", "Tot", "Avg"}}
+	for _, b := range all {
+		in := b.Indirect
+		t.add(b.Name,
+			itoa(in.Norm.OneD), itoa(in.Arr.OneD),
+			itoa(in.Norm.OneP), itoa(in.Arr.OneP),
+			itoa(in.Norm.Two), itoa(in.Arr.Two),
+			itoa(in.Norm.Three), itoa(in.Arr.Three),
+			itoa(in.Norm.FourPlus), itoa(in.Arr.FourPlus),
+			itoa(in.IndRefs), itoa(in.ScalarRep),
+			itoa(in.ToStack), itoa(in.ToHeap), itoa(in.Tot()), f2(in.Avg()))
+	}
+	t.write(w)
+}
+
+// WriteTable4 renders the From/To categorization of points-to pairs used by
+// indirect references (stack targets only).
+func WriteTable4(w io.Writer, all []*BenchStats) {
+	fmt.Fprintln(w, "Table 4: Categorization of Points-to Information Used by Indirect References")
+	t := &table{header: []string{"Benchmark",
+		"From:lo", "From:gl", "From:fp", "From:sy",
+		"To:lo", "To:gl", "To:fp", "To:sy"}}
+	for _, b := range all {
+		c := b.Categ
+		t.add(b.Name,
+			itoa(c.From.Local), itoa(c.From.Global), itoa(c.From.Formal), itoa(c.From.Symbolic),
+			itoa(c.To.Local), itoa(c.To.Global), itoa(c.To.Formal), itoa(c.To.Symbolic))
+	}
+	t.write(w)
+}
+
+// WriteTable5 renders the general program-point points-to statistics.
+func WriteTable5(w io.Writer, all []*BenchStats) {
+	fmt.Fprintln(w, "Table 5: General Points-to Statistics")
+	t := &table{header: []string{"Benchmark",
+		"Stack->Stack", "Stack->Heap", "Heap->Heap", "Heap->Stack", "Avg", "Max/stmt"}}
+	for _, b := range all {
+		p := b.Pairs
+		t.add(b.Name, itoa(p.StackToStack), itoa(p.StackToHeap),
+			itoa(p.HeapToHeap), itoa(p.HeapToStack),
+			f2(p.Avg()), itoa(p.MaxPerStmt))
+	}
+	t.write(w)
+}
+
+// WriteTable6 renders the invocation graph statistics.
+func WriteTable6(w io.Writer, all []*BenchStats) {
+	fmt.Fprintln(w, "Table 6: Invocation Graph Statistics")
+	t := &table{header: []string{"Benchmark",
+		"ig nodes", "call sites", "#fns", "R", "A", "Avgc", "Avgf"}}
+	for _, b := range all {
+		s := b.IG
+		t.add(b.Name, itoa(s.Nodes), itoa(s.CallSites), itoa(s.Functions),
+			itoa(s.Recursive), itoa(s.Approximate),
+			f2(s.AvgPerCallSite()), f2(s.AvgPerFunction()))
+	}
+	t.write(w)
+}
+
+// WriteAll renders every table.
+func WriteAll(w io.Writer, all []*BenchStats) {
+	WriteTable2(w, all)
+	fmt.Fprintln(w)
+	WriteTable3(w, all)
+	fmt.Fprintln(w)
+	WriteTable4(w, all)
+	fmt.Fprintln(w)
+	WriteTable5(w, all)
+	fmt.Fprintln(w)
+	WriteTable6(w, all)
+}

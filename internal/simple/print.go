@@ -1,0 +1,107 @@
+package simple
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Fprint writes a readable rendering of the program to w.
+func Fprint(w io.Writer, p *Program) {
+	if p.GlobalInit != nil && len(p.GlobalInit.List) > 0 {
+		fmt.Fprintln(w, "/* global initializers */")
+		printSeq(w, p.GlobalInit, 0)
+		fmt.Fprintln(w)
+	}
+	for i, f := range p.Functions {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		FprintFunc(w, f)
+	}
+}
+
+// FprintFunc writes one function.
+func FprintFunc(w io.Writer, f *Function) {
+	params := make([]string, len(f.Params))
+	for i, p := range f.Params {
+		params[i] = fmt.Sprintf("%s %s", p.Type, p.Name)
+	}
+	fmt.Fprintf(w, "%s %s(%s)\n{\n", f.Obj.Type.Ret, f.Name(), strings.Join(params, ", "))
+	for _, l := range f.Locals {
+		fmt.Fprintf(w, "    %s %s;\n", l.Type, l.Name)
+	}
+	printSeq(w, f.Body, 1)
+	fmt.Fprintln(w, "}")
+}
+
+// String renders the program to a string.
+func (p *Program) String() string {
+	var sb strings.Builder
+	Fprint(&sb, p)
+	return sb.String()
+}
+
+func printSeq(w io.Writer, s *Seq, depth int) {
+	if s == nil {
+		return
+	}
+	for _, c := range s.List {
+		printStmt(w, c, depth)
+	}
+}
+
+func printStmt(w io.Writer, s Stmt, depth int) {
+	ind := strings.Repeat("    ", depth)
+	switch s := s.(type) {
+	case *Basic:
+		if s.Kind == StmtNop {
+			return
+		}
+		fmt.Fprintf(w, "%s%s;\n", ind, s)
+	case *Seq:
+		printSeq(w, s, depth)
+	case *If:
+		fmt.Fprintf(w, "%sif (%s) {\n", ind, s.Cond)
+		printSeq(w, s.Then, depth+1)
+		if s.Else != nil {
+			fmt.Fprintf(w, "%s} else {\n", ind)
+			printSeq(w, s.Else, depth+1)
+		}
+		fmt.Fprintf(w, "%s}\n", ind)
+	case *While:
+		fmt.Fprintf(w, "%swhile (%s) {\n", ind, s.Cond)
+		printSeq(w, s.Body, depth+1)
+		fmt.Fprintf(w, "%s}\n", ind)
+	case *DoWhile:
+		fmt.Fprintf(w, "%sdo {\n", ind)
+		printSeq(w, s.Body, depth+1)
+		fmt.Fprintf(w, "%s} while (%s);\n", ind, s.Cond)
+	case *For:
+		fmt.Fprintf(w, "%sfor (...; %s; ...) {\n", ind, s.Cond)
+		if s.Init != nil && len(s.Init.List) > 0 {
+			fmt.Fprintf(w, "%s  /* init */\n", ind)
+			printSeq(w, s.Init, depth+1)
+		}
+		fmt.Fprintf(w, "%s  /* body */\n", ind)
+		printSeq(w, s.Body, depth+1)
+		if s.Post != nil && len(s.Post.List) > 0 {
+			fmt.Fprintf(w, "%s  /* post */\n", ind)
+			printSeq(w, s.Post, depth+1)
+		}
+		fmt.Fprintf(w, "%s}\n", ind)
+	case *Switch:
+		fmt.Fprintf(w, "%sswitch (%s) {\n", ind, s.Tag)
+		for _, c := range s.Cases {
+			if c.IsDefault {
+				fmt.Fprintf(w, "%sdefault:\n", ind)
+			} else {
+				fmt.Fprintf(w, "%scase %v:\n", ind, c.Vals)
+			}
+			printSeq(w, c.Body, depth+1)
+		}
+		fmt.Fprintf(w, "%s}\n", ind)
+	case *Break, *Continue, *Return:
+		fmt.Fprintf(w, "%s%s;\n", ind, s)
+	}
+}

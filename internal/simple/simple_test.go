@@ -1,0 +1,190 @@
+package simple
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cc/ast"
+	"repro/internal/cc/token"
+	"repro/internal/cc/types"
+)
+
+func obj(name string, t *types.Type) *ast.Object {
+	return &ast.Object{Name: name, Kind: ast.Var, Type: t}
+}
+
+func TestRefString(t *testing.T) {
+	x := obj("x", types.PointerTo(types.IntType))
+	s := obj("s", nil)
+	cases := []struct {
+		ref  *Ref
+		want string
+	}{
+		{VarRef(x, token.Pos{}), "x"},
+		{&Ref{Var: x, Deref: true}, "*x"},
+		{&Ref{Var: s, Path: []Sel{FieldSel("f")}}, "s.f"},
+		{&Ref{Var: s, Path: []Sel{FieldSel("f")}, Deref: true}, "*(s.f)"},
+		{&Ref{Var: x, Deref: true, DPath: []Sel{FieldSel("g")}}, "(*x).g"},
+		{&Ref{Var: x, Path: []Sel{IndexSel(IdxZero)}}, "x[0]"},
+		{&Ref{Var: x, Path: []Sel{IndexSel(IdxPos)}}, "x[k]"},
+		{&Ref{Var: x, Path: []Sel{IndexSel(IdxAny)}}, "x[i]"},
+		{&Ref{Var: x, Deref: true, DPath: []Sel{IndexSel(IdxAny)}}, "(*x)[i]"},
+	}
+	for _, c := range cases {
+		if got := c.ref.String(); got != c.want {
+			t.Errorf("Ref.String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestRefType(t *testing.T) {
+	st := &types.Type{Kind: types.Struct, Tag: "s", Fields: []*types.Field{
+		{Name: "p", Type: types.PointerTo(types.IntType)},
+	}}
+	v := obj("v", st)
+	r := &Ref{Var: v, Path: []Sel{FieldSel("p")}}
+	if got := r.Type(); got == nil || got.Kind != types.Pointer {
+		t.Errorf("v.p type = %v, want int*", got)
+	}
+	// *v.p has type int.
+	r2 := &Ref{Var: v, Path: []Sel{FieldSel("p")}, Deref: true}
+	if got := r2.Type(); got == nil || got.Kind != types.Int {
+		t.Errorf("*(v.p) type = %v, want int", got)
+	}
+	// (*q)[i] where q points into an array of pointers keeps element type.
+	q := obj("q", types.PointerTo(types.PointerTo(types.IntType)))
+	r3 := &Ref{Var: q, Deref: true, DPath: []Sel{IndexSel(IdxAny)}}
+	if got := r3.Type(); got == nil || got.Kind != types.Pointer {
+		t.Errorf("(*q)[i] type = %v, want int* (re-positioning)", got)
+	}
+	// (*a)[i] where a points to an array descends to the element.
+	a := obj("a", types.PointerTo(types.ArrayOf(types.IntType, 4)))
+	r4 := &Ref{Var: a, Deref: true, DPath: []Sel{IndexSel(IdxAny)}}
+	if got := r4.Type(); got == nil || got.Kind != types.Int {
+		t.Errorf("(*a)[i] type = %v, want int (descending)", got)
+	}
+}
+
+func TestBasicString(t *testing.T) {
+	x := obj("x", types.IntType)
+	y := obj("y", types.IntType)
+	f := &ast.Object{Name: "f", Kind: ast.FuncObj}
+	cases := []struct {
+		b    *Basic
+		want string
+	}{
+		{&Basic{Kind: AsgnCopy, LHS: VarRef(x, token.Pos{}), X: &ConstInt{Val: 5}}, "x = 5"},
+		{&Basic{Kind: AsgnAddr, LHS: VarRef(x, token.Pos{}), Addr: VarRef(y, token.Pos{})}, "x = &y"},
+		{&Basic{Kind: AsgnBinary, LHS: VarRef(x, token.Pos{}),
+			X: VarRef(x, token.Pos{}), Op: token.ADD, Y: &ConstInt{Val: 1}}, "x = x + 1"},
+		{&Basic{Kind: AsgnMalloc, LHS: VarRef(x, token.Pos{}), X: &ConstInt{Val: 8}}, "x = malloc(8)"},
+		{&Basic{Kind: AsgnCall, Callee: f, Args: []Operand{VarRef(y, token.Pos{})}}, "f(y)"},
+		{&Basic{Kind: AsgnCallInd, FnPtr: x, Args: nil}, "(*x)()"},
+	}
+	for _, c := range cases {
+		if got := c.b.String(); got != c.want {
+			t.Errorf("Basic.String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestWalkStmtsAndRefs(t *testing.T) {
+	x := obj("x", types.IntType)
+	inner := &Basic{Kind: AsgnCopy, LHS: VarRef(x, token.Pos{}), X: &ConstInt{Val: 1}}
+	prog := &Seq{List: []Stmt{
+		&If{
+			Cond: &Cond{X: VarRef(x, token.Pos{})},
+			Then: &Seq{List: []Stmt{inner}},
+		},
+		&While{Cond: &Cond{X: &ConstInt{Val: 1}}, Body: &Seq{List: []Stmt{&Break{}}}},
+	}}
+	var basics, total int
+	WalkStmts(prog, func(s Stmt) {
+		total++
+		if _, ok := s.(*Basic); ok {
+			basics++
+		}
+	})
+	if basics != 1 {
+		t.Errorf("found %d basics, want 1", basics)
+	}
+	if total < 5 {
+		t.Errorf("walk visited %d nodes, want >= 5", total)
+	}
+	refs := inner.Refs()
+	if len(refs) != 1 || refs[0].Var != x {
+		t.Errorf("Refs() = %v", refs)
+	}
+}
+
+func TestCondString(t *testing.T) {
+	x := obj("x", types.IntType)
+	if got := (&Cond{X: VarRef(x, token.Pos{})}).String(); got != "x" {
+		t.Errorf("truth-test cond = %q", got)
+	}
+	c := &Cond{X: VarRef(x, token.Pos{}), Op: token.LSS, Y: &ConstInt{Val: 3}}
+	if got := c.String(); got != "x < 3" {
+		t.Errorf("cond = %q", got)
+	}
+	var nilCond *Cond
+	if got := nilCond.String(); got != "1" {
+		t.Errorf("nil cond = %q, want 1 (infinite loop)", got)
+	}
+}
+
+func TestOperandStrings(t *testing.T) {
+	cases := []struct {
+		op   Operand
+		want string
+	}{
+		{&ConstInt{Val: -3}, "-3"},
+		{&ConstFloat{Val: 2.5}, "2.5"},
+		{&ConstString{Val: "hi"}, `"hi"`},
+		{&ConstNull{}, "NULL"},
+	}
+	for _, c := range cases {
+		if got := c.op.String(); got != c.want {
+			t.Errorf("operand = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestProgramLookupAndPrint(t *testing.T) {
+	fobj := &ast.Object{Name: "main", Kind: ast.FuncObj,
+		Type: types.FuncType(types.IntType, nil, false)}
+	fn := &Function{Obj: fobj, Body: &Seq{List: []Stmt{
+		&Return{X: &ConstInt{Val: 0}},
+	}}}
+	p := &Program{Functions: []*Function{fn}}
+	if p.Lookup("main") != fn || p.Main() != fn {
+		t.Error("Lookup/Main failed")
+	}
+	if p.Lookup("nosuch") != nil {
+		t.Error("Lookup of missing function should be nil")
+	}
+	out := p.String()
+	if !strings.Contains(out, "main") || !strings.Contains(out, "return 0") {
+		t.Errorf("printer output:\n%s", out)
+	}
+}
+
+func TestCountStmts(t *testing.T) {
+	fobj := &ast.Object{Name: "main", Kind: ast.FuncObj,
+		Type: types.FuncType(types.IntType, nil, false)}
+	x := obj("x", types.IntType)
+	fn := &Function{Obj: fobj, Body: &Seq{List: []Stmt{
+		&Basic{Kind: AsgnCopy, LHS: VarRef(x, token.Pos{}), X: &ConstInt{Val: 1}},
+		&If{Cond: &Cond{X: VarRef(x, token.Pos{})}, Then: &Seq{List: []Stmt{
+			&Basic{Kind: AsgnCopy, LHS: VarRef(x, token.Pos{}), X: &ConstInt{Val: 2}},
+		}}},
+		&Return{X: VarRef(x, token.Pos{})},
+	}}}
+	p := &Program{Functions: []*Function{fn}}
+	p.CountStmts()
+	if p.NumBasicStmts != 2 {
+		t.Errorf("NumBasicStmts = %d, want 2", p.NumBasicStmts)
+	}
+	if p.NumStmts != 4 { // 2 basics + if + return
+		t.Errorf("NumStmts = %d, want 4", p.NumStmts)
+	}
+}

@@ -1,0 +1,605 @@
+package simplify
+
+import (
+	"repro/internal/cc/ast"
+	"repro/internal/cc/token"
+	"repro/internal/cc/types"
+	"repro/internal/simple"
+)
+
+// lowerExprStmt lowers an expression evaluated for its side effects.
+func (s *simplifier) lowerExprStmt(e ast.Expr) {
+	switch e := e.(type) {
+	case *ast.Assign:
+		s.lowerAssignExpr(e)
+	case *ast.Unary:
+		if e.Op == token.INC || e.Op == token.DEC {
+			s.lowerIncDec(e.X, e.Op, e.Pos())
+			return
+		}
+		s.lowerOperand(e)
+	case *ast.Postfix:
+		s.lowerIncDec(e.X, e.Op, e.Pos())
+	case *ast.Call:
+		s.lowerCall(e, nil)
+	case *ast.Comma:
+		s.lowerExprStmt(e.X)
+		s.lowerExprStmt(e.Y)
+	case *ast.Cast:
+		s.lowerExprStmt(e.X)
+	default:
+		// Pure expression in statement position: evaluate for any nested
+		// calls and discard.
+		s.lowerOperand(e)
+	}
+}
+
+// lowerAssignExpr lowers an assignment used for effect and returns the
+// assigned location so enclosing expressions can reuse the value.
+func (s *simplifier) lowerAssignExpr(e *ast.Assign) *simple.Ref {
+	if e.Op != token.ASSIGN {
+		// Compound assignment: lhs = lhs op rhs, evaluating lhs once.
+		lhs := s.lowerToRef(e.LHS)
+		x := s.refOperand(lhs, e.Pos())
+		y := s.lowerOperand(e.RHS)
+		s.emit(&simple.Basic{Kind: simple.AsgnBinary, LHS: lhs,
+			X: x, Op: e.Op.BaseOp(), Y: y, Pos: e.Pos()})
+		return lhs
+	}
+	lhs := s.lowerToRef(e.LHS)
+	s.lowerInto(lhs, e.LHS.Type(), e.RHS)
+	return lhs
+}
+
+// lowerIncDec lowers ++x/x++ (value discarded).
+func (s *simplifier) lowerIncDec(x ast.Expr, op token.Kind, pos token.Pos) *simple.Ref {
+	lhs := s.lowerToRef(x)
+	bin := token.ADD
+	if op == token.DEC {
+		bin = token.SUB
+	}
+	s.emit(&simple.Basic{Kind: simple.AsgnBinary, LHS: lhs,
+		X: s.refOperand(lhs, pos), Op: bin, Y: &simple.ConstInt{Val: 1}, Pos: pos})
+	return lhs
+}
+
+// refOperand returns an operand reading from ref; deref references are
+// loaded into a temporary first so the consuming statement stays basic.
+func (s *simplifier) refOperand(r *simple.Ref, pos token.Pos) simple.Operand {
+	if !r.Deref {
+		return r
+	}
+	t := s.newTemp(r.Type(), pos)
+	s.emit(&simple.Basic{Kind: simple.AsgnCopy, LHS: simple.VarRef(t, pos), X: r, Pos: pos})
+	return simple.VarRef(t, pos)
+}
+
+// lowerInto emits statements assigning the value of e into lhs (of type lt).
+func (s *simplifier) lowerInto(lhs *simple.Ref, lt *types.Type, e ast.Expr) {
+	pos := e.Pos()
+	switch e := e.(type) {
+	case *ast.IntLit:
+		s.emit(&simple.Basic{Kind: simple.AsgnCopy, LHS: lhs,
+			X: s.coerceNull(&simple.ConstInt{Val: e.Val}, lt), Pos: pos})
+
+	case *ast.FloatLit:
+		s.emit(&simple.Basic{Kind: simple.AsgnCopy, LHS: lhs,
+			X: &simple.ConstFloat{Val: e.Val}, Pos: pos})
+
+	case *ast.StringLit:
+		s.emit(&simple.Basic{Kind: simple.AsgnCopy, LHS: lhs,
+			X: &simple.ConstString{Val: e.Val}, Pos: pos})
+
+	case *ast.Ident:
+		switch {
+		case e.Obj.Kind == ast.FuncObj:
+			// Function name decays to its address.
+			s.emit(&simple.Basic{Kind: simple.AsgnAddr, LHS: lhs,
+				Addr: simple.VarRef(e.Obj, pos), Pos: pos})
+		case e.Obj.Type != nil && e.Obj.Type.Kind == types.Array:
+			// Array name decays to &a[0].
+			s.emit(&simple.Basic{Kind: simple.AsgnAddr, LHS: lhs,
+				Addr: &simple.Ref{Var: e.Obj,
+					Path: []simple.Sel{simple.IndexSel(simple.IdxZero)}, Pos: pos}, Pos: pos})
+		case e.Obj.Type != nil && e.Obj.Type.IsAggregate():
+			s.copyAggregate(lhs, simple.VarRef(e.Obj, pos), e.Obj.Type, pos)
+		default:
+			s.emit(&simple.Basic{Kind: simple.AsgnCopy, LHS: lhs,
+				X: simple.VarRef(e.Obj, pos), Pos: pos})
+		}
+
+	case *ast.Unary:
+		switch e.Op {
+		case token.AND:
+			addr := s.lowerToRef(e.X)
+			s.emit(&simple.Basic{Kind: simple.AsgnAddr, LHS: lhs, Addr: addr, Pos: pos})
+		case token.MUL:
+			src := s.lowerToRef(e)
+			if t := src.Type(); t != nil && t.IsAggregate() {
+				s.copyAggregate(lhs, src, t, pos)
+				return
+			}
+			s.emit(&simple.Basic{Kind: simple.AsgnCopy, LHS: lhs, X: src, Pos: pos})
+		case token.INC, token.DEC:
+			r := s.lowerIncDec(e.X, e.Op, pos)
+			s.emit(&simple.Basic{Kind: simple.AsgnCopy, LHS: lhs,
+				X: s.refOperand(r, pos), Pos: pos})
+		case token.NOT:
+			s.lowerBoolInto(lhs, e, pos)
+		default: // - ~ +
+			x := s.lowerOperand(e.X)
+			s.emit(&simple.Basic{Kind: simple.AsgnUnary, LHS: lhs, Op: e.Op, X: x, Pos: pos})
+		}
+
+	case *ast.Postfix:
+		// v = x++ : v = x; x = x + 1.
+		r := s.lowerToRef(e.X)
+		s.emit(&simple.Basic{Kind: simple.AsgnCopy, LHS: lhs,
+			X: s.refOperand(r, pos), Pos: pos})
+		s.lowerIncDec(e.X, e.Op, pos)
+
+	case *ast.Binary:
+		switch e.Op {
+		case token.LAND, token.LOR:
+			s.lowerBoolInto(lhs, e, pos)
+		default:
+			x := s.lowerOperand(e.X)
+			y := s.lowerOperand(e.Y)
+			s.emit(&simple.Basic{Kind: simple.AsgnBinary, LHS: lhs,
+				X: x, Op: e.Op, Y: y, Pos: pos})
+		}
+
+	case *ast.Assign:
+		r := s.lowerAssignExpr(e)
+		s.emit(&simple.Basic{Kind: simple.AsgnCopy, LHS: lhs,
+			X: s.refOperand(r, pos), Pos: pos})
+
+	case *ast.Cond:
+		condEval, cond := s.lowerCond(e.C)
+		s.spliceSeq(condEval)
+		thenSeq := s.inSeq(func() { s.lowerInto(lhs, lt, e.Then) })
+		elseSeq := s.inSeq(func() { s.lowerInto(lhs, lt, e.Else) })
+		s.emitStmt(&simple.If{Cond: cond, Then: thenSeq, Else: elseSeq, Pos: pos})
+
+	case *ast.Call:
+		s.lowerCall(e, lhs)
+
+	case *ast.Index, *ast.Member:
+		src := s.lowerToRef(e)
+		st := src.Type()
+		switch {
+		case st != nil && st.IsAggregate():
+			s.copyAggregate(lhs, src, st, pos)
+		case st != nil && st.Kind == types.Array:
+			// Array member/element decays to the address of its head.
+			s.emit(&simple.Basic{Kind: simple.AsgnAddr, LHS: lhs,
+				Addr: extendRef(src, simple.IndexSel(simple.IdxZero)), Pos: pos})
+		default:
+			s.emit(&simple.Basic{Kind: simple.AsgnCopy, LHS: lhs, X: src, Pos: pos})
+		}
+
+	case *ast.Cast:
+		s.lowerInto(lhs, lt, e.X)
+
+	case *ast.Comma:
+		s.lowerExprStmt(e.X)
+		s.lowerInto(lhs, lt, e.Y)
+
+	default:
+		s.errorf(pos, "internal: cannot lower %T", e)
+	}
+}
+
+// lowerBoolInto lowers a boolean-producing expression (&&, ||, !) into lhs
+// with explicit control flow, preserving short-circuit evaluation order.
+func (s *simplifier) lowerBoolInto(lhs *simple.Ref, e ast.Expr, pos token.Pos) {
+	switch e := e.(type) {
+	case *ast.Binary:
+		switch e.Op {
+		case token.LAND:
+			// lhs = 0; if (X) { lhs = (Y != 0); }
+			condEval, cond := s.lowerCond(e.X)
+			s.emit(&simple.Basic{Kind: simple.AsgnCopy, LHS: lhs,
+				X: &simple.ConstInt{Val: 0}, Pos: pos})
+			s.spliceSeq(condEval)
+			thenSeq := s.inSeq(func() { s.lowerBoolInto(lhs, e.Y, pos) })
+			s.emitStmt(&simple.If{Cond: cond, Then: thenSeq, Pos: pos})
+			return
+		case token.LOR:
+			// lhs = 1; if (!X) { lhs = (Y != 0); }  — via else branch.
+			condEval, cond := s.lowerCond(e.X)
+			s.spliceSeq(condEval)
+			thenSeq := s.inSeq(func() {
+				s.emit(&simple.Basic{Kind: simple.AsgnCopy, LHS: lhs,
+					X: &simple.ConstInt{Val: 1}, Pos: pos})
+			})
+			elseSeq := s.inSeq(func() { s.lowerBoolInto(lhs, e.Y, pos) })
+			s.emitStmt(&simple.If{Cond: cond, Then: thenSeq, Else: elseSeq, Pos: pos})
+			return
+		}
+	case *ast.Unary:
+		if e.Op == token.NOT {
+			x := s.lowerOperand(e.X)
+			s.emit(&simple.Basic{Kind: simple.AsgnUnary, LHS: lhs,
+				Op: token.NOT, X: x, Pos: pos})
+			return
+		}
+	}
+	// General scalar: lhs = (e != 0); pointers compare against NULL.
+	x := s.lowerOperand(e)
+	var zero simple.Operand = &simple.ConstInt{Val: 0}
+	if t := e.Type(); t != nil && t.Decay().Kind == types.Pointer {
+		zero = &simple.ConstNull{}
+	}
+	s.emit(&simple.Basic{Kind: simple.AsgnBinary, LHS: lhs,
+		X: x, Op: token.NEQ, Y: zero, Pos: pos})
+}
+
+// lowerOperand lowers e to a simple operand: a constant or a variable
+// reference without indirection. Anything more complex is computed into a
+// temporary.
+func (s *simplifier) lowerOperand(e ast.Expr) simple.Operand {
+	pos := e.Pos()
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return &simple.ConstInt{Val: e.Val}
+	case *ast.FloatLit:
+		return &simple.ConstFloat{Val: e.Val}
+	case *ast.StringLit:
+		return &simple.ConstString{Val: e.Val}
+	case *ast.Ident:
+		if e.Obj.Kind == ast.FuncObj || (e.Obj.Type != nil && e.Obj.Type.Kind == types.Array) {
+			break // decays to an address: materialize below
+		}
+		return simple.VarRef(e.Obj, pos)
+	case *ast.Index, *ast.Member:
+		r := s.lowerToRef(e)
+		if t := r.Type(); t != nil && t.Kind == types.Array {
+			break // decays to address
+		}
+		if !r.Deref {
+			return r
+		}
+		return s.refOperand(r, pos)
+	case *ast.Unary:
+		if e.Op == token.MUL {
+			r := s.lowerToRef(e)
+			return s.refOperand(r, pos)
+		}
+	case *ast.Cast:
+		return s.lowerOperand(e.X)
+	case *ast.Comma:
+		s.lowerExprStmt(e.X)
+		return s.lowerOperand(e.Y)
+	case *ast.Assign:
+		r := s.lowerAssignExpr(e)
+		return s.refOperand(r, pos)
+	}
+	// General case: compute into a temporary.
+	t := s.newTemp(e.Type(), pos)
+	s.lowerInto(simple.VarRef(t, pos), t.Type, e)
+	return simple.VarRef(t, pos)
+}
+
+// lowerPtrVar lowers a pointer-valued expression into a bare variable
+// holding the pointer.
+func (s *simplifier) lowerPtrVar(e ast.Expr) *ast.Object {
+	op := s.lowerOperand(e)
+	if r, ok := op.(*simple.Ref); ok && !r.Deref && len(r.Path) == 0 {
+		return r.Var
+	}
+	t := s.newTemp(e.Type(), e.Pos())
+	x := op
+	if r, ok := op.(*simple.Ref); ok {
+		x = s.refOperand(r, e.Pos())
+	}
+	s.emit(&simple.Basic{Kind: simple.AsgnCopy,
+		LHS: simple.VarRef(t, e.Pos()), X: x, Pos: e.Pos()})
+	return t
+}
+
+// classifyIndex maps a subscript expression to the paper's head/tail
+// abstraction: constant 0, constant >0, or statically unknown.
+func classifyIndex(e ast.Expr) simple.IdxClass {
+	if v, ok := foldIndex(e); ok {
+		if v == 0 {
+			return simple.IdxZero
+		}
+		if v > 0 {
+			return simple.IdxPos
+		}
+	}
+	return simple.IdxAny
+}
+
+func foldIndex(e ast.Expr) (int64, bool) {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return e.Val, true
+	case *ast.Cast:
+		return foldIndex(e.X)
+	}
+	return 0, false
+}
+
+// lowerToRef lowers an lvalue (or *-expression) to a SIMPLE reference with
+// at most one level of indirection, introducing temporaries as needed.
+func (s *simplifier) lowerToRef(e ast.Expr) *simple.Ref {
+	pos := e.Pos()
+	switch e := e.(type) {
+	case *ast.Ident:
+		return simple.VarRef(e.Obj, pos)
+
+	case *ast.Member:
+		if e.Arrow {
+			// x->f  ==  (*x).f
+			p := s.lowerPtrVar(e.X)
+			return &simple.Ref{Var: p, Deref: true,
+				DPath: []simple.Sel{simple.FieldSel(e.Name)}, Pos: pos}
+		}
+		base := s.lowerToRef(e.X)
+		return extendRef(base, simple.FieldSel(e.Name))
+
+	case *ast.Index:
+		class := classifyIndex(e.I)
+		// The points-to abstraction only needs the index class, but the
+		// concrete operand is kept on the selector for the interpreter
+		// oracle (evaluating it here also preserves side effects).
+		idxOp := s.lowerOperand(e.I)
+		xt := e.X.Type()
+		if xt != nil && xt.Kind == types.Array {
+			base := s.lowerToRef(e.X)
+			return extendRef(base, simple.IndexSelOp(class, idxOp))
+		}
+		// Pointer indexing: p[i] == (*p)[i] in the paper's reference
+		// taxonomy (a pointer into an array).
+		p := s.lowerPtrVar(e.X)
+		return &simple.Ref{Var: p, Deref: true,
+			DPath: []simple.Sel{simple.IndexSelOp(class, idxOp)}, Pos: pos}
+
+	case *ast.Unary:
+		if e.Op == token.MUL {
+			// *x : if x lowers to a direct named location, dereference it
+			// in place (*p, *s.fp); otherwise load the pointer first.
+			if op := s.lowerOperandNoDeref(e.X); op != nil {
+				return &simple.Ref{Var: op.Var, Path: op.Path, Deref: true, Pos: pos}
+			}
+			p := s.lowerPtrVar(e.X)
+			return &simple.Ref{Var: p, Deref: true, Pos: pos}
+		}
+
+	case *ast.Cast:
+		return s.lowerToRef(e.X)
+
+	case *ast.Assign:
+		return s.lowerAssignExpr(e)
+	}
+	s.errorf(pos, "internal: expression is not an lvalue: %T", e)
+	t := s.newTemp(e.Type(), pos)
+	return simple.VarRef(t, pos)
+}
+
+// lowerOperandNoDeref returns a direct (non-indirect) reference for e when e
+// is a plain variable or field chain; otherwise nil.
+func (s *simplifier) lowerOperandNoDeref(e ast.Expr) *simple.Ref {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if e.Obj.Kind == ast.Var || e.Obj.Kind == ast.Param {
+			return simple.VarRef(e.Obj, e.Pos())
+		}
+	case *ast.Member:
+		if !e.Arrow {
+			if base := s.lowerOperandNoDeref(e.X); base != nil {
+				return extendRef(base, simple.FieldSel(e.Name))
+			}
+		}
+	case *ast.Index:
+		// a[i] with a an array and a trivially-evaluable subscript: a
+		// named location (a_head/a_tail) with the operand attached.
+		if xt := e.X.Type(); xt != nil && xt.Kind == types.Array {
+			var idxOp simple.Operand
+			switch ie := e.I.(type) {
+			case *ast.IntLit:
+				idxOp = &simple.ConstInt{Val: ie.Val}
+			case *ast.Ident:
+				if ie.Obj.Kind == ast.Var || ie.Obj.Kind == ast.Param {
+					idxOp = simple.VarRef(ie.Obj, ie.Pos())
+				}
+			}
+			if idxOp != nil {
+				if base := s.lowerOperandNoDeref(e.X); base != nil {
+					return extendRef(base, simple.IndexSelOp(classifyIndex(e.I), idxOp))
+				}
+			}
+		}
+	case *ast.Cast:
+		return s.lowerOperandNoDeref(e.X)
+	}
+	return nil
+}
+
+// isPure reports whether e has no side effects (no calls, assignments, ++).
+func isPure(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.IntLit, *ast.FloatLit, *ast.StringLit, *ast.Ident:
+		return true
+	case *ast.Unary:
+		return e.Op != token.INC && e.Op != token.DEC && isPure(e.X)
+	case *ast.Binary:
+		return isPure(e.X) && isPure(e.Y)
+	case *ast.Index:
+		return isPure(e.X) && isPure(e.I)
+	case *ast.Member:
+		return isPure(e.X)
+	case *ast.Cast:
+		return isPure(e.X)
+	case *ast.Cond:
+		return isPure(e.C) && isPure(e.Then) && isPure(e.Else)
+	}
+	return false
+}
+
+// lowerCond lowers a condition to a side-effect-free Cond plus the sequence
+// of statements needed to (re)evaluate it.
+func (s *simplifier) lowerCond(e ast.Expr) (*simple.Seq, *simple.Cond) {
+	var cond *simple.Cond
+	seq := s.inSeq(func() {
+		switch e := e.(type) {
+		case *ast.Binary:
+			switch e.Op {
+			case token.EQL, token.NEQ, token.LSS, token.GTR, token.LEQ, token.GEQ:
+				x := s.lowerOperand(e.X)
+				y := s.lowerOperand(e.Y)
+				// Normalize pointer comparisons against 0 to NULL.
+				if xt := e.X.Type(); xt != nil {
+					y = s.coerceNull(y, xt)
+				}
+				if yt := e.Y.Type(); yt != nil {
+					x = s.coerceNull(x, yt)
+				}
+				cond = &simple.Cond{X: x, Op: e.Op, Y: y}
+				return
+			}
+		case *ast.Unary:
+			if e.Op == token.NOT {
+				x := s.lowerOperand(e.X)
+				cond = &simple.Cond{X: x, Op: token.EQL, Y: &simple.ConstInt{Val: 0}}
+				return
+			}
+		}
+		x := s.lowerOperand(e)
+		cond = &simple.Cond{X: x}
+	})
+	return seq, cond
+}
+
+// ---------------------------------------------------------------------------
+// Calls
+
+// heapAllocators are recognized as producing a heap location.
+var heapAllocators = map[string]bool{"malloc": true, "calloc": true, "realloc": true}
+
+// lowerCall lowers a call; lhs receives the return value (may be nil).
+func (s *simplifier) lowerCall(e *ast.Call, lhs *simple.Ref) {
+	pos := e.Pos()
+
+	// Peel casts around the callee.
+	fun := e.Fun
+	for {
+		if c, ok := fun.(*ast.Cast); ok {
+			fun = c.X
+			continue
+		}
+		break
+	}
+
+	// Heap allocation.
+	if id, ok := fun.(*ast.Ident); ok && id.Obj.Kind == ast.FuncObj && heapAllocators[id.Obj.Name] {
+		var size simple.Operand = &simple.ConstInt{Val: 1}
+		if len(e.Args) > 0 {
+			// The size is the last argument for calloc, first for malloc;
+			// points-to ignores it, so any operand will do.
+			size = s.lowerArg(e.Args[len(e.Args)-1], nil)
+		}
+		if lhs == nil {
+			t := s.newTemp(e.Type(), pos)
+			lhs = simple.VarRef(t, pos)
+		}
+		s.emit(&simple.Basic{Kind: simple.AsgnMalloc, LHS: lhs, X: size, Pos: pos})
+		return
+	}
+
+	// Argument lowering: constants or bare variable names only.
+	var ftype *types.Type
+	if ft := fun.Type(); ft != nil {
+		switch {
+		case ft.Kind == types.Func:
+			ftype = ft
+		case ft.Kind == types.Pointer && ft.Elem.Kind == types.Func:
+			ftype = ft.Elem
+		}
+	}
+	args := make([]simple.Operand, len(e.Args))
+	for i, a := range e.Args {
+		var pt *types.Type
+		if ftype != nil && i < len(ftype.Params) {
+			pt = ftype.Params[i]
+		}
+		args[i] = s.lowerArg(a, pt)
+	}
+
+	if id, ok := fun.(*ast.Ident); ok && id.Obj.Kind == ast.FuncObj {
+		s.emit(&simple.Basic{Kind: simple.AsgnCall, LHS: lhs,
+			Callee: id.Obj, Args: args, Pos: pos})
+		return
+	}
+
+	fp := s.lowerFnPtrVar(fun)
+	s.emit(&simple.Basic{Kind: simple.AsgnCallInd, LHS: lhs,
+		FnPtr: fp, Args: args, Pos: pos})
+}
+
+// lowerArg lowers one call argument to a constant or a bare variable.
+func (s *simplifier) lowerArg(a ast.Expr, paramType *types.Type) simple.Operand {
+	op := s.lowerOperand(a)
+	op = s.coerceNull(op, paramType)
+	r, ok := op.(*simple.Ref)
+	if !ok {
+		return op
+	}
+	if !r.Deref && len(r.Path) == 0 {
+		return r
+	}
+	// Load a[i] / x.f into a temporary so the argument is a bare name.
+	t := s.newTemp(r.Type(), a.Pos())
+	s.emit(&simple.Basic{Kind: simple.AsgnCopy,
+		LHS: simple.VarRef(t, a.Pos()), X: r, Pos: a.Pos()})
+	return simple.VarRef(t, a.Pos())
+}
+
+// lowerFnPtrVar reduces an arbitrary callee expression to a bare variable of
+// pointer-to-function type (paper §5: indirect calls go through a scalar
+// function pointer after simplification).
+func (s *simplifier) lowerFnPtrVar(fun ast.Expr) *ast.Object {
+	pos := fun.Pos()
+	switch f := fun.(type) {
+	case *ast.Cast:
+		return s.lowerFnPtrVar(f.X)
+	case *ast.Ident:
+		if f.Obj.Kind == ast.Var || f.Obj.Kind == ast.Param {
+			if f.Obj.Type != nil && f.Obj.Type.IsFuncPointer() {
+				return f.Obj
+			}
+		}
+	case *ast.Unary:
+		if f.Op == token.MUL {
+			// (*e): if e is itself a pointer-to-function, *e denotes the
+			// same function; peel the dereference.
+			if xt := f.X.Type(); xt != nil && xt.Decay().IsFuncPointer() {
+				return s.lowerFnPtrVar(f.X)
+			}
+			// Multi-level function pointer: load one level.
+			r := s.lowerToRef(f)
+			t := s.newTemp(f.Type(), pos)
+			s.emit(&simple.Basic{Kind: simple.AsgnCopy,
+				LHS: simple.VarRef(t, pos), X: r, Pos: pos})
+			return t
+		}
+	}
+	// General: load the function pointer value into a temporary.
+	op := s.lowerOperand(fun)
+	if r, ok := op.(*simple.Ref); ok && !r.Deref && len(r.Path) == 0 {
+		return r.Var
+	}
+	ft := fun.Type()
+	if ft != nil && ft.Kind == types.Func {
+		ft = types.PointerTo(ft)
+	}
+	t := s.newTemp(ft, pos)
+	if r, ok := op.(*simple.Ref); ok {
+		op = s.refOperand(r, pos)
+	}
+	s.emit(&simple.Basic{Kind: simple.AsgnCopy,
+		LHS: simple.VarRef(t, pos), X: op, Pos: pos})
+	return t
+}

@@ -1,0 +1,364 @@
+// Package simplify lowers the resolved C AST to the SIMPLE intermediate
+// representation (paper §2): complex statements become sequences of basic
+// statements with compiler temporaries, every basic statement has at most
+// one level of pointer indirection per variable reference, conditions become
+// side-effect-free comparisons of simple operands, call arguments become
+// constants or variable names, and variable initializers move into the
+// statement stream (global initializers into Program.GlobalInit).
+package simplify
+
+import (
+	"fmt"
+
+	"repro/internal/cc/ast"
+	"repro/internal/cc/token"
+	"repro/internal/cc/types"
+	"repro/internal/simple"
+	"repro/internal/structurer"
+)
+
+// Simplify lowers a translation unit to a SIMPLE program. The structurer
+// runs first to eliminate gotos.
+func Simplify(tu *ast.TranslationUnit) (*simple.Program, error) {
+	if err := structurer.Structure(tu); err != nil {
+		return nil, err
+	}
+	s := &simplifier{
+		prog: &simple.Program{
+			File:        tu.File,
+			SourceLines: tu.SourceLines,
+		},
+	}
+	for _, g := range tu.Globals {
+		s.prog.Globals = append(s.prog.Globals, g.Obj)
+	}
+
+	// Global initializers become a synthetic statement sequence evaluated
+	// before main.
+	s.fn = &simple.Function{Obj: &ast.Object{Name: "__global_init", Kind: ast.FuncObj,
+		Type: types.FuncType(types.VoidType, nil, false), Global: true}}
+	s.out = &simple.Seq{}
+	for _, g := range tu.Globals {
+		if g.Init != nil {
+			s.lowerInit(g.Obj, g.Init)
+		}
+	}
+	s.prog.GlobalInit = s.out
+	// Temporaries created while lowering global initializers become
+	// globals themselves (they live in the synthetic init context).
+	s.prog.Globals = append(s.prog.Globals, s.fn.Locals...)
+
+	for _, fd := range tu.Funcs {
+		s.prog.Functions = append(s.prog.Functions, s.lowerFunc(fd))
+	}
+	s.prog.CountStmts()
+	if len(s.errors) > 0 {
+		return s.prog, s.errors[0]
+	}
+	return s.prog, nil
+}
+
+type simplifier struct {
+	prog   *simple.Program
+	fn     *simple.Function
+	out    *simple.Seq // current output sequence
+	temps  int
+	stmtID int
+	errors []error
+}
+
+func (s *simplifier) errorf(pos token.Pos, format string, args ...any) {
+	s.errors = append(s.errors, fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...)))
+}
+
+// emit appends a basic statement to the current sequence, assigning its ID.
+func (s *simplifier) emit(b *simple.Basic) *simple.Basic {
+	s.stmtID++
+	b.ID = s.stmtID
+	s.out.List = append(s.out.List, b)
+	return b
+}
+
+// emitStmt appends a compositional statement.
+func (s *simplifier) emitStmt(st simple.Stmt) { s.out.List = append(s.out.List, st) }
+
+// inSeq runs f with a fresh output sequence and returns it.
+func (s *simplifier) inSeq(f func()) *simple.Seq {
+	saved := s.out
+	s.out = &simple.Seq{}
+	f()
+	seq := s.out
+	s.out = saved
+	return seq
+}
+
+// newTemp creates a compiler temporary of the given type. The "t$" prefix
+// cannot collide with C identifiers.
+func (s *simplifier) newTemp(t *types.Type, pos token.Pos) *ast.Object {
+	if t == nil || t.Kind == types.Void {
+		t = types.IntType
+	}
+	// Array- and function-typed values decay before they are stored.
+	t = t.Decay()
+	s.temps++
+	obj := &ast.Object{Name: fmt.Sprintf("t$%d", s.temps), Kind: ast.Var, Type: t, Pos: pos}
+	s.fn.Locals = append(s.fn.Locals, obj)
+	return obj
+}
+
+func (s *simplifier) lowerFunc(fd *ast.FuncDecl) *simple.Function {
+	fn := &simple.Function{
+		Obj:    fd.Obj,
+		Params: fd.Params,
+		Pos:    fd.Pos,
+	}
+	// Static locals behave like globals: hoist them (the parser already
+	// uniquified their names within the function; prefix with the function
+	// name for program-wide uniqueness).
+	for _, l := range fd.Locals {
+		if l.Static {
+			l.Name = fd.Name() + "." + l.Name
+			l.Global = true
+			s.prog.Globals = append(s.prog.Globals, l)
+		} else {
+			fn.Locals = append(fn.Locals, l)
+		}
+	}
+	if fd.Obj.Type.Ret.HasPointers() {
+		fn.RetVal = &ast.Object{Name: "__retval", Kind: ast.Var,
+			Type: fd.Obj.Type.Ret.Decay(), Pos: fd.Pos}
+	}
+	s.fn = fn
+	fn.Body = s.inSeq(func() { s.lowerStmt(fd.Body) })
+	return fn
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+func (s *simplifier) lowerStmt(st ast.Stmt) {
+	switch st := st.(type) {
+	case nil:
+		return
+
+	case *ast.Block:
+		for _, c := range st.List {
+			s.lowerStmt(c)
+		}
+
+	case *ast.Empty:
+		// drop
+
+	case *ast.ExprStmt:
+		s.lowerExprStmt(st.X)
+
+	case *ast.DeclStmt:
+		for i, obj := range st.Objects {
+			if st.Inits[i] != nil {
+				s.lowerInit(obj, st.Inits[i])
+			}
+		}
+
+	case *ast.If:
+		condEval, cond := s.lowerCond(st.Cond)
+		// Condition-evaluation statements execute once, before the if.
+		s.spliceSeq(condEval)
+		thenSeq := s.inSeq(func() { s.lowerStmt(st.Then) })
+		var elseSeq *simple.Seq
+		if st.Else != nil {
+			elseSeq = s.inSeq(func() { s.lowerStmt(st.Else) })
+		}
+		s.emitStmt(&simple.If{Cond: cond, Then: thenSeq, Else: elseSeq, Pos: st.Pos()})
+
+	case *ast.While:
+		condEval, cond := s.lowerCond(st.Cond)
+		body := s.inSeq(func() { s.lowerStmt(st.Body) })
+		s.emitStmt(&simple.While{CondEval: condEval, Cond: cond, Body: body, Pos: st.Pos()})
+
+	case *ast.Do:
+		body := s.inSeq(func() { s.lowerStmt(st.Body) })
+		condEval, cond := s.lowerCond(st.Cond)
+		s.emitStmt(&simple.DoWhile{Body: body, CondEval: condEval, Cond: cond, Pos: st.Pos()})
+
+	case *ast.For:
+		initSeq := s.inSeq(func() { s.lowerStmt(st.Init) })
+		var condEval *simple.Seq
+		var cond *simple.Cond
+		if st.Cond != nil {
+			condEval, cond = s.lowerCond(st.Cond)
+		}
+		postSeq := s.inSeq(func() {
+			if st.Post != nil {
+				s.lowerExprStmt(st.Post)
+			}
+		})
+		body := s.inSeq(func() { s.lowerStmt(st.Body) })
+		s.emitStmt(&simple.For{Init: initSeq, CondEval: condEval, Cond: cond,
+			Post: postSeq, Body: body, Pos: st.Pos()})
+
+	case *ast.Switch:
+		tag := s.lowerOperand(st.Tag)
+		sw := &simple.Switch{Tag: tag, Pos: st.Pos()}
+		for _, c := range st.Cases {
+			body := s.inSeq(func() {
+				for _, cs := range c.Body {
+					s.lowerStmt(cs)
+				}
+			})
+			sw.Cases = append(sw.Cases, &simple.SwitchCase{
+				Vals: c.Vals, IsDefault: c.IsDefault, Body: body,
+			})
+		}
+		s.emitStmt(sw)
+
+	case *ast.Break:
+		s.emitStmt(&simple.Break{Pos: st.Pos()})
+
+	case *ast.Continue:
+		s.emitStmt(&simple.Continue{Pos: st.Pos()})
+
+	case *ast.Return:
+		var x simple.Operand
+		if st.X != nil {
+			x = s.lowerOperand(st.X)
+			if s.fn.RetVal != nil {
+				// __retval = x, so the callee's pointer results can be
+				// unmapped to the call site.
+				rt := s.fn.RetVal.Type
+				x = s.coerceNull(x, rt)
+				if ref, ok := x.(*simple.Ref); ok && isFuncName(ref) {
+					s.emit(&simple.Basic{Kind: simple.AsgnAddr,
+						LHS: simple.VarRef(s.fn.RetVal, st.Pos()), Addr: ref, Pos: st.Pos()})
+				} else if rt.IsAggregate() {
+					s.copyAggregate(simple.VarRef(s.fn.RetVal, st.Pos()), x, rt, st.Pos())
+				} else {
+					s.emit(&simple.Basic{Kind: simple.AsgnCopy,
+						LHS: simple.VarRef(s.fn.RetVal, st.Pos()), X: x, Pos: st.Pos()})
+				}
+			}
+		}
+		s.emitStmt(&simple.Return{X: x, Pos: st.Pos()})
+
+	case *ast.Goto, *ast.Label:
+		s.errorf(st.Pos(), "internal: goto/label survived structuring")
+
+	default:
+		s.errorf(st.Pos(), "internal: unexpected statement %T", st)
+	}
+}
+
+// spliceSeq appends all statements of seq to the current output.
+func (s *simplifier) spliceSeq(seq *simple.Seq) {
+	if seq == nil {
+		return
+	}
+	s.out.List = append(s.out.List, seq.List...)
+}
+
+// lowerInit lowers a variable initializer to assignments targeting obj.
+func (s *simplifier) lowerInit(obj *ast.Object, init *ast.Init) {
+	s.lowerInitInto(&simple.Ref{Var: obj, Pos: init.Pos}, obj.Type, init)
+}
+
+func (s *simplifier) lowerInitInto(dst *simple.Ref, t *types.Type, init *ast.Init) {
+	if init.Expr != nil {
+		x := s.lowerOperand(init.Expr)
+		x = s.coerceNull(x, t)
+		if ref, ok := x.(*simple.Ref); ok && isFuncName(ref) {
+			s.emit(&simple.Basic{Kind: simple.AsgnAddr, LHS: dst, Addr: ref, Pos: init.Pos})
+			return
+		}
+		if t != nil && t.IsAggregate() {
+			s.copyAggregate(dst, x, t, init.Pos)
+			return
+		}
+		s.emit(&simple.Basic{Kind: simple.AsgnCopy, LHS: dst, X: x, Pos: init.Pos})
+		return
+	}
+	// Brace list.
+	switch {
+	case t != nil && t.Kind == types.Array:
+		for i, el := range init.List {
+			class := simple.IdxPos
+			if i == 0 {
+				class = simple.IdxZero
+			}
+			elemRef := extendRef(dst, simple.IndexSelOp(class, &simple.ConstInt{Val: int64(i)}))
+			s.lowerInitInto(elemRef, t.Elem, el)
+		}
+	case t != nil && t.IsAggregate():
+		for i, el := range init.List {
+			if i >= len(t.Fields) {
+				break
+			}
+			f := t.Fields[i]
+			s.lowerInitInto(extendRef(dst, simple.FieldSel(f.Name)), f.Type, el)
+		}
+	default:
+		if len(init.List) > 0 {
+			s.lowerInitInto(dst, t, init.List[0])
+		}
+	}
+}
+
+// extendRef returns a copy of r with one more selector on its deepest path.
+func extendRef(r *simple.Ref, sel simple.Sel) *simple.Ref {
+	nr := &simple.Ref{
+		Var: r.Var, Deref: r.Deref, Pos: r.Pos,
+		Path:  append([]simple.Sel{}, r.Path...),
+		DPath: append([]simple.Sel{}, r.DPath...),
+	}
+	if r.Deref {
+		nr.DPath = append(nr.DPath, sel)
+	} else {
+		nr.Path = append(nr.Path, sel)
+	}
+	return nr
+}
+
+// isFuncName reports whether ref names a function (which decays to its
+// address when used as a value).
+func isFuncName(r *simple.Ref) bool {
+	return !r.Deref && len(r.Path) == 0 && len(r.DPath) == 0 && r.Var.Kind == ast.FuncObj
+}
+
+// coerceNull turns the integer constant 0 into the null pointer constant
+// when the destination type is a pointer.
+func (s *simplifier) coerceNull(x simple.Operand, t *types.Type) simple.Operand {
+	if t == nil {
+		return x
+	}
+	if c, ok := x.(*simple.ConstInt); ok && c.Val == 0 && t.Decay().Kind == types.Pointer {
+		return &simple.ConstNull{}
+	}
+	return x
+}
+
+// copyAggregate decomposes an aggregate assignment dst = src into per-field
+// assignments (paper §3.3). src must be a Ref of aggregate type.
+func (s *simplifier) copyAggregate(dst *simple.Ref, src simple.Operand, t *types.Type, pos token.Pos) {
+	srcRef, ok := src.(*simple.Ref)
+	if !ok {
+		s.errorf(pos, "cannot assign non-lvalue to aggregate")
+		return
+	}
+	s.copyAggRefs(dst, srcRef, t, pos)
+}
+
+func (s *simplifier) copyAggRefs(dst, src *simple.Ref, t *types.Type, pos token.Pos) {
+	switch {
+	case t.IsAggregate():
+		for _, f := range t.Fields {
+			s.copyAggRefs(extendRef(dst, simple.FieldSel(f.Name)),
+				extendRef(src, simple.FieldSel(f.Name)), f.Type, pos)
+		}
+	case t.Kind == types.Array:
+		// Copy both abstract element locations: head to head, tail to tail.
+		s.copyAggRefs(extendRef(dst, simple.IndexSel(simple.IdxZero)),
+			extendRef(src, simple.IndexSel(simple.IdxZero)), t.Elem, pos)
+		s.copyAggRefs(extendRef(dst, simple.IndexSel(simple.IdxPos)),
+			extendRef(src, simple.IndexSel(simple.IdxPos)), t.Elem, pos)
+	default:
+		s.emit(&simple.Basic{Kind: simple.AsgnCopy, LHS: dst, X: src, Pos: pos})
+	}
+}

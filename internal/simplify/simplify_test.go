@@ -1,0 +1,520 @@
+package simplify
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cc/parser"
+	"repro/internal/simple"
+)
+
+func mustSimplify(t *testing.T, src string) *simple.Program {
+	t.Helper()
+	tu, err := parser.Parse("test.c", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	prog, err := Simplify(tu)
+	if err != nil {
+		t.Fatalf("Simplify: %v", err)
+	}
+	return prog
+}
+
+// collectBasics returns all basic statements of a function in order.
+func collectBasics(f *simple.Function) []*simple.Basic {
+	var out []*simple.Basic
+	var walk func(s simple.Stmt)
+	walk = func(s simple.Stmt) {
+		switch s := s.(type) {
+		case *simple.Basic:
+			out = append(out, s)
+		case *simple.Seq:
+			if s == nil {
+				return
+			}
+			for _, c := range s.List {
+				walk(c)
+			}
+		case *simple.If:
+			walk(s.Then)
+			if s.Else != nil {
+				walk(s.Else)
+			}
+		case *simple.While:
+			walk(s.CondEval)
+			walk(s.Body)
+		case *simple.DoWhile:
+			walk(s.Body)
+			walk(s.CondEval)
+		case *simple.For:
+			walk(s.Init)
+			walk(s.CondEval)
+			walk(s.Post)
+			walk(s.Body)
+		case *simple.Switch:
+			for _, c := range s.Cases {
+				walk(c.Body)
+			}
+		}
+	}
+	walk(f.Body)
+	return out
+}
+
+func TestSimplifyBasicAssignments(t *testing.T) {
+	prog := mustSimplify(t, `
+int main() {
+	int x, y;
+	int *p;
+	x = 5;
+	p = &x;
+	y = *p;
+	*p = y;
+	return 0;
+}
+`)
+	f := prog.Lookup("main")
+	basics := collectBasics(f)
+	var kinds []simple.BasicKind
+	for _, b := range basics {
+		kinds = append(kinds, b.Kind)
+	}
+	want := []simple.BasicKind{simple.AsgnCopy, simple.AsgnAddr, simple.AsgnCopy, simple.AsgnCopy}
+	if len(kinds) != len(want) {
+		t.Fatalf("got %d basics, want %d: %v", len(kinds), len(want), basics)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("basic %d: got kind %d (%s), want %d", i, kinds[i], basics[i], want[i])
+		}
+	}
+	// y = *p must be a one-level indirect load.
+	if !basics[2].X.(*simple.Ref).Deref {
+		t.Error("y = *p should have indirect RHS")
+	}
+	// *p = y must be an indirect store.
+	if !basics[3].LHS.Deref {
+		t.Error("*p = y should have indirect LHS")
+	}
+}
+
+func TestSimplifyDoubleDeref(t *testing.T) {
+	prog := mustSimplify(t, `
+int main() {
+	int x, y;
+	int *p;
+	int **pp;
+	p = &x;
+	pp = &p;
+	y = **pp;
+	**pp = 3;
+	return y;
+}
+`)
+	f := prog.Lookup("main")
+	// **pp must be split: a temp load t = *pp, then use of *t. No basic
+	// statement may have more than one level of indirection per reference.
+	for _, b := range collectBasics(f) {
+		for _, r := range basicRefs(b) {
+			if r.Deref && hasDerefInPath(r) {
+				t.Errorf("statement %s has a multi-level indirect reference", b)
+			}
+		}
+	}
+	if len(f.Locals) < 4 {
+		t.Errorf("expected temporaries for **pp, locals: %d", len(f.Locals))
+	}
+}
+
+func basicRefs(b *simple.Basic) []*simple.Ref {
+	var refs []*simple.Ref
+	add := func(op simple.Operand) {
+		if r, ok := op.(*simple.Ref); ok && r != nil {
+			refs = append(refs, r)
+		}
+	}
+	if b.LHS != nil {
+		refs = append(refs, b.LHS)
+	}
+	if b.X != nil {
+		add(b.X)
+	}
+	if b.Y != nil {
+		add(b.Y)
+	}
+	if b.Addr != nil {
+		refs = append(refs, b.Addr)
+	}
+	for _, a := range b.Args {
+		add(a)
+	}
+	return refs
+}
+
+func hasDerefInPath(*simple.Ref) bool { return false } // Ref encodes one deref at most by construction
+
+func TestSimplifyArrayIndexClasses(t *testing.T) {
+	prog := mustSimplify(t, `
+int *arr[10];
+int x;
+int main() {
+	int i;
+	i = 3;
+	arr[0] = &x;
+	arr[5] = &x;
+	arr[i] = &x;
+	return 0;
+}
+`)
+	f := prog.Lookup("main")
+	basics := collectBasics(f)
+	var classes []simple.IdxClass
+	for _, b := range basics {
+		if b.Kind == simple.AsgnAddr && b.LHS != nil && len(b.LHS.Path) == 1 {
+			classes = append(classes, b.LHS.Path[0].Index)
+		}
+	}
+	want := []simple.IdxClass{simple.IdxZero, simple.IdxPos, simple.IdxAny}
+	if len(classes) != 3 {
+		t.Fatalf("expected 3 indexed address assignments, got %d", len(classes))
+	}
+	for i := range want {
+		if classes[i] != want[i] {
+			t.Errorf("index %d: got class %v, want %v", i, classes[i], want[i])
+		}
+	}
+}
+
+func TestSimplifyCallArgsAreSimple(t *testing.T) {
+	prog := mustSimplify(t, `
+int g(int a, int *p) { return a + *p; }
+int main() {
+	int x;
+	int arr[4];
+	x = g(arr[2] + 1, &x);
+	return x;
+}
+`)
+	f := prog.Lookup("main")
+	for _, b := range collectBasics(f) {
+		if b.Kind != simple.AsgnCall {
+			continue
+		}
+		for _, a := range b.Args {
+			if r, ok := a.(*simple.Ref); ok {
+				if r.Deref || len(r.Path) > 0 {
+					t.Errorf("call argument %s is not a bare variable", r)
+				}
+			}
+		}
+	}
+}
+
+func TestSimplifyMalloc(t *testing.T) {
+	prog := mustSimplify(t, `
+int main() {
+	int *p;
+	p = (int *) malloc(40);
+	return 0;
+}
+`)
+	f := prog.Lookup("main")
+	found := false
+	for _, b := range collectBasics(f) {
+		if b.Kind == simple.AsgnMalloc {
+			found = true
+			if b.LHS.Var.Name != "p" {
+				t.Errorf("malloc result should go to p, got %s", b.LHS)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no AsgnMalloc emitted")
+	}
+}
+
+func TestSimplifyIndirectCall(t *testing.T) {
+	prog := mustSimplify(t, `
+int f(void) { return 1; }
+int (*fp)(void);
+int (*fparr[4])(void);
+int main() {
+	int x;
+	fp = f;
+	x = fp();
+	x = (*fp)();
+	x = fparr[1]();
+	return x;
+}
+`)
+	f := prog.Lookup("main")
+	nInd := 0
+	for _, b := range collectBasics(f) {
+		if b.Kind == simple.AsgnCallInd {
+			nInd++
+			if b.FnPtr == nil {
+				t.Error("indirect call without function pointer variable")
+			}
+		}
+	}
+	if nInd != 3 {
+		t.Errorf("expected 3 indirect calls, got %d", nInd)
+	}
+	// fp = f must become an address assignment.
+	foundAddr := false
+	for _, b := range collectBasics(f) {
+		if b.Kind == simple.AsgnAddr && b.Addr != nil && b.Addr.Var.Name == "f" {
+			foundAddr = true
+		}
+	}
+	if !foundAddr {
+		t.Error("fp = f should lower to fp = &f")
+	}
+}
+
+func TestSimplifyGlobalInit(t *testing.T) {
+	prog := mustSimplify(t, `
+int x;
+int *p = &x;
+int f(void) { return 0; }
+int (*table[2])(void) = { f, f };
+int main() { return 0; }
+`)
+	if prog.GlobalInit == nil || len(prog.GlobalInit.List) < 3 {
+		t.Fatalf("global initializers missing: %+v", prog.GlobalInit)
+	}
+	nAddr := 0
+	for _, s := range prog.GlobalInit.List {
+		if b, ok := s.(*simple.Basic); ok && b.Kind == simple.AsgnAddr {
+			nAddr++
+		}
+	}
+	if nAddr != 3 {
+		t.Errorf("expected 3 address initializers (p, table[0], table[1]), got %d", nAddr)
+	}
+}
+
+func TestSimplifyStructAssign(t *testing.T) {
+	prog := mustSimplify(t, `
+struct pair { int a; int *p; };
+int main() {
+	struct pair u, v;
+	int x;
+	u.p = &x;
+	v = u;
+	return 0;
+}
+`)
+	f := prog.Lookup("main")
+	// v = u decomposes into field copies including v.p = u.p.
+	found := false
+	for _, b := range collectBasics(f) {
+		if b.Kind == simple.AsgnCopy && b.LHS != nil && len(b.LHS.Path) == 1 &&
+			b.LHS.Var.Name == "v" && b.LHS.Path[0].Name == "p" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("struct assignment should decompose into field copies (v.p = u.p)")
+	}
+}
+
+func TestSimplifyShortCircuit(t *testing.T) {
+	prog := mustSimplify(t, `
+int g(void) { return 1; }
+int main() {
+	int a, b, c;
+	a = 1; b = 0;
+	c = a && g();
+	c = a || b;
+	return c;
+}
+`)
+	f := prog.Lookup("main")
+	// The && with a call must introduce control flow (an If) so g() only
+	// runs when a is true.
+	nIf := 0
+	var walk func(s simple.Stmt)
+	walk = func(s simple.Stmt) {
+		switch s := s.(type) {
+		case *simple.Seq:
+			for _, c := range s.List {
+				walk(c)
+			}
+		case *simple.If:
+			nIf++
+			walk(s.Then)
+			if s.Else != nil {
+				walk(s.Else)
+			}
+		}
+	}
+	walk(f.Body)
+	if nIf < 2 {
+		t.Errorf("expected short-circuit lowering to produce >=2 ifs, got %d", nIf)
+	}
+}
+
+func TestSimplifyWhileCondWithDeref(t *testing.T) {
+	prog := mustSimplify(t, `
+struct node { struct node *next; };
+int main() {
+	struct node n;
+	struct node *p;
+	p = &n;
+	while (p->next) {
+		p = p->next;
+	}
+	return 0;
+}
+`)
+	f := prog.Lookup("main")
+	var wh *simple.While
+	var walk func(s simple.Stmt)
+	walk = func(s simple.Stmt) {
+		switch s := s.(type) {
+		case *simple.Seq:
+			for _, c := range s.List {
+				walk(c)
+			}
+		case *simple.While:
+			wh = s
+		}
+	}
+	walk(f.Body)
+	if wh == nil {
+		t.Fatal("while loop not found")
+	}
+	if wh.CondEval == nil || len(wh.CondEval.List) == 0 {
+		t.Fatal("while with p->next condition must have CondEval statements")
+	}
+}
+
+func TestSimplifyGotoBackward(t *testing.T) {
+	prog := mustSimplify(t, `
+int main() {
+	int i;
+	i = 0;
+loop:
+	i++;
+	if (i < 10) goto loop;
+	return i;
+}
+`)
+	f := prog.Lookup("main")
+	// The backward goto becomes a do-while.
+	found := false
+	var walk func(s simple.Stmt)
+	walk = func(s simple.Stmt) {
+		switch s := s.(type) {
+		case *simple.Seq:
+			for _, c := range s.List {
+				walk(c)
+			}
+		case *simple.DoWhile:
+			found = true
+		}
+	}
+	walk(f.Body)
+	if !found {
+		t.Error("backward goto should lower to a do-while loop")
+	}
+}
+
+func TestSimplifyStaticLocalBecomesGlobal(t *testing.T) {
+	prog := mustSimplify(t, `
+int counter(void) {
+	static int n;
+	n = n + 1;
+	return n;
+}
+int main() { return counter(); }
+`)
+	found := false
+	for _, g := range prog.Globals {
+		if strings.Contains(g.Name, "counter.") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("static local should be hoisted to a program global")
+	}
+	f := prog.Lookup("counter")
+	if len(f.Locals) != 0 {
+		t.Errorf("counter should have no true locals, got %d", len(f.Locals))
+	}
+}
+
+func TestSimplifyReturnPointer(t *testing.T) {
+	prog := mustSimplify(t, `
+int g;
+int *addr(void) { return &g; }
+int main() {
+	int *p;
+	p = addr();
+	return 0;
+}
+`)
+	f := prog.Lookup("addr")
+	if f.RetVal == nil {
+		t.Fatal("pointer-returning function should have a RetVal pseudo-variable")
+	}
+	foundRetAssign := false
+	for _, b := range collectBasics(f) {
+		if b.LHS != nil && b.LHS.Var == f.RetVal {
+			foundRetAssign = true
+		}
+	}
+	if !foundRetAssign {
+		t.Error("return &g should assign __retval")
+	}
+}
+
+func TestStmtCounting(t *testing.T) {
+	prog := mustSimplify(t, `
+int main() {
+	int x;
+	x = 1;
+	x = x + 2;
+	if (x) { x = 3; }
+	return x;
+}
+`)
+	if prog.NumBasicStmts < 3 {
+		t.Errorf("NumBasicStmts = %d, want >= 3", prog.NumBasicStmts)
+	}
+	if prog.NumStmts <= prog.NumBasicStmts {
+		t.Errorf("NumStmts (%d) should exceed NumBasicStmts (%d) due to if/return",
+			prog.NumStmts, prog.NumBasicStmts)
+	}
+}
+
+func TestSimplifyPointerToArrayIndexing(t *testing.T) {
+	prog := mustSimplify(t, `
+int main() {
+	double a[10];
+	double *p;
+	double v;
+	p = a;
+	v = p[3];
+	p[0] = v;
+	return 0;
+}
+`)
+	f := prog.Lookup("main")
+	// p[3] must lower to an indirect reference through p with a
+	// positive-index selector on the pointee.
+	found := false
+	for _, b := range collectBasics(f) {
+		for _, r := range basicRefs(b) {
+			if r.Var.Name == "p" && r.Deref && len(r.DPath) == 1 &&
+				r.DPath[0].Kind == simple.SelIndex && r.DPath[0].Index == simple.IdxPos {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("p[3] should lower to (*p)[k] with a positive index class")
+	}
+}

@@ -1,0 +1,288 @@
+package structurer
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cc/ast"
+	"repro/internal/cc/token"
+	"repro/internal/cc/types"
+)
+
+// liftGotos implements the outward-movement step of Erosa & Hendren's goto
+// elimination: a goto nested more deeply than its label is moved one
+// construct outward at a time by introducing a flag variable:
+//
+//	while (...) { ... if (c) goto L; ... }      =>
+//	    gflag = 0;
+//	    while (...) { ... if (c) { gflag = 1; break; } ... }
+//	    if (gflag) goto L;
+//
+// Inside an if, the remainder of the branch is guarded by !gflag instead of
+// using break. The same-level pass (rewriteList) finishes the job once the
+// goto reaches the label's level. Inward movement (a goto jumping *into* a
+// construct) is not supported and is reported as an error.
+func liftGotos(fd *ast.FuncDecl) error {
+	const maxSteps = 1000
+	for step := 0; step < maxSteps; step++ {
+		site := findCrossLevel(fd.Body)
+		if site == nil {
+			return nil
+		}
+		if !site.liftable {
+			return fmt.Errorf("%s: goto %s jumps into a construct (inward movement unsupported)",
+				site.gotoStmt.Pos(), site.label)
+		}
+		liftOne(fd, site)
+	}
+	return fmt.Errorf("goto lifting did not converge")
+}
+
+// gotoSite describes one goto that must move outward: the list holding the
+// goto (or its `if (c) goto L` wrapper), the enclosing construct, and the
+// list holding that construct.
+type gotoSite struct {
+	label     string
+	gotoStmt  ast.Stmt // the Goto or the if-goto wrapper
+	inner     *[]ast.Stmt
+	innerIdx  int
+	parent    *[]ast.Stmt // list containing the construct
+	parentIdx int
+	construct ast.Stmt // the loop/if/switch being lifted out of
+	isLoop    bool     // construct supports break (loop or switch)
+	liftable  bool
+}
+
+// findCrossLevel locates the first goto whose label is not in the same
+// statement list, together with the lifting context.
+func findCrossLevel(body *ast.Block) *gotoSite {
+	// Collect the set of lists that contain each label.
+	labelList := make(map[string]*[]ast.Stmt)
+	var scanLabels func(list *[]ast.Stmt)
+	var walkLists func(list *[]ast.Stmt, visit func(list *[]ast.Stmt))
+	walkLists = func(list *[]ast.Stmt, visit func(list *[]ast.Stmt)) {
+		visit(list)
+		for _, s := range *list {
+			switch s := s.(type) {
+			case *ast.Block:
+				walkLists(&s.List, visit)
+			case *ast.If:
+				walkBranch(s.Then, visit, walkLists)
+				if s.Else != nil {
+					walkBranch(s.Else, visit, walkLists)
+				}
+			case *ast.While:
+				walkBranch(s.Body, visit, walkLists)
+			case *ast.Do:
+				walkBranch(s.Body, visit, walkLists)
+			case *ast.For:
+				walkBranch(s.Body, visit, walkLists)
+			case *ast.Switch:
+				for _, c := range s.Cases {
+					walkLists(&c.Body, visit)
+				}
+			case *ast.Label:
+				if inner, ok := s.Stmt.(*ast.Block); ok {
+					walkLists(&inner.List, visit)
+				}
+			}
+		}
+	}
+	scanLabels = func(list *[]ast.Stmt) {
+		for _, s := range *list {
+			if l, ok := s.(*ast.Label); ok {
+				labelList[l.Name] = list
+			}
+		}
+	}
+	walkLists(&body.List, scanLabels)
+
+	// Walk again tracking the construct chain to find a cross-level goto.
+	var found *gotoSite
+	type frame struct {
+		list      *[]ast.Stmt
+		construct ast.Stmt
+		parent    *[]ast.Stmt
+		parentIdx int
+		isLoop    bool
+	}
+	var rec func(list *[]ast.Stmt, stack []frame)
+	rec = func(list *[]ast.Stmt, stack []frame) {
+		if found != nil {
+			return
+		}
+		for i, s := range *list {
+			label, _, isGoto := condGoto(s)
+			if isGoto {
+				if labelList[label] == list {
+					continue // same level: handled by rewriteList
+				}
+				if len(stack) == 0 {
+					continue
+				}
+				top := stack[len(stack)-1]
+				site := &gotoSite{
+					label:     label,
+					gotoStmt:  s,
+					inner:     list,
+					innerIdx:  i,
+					parent:    top.parent,
+					parentIdx: top.parentIdx,
+					construct: top.construct,
+					isLoop:    top.isLoop,
+				}
+				// Liftable only when the label lives somewhere shallower
+				// along this chain (outward); a label not on the chain at
+				// all means the goto would have to move *inward* later —
+				// report unsupported only if lifting can never reach it.
+				site.liftable = true
+				found = site
+				return
+			}
+			push := func(inner *[]ast.Stmt, construct ast.Stmt, isLoop bool) {
+				rec(inner, append(stack, frame{
+					list: inner, construct: construct,
+					parent: list, parentIdx: i, isLoop: isLoop,
+				}))
+			}
+			switch s := s.(type) {
+			case *ast.Block:
+				// A plain block is transparent: treat its list with the
+				// same construct context by recursing with the block as a
+				// non-breaking construct.
+				push(&s.List, s, false)
+			case *ast.If:
+				if b, ok := s.Then.(*ast.Block); ok {
+					push(&b.List, s, false)
+				}
+				if s.Else != nil {
+					if b, ok := s.Else.(*ast.Block); ok {
+						push(&b.List, s, false)
+					}
+				}
+			case *ast.While:
+				if b, ok := s.Body.(*ast.Block); ok {
+					push(&b.List, s, true)
+				}
+			case *ast.Do:
+				if b, ok := s.Body.(*ast.Block); ok {
+					push(&b.List, s, true)
+				}
+			case *ast.For:
+				if b, ok := s.Body.(*ast.Block); ok {
+					push(&b.List, s, true)
+				}
+			case *ast.Switch:
+				for _, c := range s.Cases {
+					push(&c.Body, s, true)
+				}
+			case *ast.Label:
+				if b, ok := s.Stmt.(*ast.Block); ok {
+					push(&b.List, s, false)
+				}
+			}
+			if found != nil {
+				return
+			}
+		}
+	}
+	rec(&body.List, nil)
+	return found
+}
+
+func walkBranch(s ast.Stmt, visit func(*[]ast.Stmt), walk func(*[]ast.Stmt, func(*[]ast.Stmt))) {
+	if b, ok := s.(*ast.Block); ok {
+		walk(&b.List, visit)
+	}
+}
+
+// liftOne performs one outward movement step for the site.
+func liftOne(fd *ast.FuncDecl, site *gotoSite) {
+	// Number flags per function for deterministic, race-free naming.
+	n := 1
+	for _, l := range fd.Locals {
+		if strings.HasPrefix(l.Name, "goto$") {
+			n++
+		}
+	}
+	flag := &ast.Object{
+		Name: fmt.Sprintf("goto$%s$%d", site.label, n),
+		Kind: ast.Var,
+		Type: types.IntType,
+		Pos:  site.gotoStmt.Pos(),
+	}
+	fd.Locals = append(fd.Locals, flag)
+	pos := site.gotoStmt.Pos()
+
+	mkIdent := func() *ast.Ident {
+		id := &ast.Ident{Obj: flag}
+		id.P = pos
+		id.T = types.IntType
+		return id
+	}
+	mkAssign := func(v int64) ast.Stmt {
+		lit := &ast.IntLit{Val: v}
+		lit.P = pos
+		lit.T = types.IntType
+		as := &ast.Assign{Op: token.ASSIGN, LHS: mkIdent(), RHS: lit}
+		as.P = pos
+		as.T = types.IntType
+		es := &ast.ExprStmt{X: as}
+		es.P = pos
+		return es
+	}
+
+	// Build the replacement for the goto inside the construct.
+	setAndEscape := func() ast.Stmt {
+		list := []ast.Stmt{mkAssign(1)}
+		if site.isLoop {
+			br := &ast.Break{}
+			br.P = pos
+			list = append(list, br)
+		}
+		blk := &ast.Block{List: list}
+		blk.P = pos
+		return blk
+	}
+
+	var replacement ast.Stmt
+	label, cond, _ := condGoto(site.gotoStmt)
+	if cond != nil {
+		guard := &ast.If{Cond: cond, Then: setAndEscape()}
+		guard.P = pos
+		replacement = guard
+	} else {
+		replacement = setAndEscape()
+	}
+	(*site.inner)[site.innerIdx] = replacement
+
+	// Inside a non-breaking construct (if/block), guard the statements
+	// after the goto so they do not execute once the flag is set.
+	if !site.isLoop && site.innerIdx+1 < len(*site.inner) {
+		rest := append([]ast.Stmt{}, (*site.inner)[site.innerIdx+1:]...)
+		zero := &ast.IntLit{Val: 0}
+		zero.P = pos
+		zero.T = types.IntType
+		eq := &ast.Binary{Op: token.EQL, X: mkIdent(), Y: zero}
+		eq.P = pos
+		eq.T = types.IntType
+		blk := &ast.Block{List: rest}
+		blk.P = pos
+		guard := &ast.If{Cond: eq, Then: blk}
+		guard.P = pos
+		*site.inner = append((*site.inner)[:site.innerIdx+1], guard)
+	}
+
+	// Before the construct: flag = 0. After it: if (flag) goto label.
+	reGoto := &ast.Goto{Label: label}
+	reGoto.P = pos
+	reIf := &ast.If{Cond: mkIdent(), Then: reGoto}
+	reIf.P = pos
+
+	parent := site.parent
+	idx := site.parentIdx
+	nl := append([]ast.Stmt{}, (*parent)[:idx]...)
+	nl = append(nl, mkAssign(0), (*parent)[idx], reIf)
+	nl = append(nl, (*parent)[idx+1:]...)
+	*parent = nl
+}

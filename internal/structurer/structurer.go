@@ -1,0 +1,259 @@
+// Package structurer eliminates goto statements, turning unstructured
+// control flow into equivalent structured flow so that the compositional
+// SIMPLE analysis rules apply (paper §2, footnote 2; Erosa & Hendren 1994).
+//
+// The implementation handles the patterns that occur in practice in the
+// benchmark suite — same-level forward and backward gotos, including the
+// common `if (c) goto L;` conditional form:
+//
+//	backward:  L: S1 … Sn; if (c) goto L;   =>  do { S1 … Sn } while (c);
+//	backward:  L: S1 … Sn; goto L;          =>  while (1) { S1 … Sn }
+//	forward:   if (c) goto L; S1 … Sn; L:   =>  if (!c) { S1 … Sn }
+//	forward:   goto L; S1 … Sn; L:          =>  (dead code removed)
+//
+// Gotos that cross nesting levels are rejected with an error; the full
+// Erosa–Hendren algorithm (goto lifting/inward movement) is future work.
+package structurer
+
+import (
+	"fmt"
+
+	"repro/internal/cc/ast"
+	"repro/internal/cc/token"
+)
+
+// Structure rewrites all functions of tu in place, removing goto/label
+// statements. It returns an error if an unsupported goto pattern remains.
+func Structure(tu *ast.TranslationUnit) error {
+	for _, f := range tu.Funcs {
+		if !hasGoto(f.Body) {
+			// Still unwrap labels that are never targeted.
+			stripLabels(f.Body)
+			continue
+		}
+		// Outward movement first: gotos nested deeper than their label are
+		// lifted level by level with flag variables.
+		if err := liftGotos(f); err != nil {
+			return fmt.Errorf("function %s: %w", f.Name(), err)
+		}
+		if err := structureBlock(f.Body); err != nil {
+			return fmt.Errorf("function %s: %w", f.Name(), err)
+		}
+		if g := findGoto(f.Body); g != nil {
+			return fmt.Errorf("function %s: %s: unsupported goto pattern (label %s requires inward movement)",
+				f.Name(), g.Pos(), g.Label)
+		}
+		stripLabels(f.Body)
+	}
+	return nil
+}
+
+func hasGoto(s ast.Stmt) bool { return findGoto(s) != nil }
+
+func findGoto(s ast.Stmt) *ast.Goto {
+	switch s := s.(type) {
+	case *ast.Goto:
+		return s
+	case *ast.Block:
+		for _, c := range s.List {
+			if g := findGoto(c); g != nil {
+				return g
+			}
+		}
+	case *ast.If:
+		if g := findGoto(s.Then); g != nil {
+			return g
+		}
+		if s.Else != nil {
+			return findGoto(s.Else)
+		}
+	case *ast.While:
+		return findGoto(s.Body)
+	case *ast.Do:
+		return findGoto(s.Body)
+	case *ast.For:
+		return findGoto(s.Body)
+	case *ast.Switch:
+		for _, c := range s.Cases {
+			for _, cs := range c.Body {
+				if g := findGoto(cs); g != nil {
+					return g
+				}
+			}
+		}
+	case *ast.Label:
+		return findGoto(s.Stmt)
+	}
+	return nil
+}
+
+// stripLabels unwraps Label statements in place (the label itself carries no
+// behaviour once gotos are gone).
+func stripLabels(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.Block:
+		for i, c := range s.List {
+			if l, ok := c.(*ast.Label); ok {
+				s.List[i] = l.Stmt
+				stripLabels(l.Stmt)
+				continue
+			}
+			stripLabels(c)
+		}
+	case *ast.If:
+		stripLabels(s.Then)
+		if s.Else != nil {
+			stripLabels(s.Else)
+		}
+	case *ast.While:
+		stripLabels(s.Body)
+	case *ast.Do:
+		stripLabels(s.Body)
+	case *ast.For:
+		stripLabels(s.Body)
+	case *ast.Switch:
+		for _, c := range s.Cases {
+			for i, cs := range c.Body {
+				if l, ok := cs.(*ast.Label); ok {
+					c.Body[i] = l.Stmt
+					stripLabels(l.Stmt)
+					continue
+				}
+				stripLabels(cs)
+			}
+		}
+	case *ast.Label:
+		stripLabels(s.Stmt)
+	}
+}
+
+// structureBlock removes same-level goto/label pairs within each block,
+// recursing into nested structures first.
+func structureBlock(s ast.Stmt) error {
+	switch s := s.(type) {
+	case *ast.Block:
+		for _, c := range s.List {
+			if err := structureBlock(c); err != nil {
+				return err
+			}
+		}
+		return rewriteList(&s.List)
+	case *ast.If:
+		if err := structureBlock(s.Then); err != nil {
+			return err
+		}
+		if s.Else != nil {
+			return structureBlock(s.Else)
+		}
+	case *ast.While:
+		return structureBlock(s.Body)
+	case *ast.Do:
+		return structureBlock(s.Body)
+	case *ast.For:
+		return structureBlock(s.Body)
+	case *ast.Switch:
+		for _, c := range s.Cases {
+			for _, cs := range c.Body {
+				if err := structureBlock(cs); err != nil {
+					return err
+				}
+			}
+			if err := rewriteList(&c.Body); err != nil {
+				return err
+			}
+		}
+	case *ast.Label:
+		return structureBlock(s.Stmt)
+	}
+	return nil
+}
+
+// condGoto recognizes `goto L` and `if (c) goto L` (with no else) and
+// returns the label and condition (nil for unconditional).
+func condGoto(s ast.Stmt) (label string, cond ast.Expr, ok bool) {
+	switch s := s.(type) {
+	case *ast.Goto:
+		return s.Label, nil, true
+	case *ast.If:
+		if s.Else != nil {
+			return "", nil, false
+		}
+		then := s.Then
+		if b, isBlock := then.(*ast.Block); isBlock && len(b.List) == 1 {
+			then = b.List[0]
+		}
+		if g, isGoto := then.(*ast.Goto); isGoto {
+			return g.Label, s.Cond, true
+		}
+	}
+	return "", nil, false
+}
+
+// rewriteList repeatedly eliminates same-level goto/label pairs in list.
+func rewriteList(list *[]ast.Stmt) error {
+	for changed := true; changed; {
+		changed = false
+		l := *list
+		// Index labels at this level.
+		labelAt := make(map[string]int)
+		for i, s := range l {
+			if lab, ok := s.(*ast.Label); ok {
+				labelAt[lab.Name] = i
+			}
+		}
+		for j, s := range l {
+			label, cond, ok := condGoto(s)
+			if !ok {
+				continue
+			}
+			i, here := labelAt[label]
+			if !here {
+				continue
+			}
+			if i <= j {
+				// Backward goto: loop over l[i..j-1].
+				lab := l[i].(*ast.Label)
+				body := make([]ast.Stmt, 0, j-i)
+				body = append(body, lab.Stmt)
+				body = append(body, l[i+1:j]...)
+				blk := &ast.Block{List: body}
+				blk.P = lab.Pos()
+				var loop ast.Stmt
+				if cond != nil {
+					d := &ast.Do{Body: blk, Cond: cond}
+					d.P = lab.Pos()
+					loop = d
+				} else {
+					one := &ast.IntLit{Val: 1}
+					one.P = lab.Pos()
+					w := &ast.While{Cond: one, Body: blk}
+					w.P = lab.Pos()
+					loop = w
+				}
+				nl := append([]ast.Stmt{}, l[:i]...)
+				nl = append(nl, loop)
+				nl = append(nl, l[j+1:]...)
+				*list = nl
+				changed = true
+			} else {
+				// Forward goto: guard (or drop) l[j+1..i-1].
+				skipped := append([]ast.Stmt{}, l[j+1:i]...)
+				nl := append([]ast.Stmt{}, l[:j]...)
+				if cond != nil {
+					blk := &ast.Block{List: skipped}
+					blk.P = s.Pos()
+					neg := &ast.Unary{Op: token.NOT, X: cond}
+					neg.P = cond.Pos()
+					guard := &ast.If{Cond: neg, Then: blk}
+					guard.P = s.Pos()
+					nl = append(nl, guard)
+				}
+				nl = append(nl, l[i:]...) // keep the label; stripped later
+				*list = nl
+				changed = true
+			}
+			break
+		}
+	}
+	return nil
+}

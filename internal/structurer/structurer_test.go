@@ -1,0 +1,329 @@
+package structurer
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cc/ast"
+	"repro/internal/cc/parser"
+)
+
+func structure(t *testing.T, src string) (*ast.TranslationUnit, error) {
+	t.Helper()
+	tu, err := parser.Parse("test.c", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return tu, Structure(tu)
+}
+
+func countKind(s ast.Stmt, pred func(ast.Stmt) bool) int {
+	n := 0
+	var walk func(s ast.Stmt)
+	walk = func(s ast.Stmt) {
+		if s == nil {
+			return
+		}
+		if pred(s) {
+			n++
+		}
+		switch s := s.(type) {
+		case *ast.Block:
+			for _, c := range s.List {
+				walk(c)
+			}
+		case *ast.If:
+			walk(s.Then)
+			walk(s.Else)
+		case *ast.While:
+			walk(s.Body)
+		case *ast.Do:
+			walk(s.Body)
+		case *ast.For:
+			walk(s.Body)
+		case *ast.Switch:
+			for _, c := range s.Cases {
+				for _, cs := range c.Body {
+					walk(cs)
+				}
+			}
+		case *ast.Label:
+			walk(s.Stmt)
+		}
+	}
+	walk(s)
+	return n
+}
+
+func isGoto(s ast.Stmt) bool  { _, ok := s.(*ast.Goto); return ok }
+func isLabel(s ast.Stmt) bool { _, ok := s.(*ast.Label); return ok }
+func isDo(s ast.Stmt) bool    { _, ok := s.(*ast.Do); return ok }
+func isWhile(s ast.Stmt) bool { _, ok := s.(*ast.While); return ok }
+func isIf(s ast.Stmt) bool    { _, ok := s.(*ast.If); return ok }
+
+func TestBackwardConditionalGoto(t *testing.T) {
+	tu, err := structure(t, `
+int main() {
+	int i;
+	i = 0;
+loop:
+	i++;
+	if (i < 10) goto loop;
+	return i;
+}
+`)
+	if err != nil {
+		t.Fatalf("Structure: %v", err)
+	}
+	body := tu.Funcs[0].Body
+	if countKind(body, isGoto) != 0 || countKind(body, isLabel) != 0 {
+		t.Error("gotos/labels must be eliminated")
+	}
+	if countKind(body, isDo) != 1 {
+		t.Error("backward conditional goto should become a do-while")
+	}
+}
+
+func TestBackwardUnconditionalGoto(t *testing.T) {
+	tu, err := structure(t, `
+int main() {
+	int i;
+	i = 0;
+again:
+	i++;
+	if (i >= 5) return i;
+	goto again;
+}
+`)
+	if err != nil {
+		t.Fatalf("Structure: %v", err)
+	}
+	body := tu.Funcs[0].Body
+	if countKind(body, isGoto) != 0 {
+		t.Error("gotos must be eliminated")
+	}
+	if countKind(body, isWhile) != 1 {
+		t.Error("unconditional backward goto should become while(1)")
+	}
+}
+
+func TestForwardConditionalGoto(t *testing.T) {
+	tu, err := structure(t, `
+int main() {
+	int x, c;
+	x = 0;
+	if (c) goto skip;
+	x = 1;
+	x = 2;
+skip:
+	return x;
+}
+`)
+	if err != nil {
+		t.Fatalf("Structure: %v", err)
+	}
+	body := tu.Funcs[0].Body
+	if countKind(body, isGoto) != 0 || countKind(body, isLabel) != 0 {
+		t.Error("gotos/labels must be eliminated")
+	}
+	// Skipped statements are guarded by the negated condition.
+	if countKind(body, isIf) < 1 {
+		t.Error("forward conditional goto should introduce a guard if")
+	}
+}
+
+func TestForwardUnconditionalGotoDropsDeadCode(t *testing.T) {
+	tu, err := structure(t, `
+int main() {
+	int x;
+	x = 1;
+	goto out;
+	x = 2;
+out:
+	return x;
+}
+`)
+	if err != nil {
+		t.Fatalf("Structure: %v", err)
+	}
+	body := tu.Funcs[0].Body
+	if countKind(body, isGoto) != 0 {
+		t.Error("gotos must be eliminated")
+	}
+	// x = 2 is dead and dropped: only x = 1 and return remain.
+	nAssign := countKind(body, func(s ast.Stmt) bool {
+		es, ok := s.(*ast.ExprStmt)
+		if !ok {
+			return false
+		}
+		_, isAssign := es.X.(*ast.Assign)
+		return isAssign
+	})
+	if nAssign != 1 {
+		t.Errorf("dead assignment should be dropped, have %d assignments", nAssign)
+	}
+}
+
+func TestGotoOutOfLoopLifted(t *testing.T) {
+	tu, err := structure(t, `
+int main() {
+	int i;
+	for (i = 0; i < 10; i++) {
+		if (i == 5) goto out;
+	}
+	i = -1;
+out:
+	return i;
+}
+`)
+	if err != nil {
+		t.Fatalf("goto out of a loop should be lifted: %v", err)
+	}
+	body := tu.Funcs[0].Body
+	if countKind(body, isGoto) != 0 || countKind(body, isLabel) != 0 {
+		t.Error("gotos/labels must be eliminated after lifting")
+	}
+	// Lifting introduces a flag variable.
+	foundFlag := false
+	for _, l := range tu.Funcs[0].Locals {
+		if strings.HasPrefix(l.Name, "goto$") {
+			foundFlag = true
+		}
+	}
+	if !foundFlag {
+		t.Error("lifting should add a flag local")
+	}
+}
+
+func TestGotoOutOfNestedLoops(t *testing.T) {
+	tu, err := structure(t, `
+int main() {
+	int i, j, found;
+	found = 0;
+	for (i = 0; i < 4; i++) {
+		for (j = 0; j < 4; j++) {
+			if (i * j == 6) goto done;
+		}
+	}
+	found = -1;
+done:
+	return found;
+}
+`)
+	if err != nil {
+		t.Fatalf("two-level lift failed: %v", err)
+	}
+	if countKind(tu.Funcs[0].Body, isGoto) != 0 {
+		t.Error("gotos must be fully eliminated")
+	}
+}
+
+func TestGotoOutOfSwitch(t *testing.T) {
+	tu, err := structure(t, `
+int main() {
+	int v, r;
+	v = 2;
+	r = 0;
+	switch (v) {
+	case 1:
+		r = 1;
+		break;
+	case 2:
+		goto done;
+	default:
+		r = 9;
+	}
+	r = 100;
+done:
+	return r;
+}
+`)
+	if err != nil {
+		t.Fatalf("goto out of switch should be lifted: %v", err)
+	}
+	if countKind(tu.Funcs[0].Body, isGoto) != 0 {
+		t.Error("gotos must be eliminated")
+	}
+}
+
+func TestGotoOutOfLoopInsideSwitch(t *testing.T) {
+	tu, err := structure(t, `
+int main() {
+	int v, i, r;
+	v = 1;
+	r = 0;
+	switch (v) {
+	case 1:
+		for (i = 0; i < 10; i++) {
+			if (i == 3) goto out;
+			r++;
+		}
+		break;
+	}
+	r = -1;
+out:
+	return r;
+}
+`)
+	if err != nil {
+		t.Fatalf("two-level lift through switch failed: %v", err)
+	}
+	if countKind(tu.Funcs[0].Body, isGoto) != 0 {
+		t.Error("gotos must be eliminated")
+	}
+}
+
+func TestGotoIntoConstructRejected(t *testing.T) {
+	_, err := structure(t, `
+int main() {
+	int i;
+	i = 0;
+	goto inside;
+	while (i < 10) {
+inside:
+		i++;
+	}
+	return i;
+}
+`)
+	if err == nil {
+		t.Fatal("goto into a loop (inward movement) should be rejected")
+	}
+	if !strings.Contains(err.Error(), "inward") && !strings.Contains(err.Error(), "unsupported") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestNoGotoNoop(t *testing.T) {
+	tu, err := structure(t, `
+int main() {
+	int i, s;
+	s = 0;
+	for (i = 0; i < 3; i++) s += i;
+	return s;
+}
+`)
+	if err != nil {
+		t.Fatalf("Structure: %v", err)
+	}
+	if countKind(tu.Funcs[0].Body, func(ast.Stmt) bool { return true }) == 0 {
+		t.Error("body should be preserved")
+	}
+}
+
+func TestUnusedLabelStripped(t *testing.T) {
+	tu, err := structure(t, `
+int main() {
+	int x;
+unused:
+	x = 1;
+	return x;
+}
+`)
+	if err != nil {
+		t.Fatalf("Structure: %v", err)
+	}
+	if countKind(tu.Funcs[0].Body, isLabel) != 0 {
+		t.Error("unused labels should be stripped")
+	}
+}

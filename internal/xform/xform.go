@@ -1,0 +1,136 @@
+// Package xform implements the transformations and companion analyses built
+// on points-to information that §6.1 of the paper describes: replacing
+// indirect references through definitely-known pointers with direct
+// references, and computing read/write sets per statement.
+package xform
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/pta"
+	"repro/internal/pta/loc"
+	"repro/internal/pta/ptset"
+	"repro/internal/simple"
+)
+
+// Replacement describes one indirect reference that definite points-to
+// information can replace with a direct reference (e.g. *q -> y).
+type Replacement struct {
+	Stmt   *simple.Basic
+	Ref    *simple.Ref
+	Target *loc.Location
+}
+
+func (r Replacement) String() string {
+	return fmt.Sprintf("%s: %s => %s", r.Stmt.Pos, r.Ref, r.Target.Name())
+}
+
+// FindReplacements returns all indirect references whose dereferenced
+// pointer definitely points to a single, visible, single-location target.
+// (References to invisible variables cannot be replaced — the paper's
+// footnote 7.)
+func FindReplacements(res *pta.Result) []Replacement {
+	var out []Replacement
+	seen := make(map[*simple.Basic]bool)
+	res.Prog.ForEachBasic(func(b *simple.Basic) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		in, ok := res.Annots.At(b)
+		if !ok {
+			return
+		}
+		for _, r := range b.Refs() {
+			if !r.Deref {
+				continue
+			}
+			base := pta.EvalBaseLocs(res, r)
+			if len(base) != 1 || base[0].Def != ptset.D {
+				continue
+			}
+			var target *loc.Location
+			n := 0
+			for _, t := range in.Targets(base[0].Loc) {
+				if t.Dst.Kind == loc.Null {
+					continue
+				}
+				n++
+				if t.Def == ptset.D {
+					target = t.Dst
+				}
+			}
+			if n != 1 || target == nil {
+				continue
+			}
+			if target.Kind != loc.Var || target.Multi() {
+				continue // invisible, heap or multi-location target
+			}
+			out = append(out, Replacement{Stmt: b, Ref: r, Target: target})
+		}
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Stmt.ID < out[j].Stmt.ID })
+	return out
+}
+
+// RWSet is the read/write set of one basic statement in terms of abstract
+// locations (used to build read/write sets for IR construction, §6.1).
+type RWSet struct {
+	Stmt  *simple.Basic
+	Reads []*loc.Location
+	// Writes lists locations possibly written; DefWrites those definitely
+	// written (eligible for kill in downstream analyses).
+	Writes    []*loc.Location
+	DefWrites []*loc.Location
+}
+
+// ComputeRWSets derives per-statement read/write sets from the analysis
+// annotations. Call statements are skipped (their effects live in the
+// callee's sets).
+func ComputeRWSets(res *pta.Result) []RWSet {
+	var out []RWSet
+	seen := make(map[*simple.Basic]bool)
+	res.Prog.ForEachBasic(func(b *simple.Basic) {
+		if seen[b] || b.Kind == simple.AsgnCall || b.Kind == simple.AsgnCallInd ||
+			b.Kind == simple.StmtNop {
+			return
+		}
+		seen[b] = true
+		in, ok := res.Annots.At(b)
+		if !ok {
+			return
+		}
+		rw := RWSet{Stmt: b}
+		if b.LHS != nil {
+			for _, ld := range lvalLocs(res, b.LHS, in) {
+				rw.Writes = append(rw.Writes, ld.Loc)
+				if ld.Def == ptset.D && !ld.Loc.Multi() {
+					rw.DefWrites = append(rw.DefWrites, ld.Loc)
+				}
+			}
+		}
+		for _, r := range b.Refs() {
+			if r == b.LHS {
+				continue
+			}
+			for _, ld := range lvalLocs(res, r, in) {
+				rw.Reads = append(rw.Reads, ld.Loc)
+			}
+		}
+		rw.Reads = loc.SortLocs(rw.Reads)
+		rw.Writes = loc.SortLocs(rw.Writes)
+		rw.DefWrites = loc.SortLocs(rw.DefWrites)
+		out = append(out, rw)
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Stmt.ID < out[j].Stmt.ID })
+	return out
+}
+
+// lvalLocs returns the locations a reference denotes (its L-location set).
+func lvalLocs(res *pta.Result, r *simple.Ref, in ptset.Set) []pta.BaseLoc {
+	if !r.Deref {
+		return pta.EvalBaseLocs(res, r)
+	}
+	return pta.EvalLLocs(res, r, in)
+}

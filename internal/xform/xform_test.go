@@ -1,0 +1,164 @@
+package xform
+
+import (
+	"testing"
+
+	"repro/internal/cc/parser"
+	"repro/internal/pta"
+	"repro/internal/simplify"
+)
+
+func analyze(t *testing.T, src string) *pta.Result {
+	t.Helper()
+	tu, err := parser.Parse("test.c", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	prog, err := simplify.Simplify(tu)
+	if err != nil {
+		t.Fatalf("Simplify: %v", err)
+	}
+	res, err := pta.Analyze(prog, pta.Options{})
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	return res
+}
+
+func TestFindReplacementsDefinite(t *testing.T) {
+	res := analyze(t, `
+int main() {
+	int x, y;
+	int *q;
+	q = &y;
+	x = *q;     /* replaceable: q definitely points to y */
+	*q = 3;     /* replaceable */
+	return x;
+}
+`)
+	reps := FindReplacements(res)
+	if len(reps) != 2 {
+		t.Fatalf("found %d replacements, want 2: %v", len(reps), reps)
+	}
+	for _, r := range reps {
+		if r.Target.Name() != "y" {
+			t.Errorf("replacement target = %s, want y", r.Target.Name())
+		}
+	}
+}
+
+func TestNoReplacementForPossible(t *testing.T) {
+	res := analyze(t, `
+int main() {
+	int x, y, z, c;
+	int *r;
+	if (c)
+		r = &y;
+	else
+		r = &z;
+	x = *r;
+	return x;
+}
+`)
+	if reps := FindReplacements(res); len(reps) != 0 {
+		t.Errorf("possible targets must not be replaceable: %v", reps)
+	}
+}
+
+func TestNoReplacementForInvisible(t *testing.T) {
+	// Inside f, q definitely points to the invisible 1_q — footnote 7 of
+	// the paper says such references cannot be replaced.
+	res := analyze(t, `
+int read(int *q) {
+	return *q;
+}
+int main() {
+	int x;
+	x = read(&x);
+	return x;
+}
+`)
+	for _, r := range FindReplacements(res) {
+		if r.Stmt.Pos.Line == 3 { // the *q inside read
+			t.Errorf("invisible target must not be replaceable: %v", r)
+		}
+	}
+}
+
+func TestNoReplacementForHeap(t *testing.T) {
+	res := analyze(t, `
+int main() {
+	int *p;
+	int x;
+	p = (int *) malloc(4);
+	x = *p;
+	return x;
+}
+`)
+	if reps := FindReplacements(res); len(reps) != 0 {
+		t.Errorf("heap targets must not be replaceable: %v", reps)
+	}
+}
+
+func TestRWSets(t *testing.T) {
+	res := analyze(t, `
+int main() {
+	int x, y;
+	int *p;
+	p = &x;
+	*p = y;
+	return 0;
+}
+`)
+	sets := ComputeRWSets(res)
+	// Find the RW set of the store *p = y.
+	var found bool
+	for _, rw := range sets {
+		if rw.Stmt.LHS != nil && rw.Stmt.LHS.Deref {
+			found = true
+			if len(rw.Writes) != 1 || rw.Writes[0].Name() != "x" {
+				t.Errorf("writes of *p = y: %v, want [x]", rw.Writes)
+			}
+			if len(rw.DefWrites) != 1 {
+				t.Errorf("x is definitely written: %v", rw.DefWrites)
+			}
+			hasY := false
+			for _, r := range rw.Reads {
+				if r.Name() == "y" {
+					hasY = true
+				}
+			}
+			if !hasY {
+				t.Errorf("reads of *p = y should include y: %v", rw.Reads)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("store statement not found")
+	}
+}
+
+func TestRWSetsWeakWrite(t *testing.T) {
+	res := analyze(t, `
+int main() {
+	int x, y, c;
+	int *p;
+	if (c)
+		p = &x;
+	else
+		p = &y;
+	*p = 1;
+	return 0;
+}
+`)
+	for _, rw := range ComputeRWSets(res) {
+		if rw.Stmt.LHS != nil && rw.Stmt.LHS.Deref {
+			if len(rw.Writes) != 2 {
+				t.Errorf("weak write should cover x and y: %v", rw.Writes)
+			}
+			if len(rw.DefWrites) != 0 {
+				t.Errorf("weak write has no definite writes: %v", rw.DefWrites)
+			}
+		}
+	}
+}

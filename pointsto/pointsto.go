@@ -1,0 +1,261 @@
+// Package pointsto is the public API of the reproduction of Emami, Ghiya &
+// Hendren, "Context-Sensitive Interprocedural Points-to Analysis in the
+// Presence of Function Pointers" (PLDI 1994).
+//
+// It wraps the full pipeline — C-subset frontend, SIMPLE simplifier,
+// points-to analysis with invocation graphs and function-pointer handling —
+// behind a small surface:
+//
+//	a, err := pointsto.AnalyzeSource("prog.c", src, nil)
+//	targets := a.PointsTo("main", "p")   // e.g. [{x D}]
+//	a.WriteInvocationGraph(os.Stdout)    // Graphviz DOT
+//
+// For lower-level access (per-statement annotations, the location table,
+// baseline analyses) use the internal packages via the fields of Analysis.
+package pointsto
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/alias"
+	"repro/internal/cc/ast"
+	"repro/internal/cc/parser"
+	"repro/internal/constprop"
+	"repro/internal/deptest"
+	"repro/internal/heapconn"
+	"repro/internal/modref"
+	"repro/internal/pta"
+	"repro/internal/pta/invgraph"
+	"repro/internal/pta/loc"
+	"repro/internal/pta/ptset"
+	"repro/internal/simple"
+	"repro/internal/simplify"
+	"repro/internal/xform"
+)
+
+// Config controls an analysis. The zero value (or a nil *Config) is the
+// paper's algorithm.
+type Config struct {
+	// FnPtrStrategy: "precise" (default), "addr-taken" or "all".
+	FnPtrStrategy string
+	// NoDefinite disables definite relationships and strong updates.
+	NoDefinite bool
+	// SingleArrayLoc collapses the a_head/a_tail array abstraction.
+	SingleArrayLoc bool
+	// NoMemo disables IN/OUT memoization on invocation graph nodes.
+	NoMemo bool
+	// ContextInsensitive merges all calling contexts per function.
+	ContextInsensitive bool
+	// ShareContexts enables the paper's §6 future-work optimization: a
+	// global per-function summary cache that shares invocation-graph
+	// subtrees with identical inputs.
+	ShareContexts bool
+}
+
+func (c *Config) options() (pta.Options, error) {
+	var o pta.Options
+	if c == nil {
+		return o, nil
+	}
+	switch c.FnPtrStrategy {
+	case "", "precise":
+		o.FnPtr = pta.Precise
+	case "addr-taken":
+		o.FnPtr = pta.AddrTaken
+	case "all":
+		o.FnPtr = pta.AllFuncs
+	default:
+		return o, fmt.Errorf("pointsto: unknown function-pointer strategy %q", c.FnPtrStrategy)
+	}
+	o.NoDefinite = c.NoDefinite
+	o.SingleArrayLoc = c.SingleArrayLoc
+	o.NoMemo = c.NoMemo
+	o.ContextInsensitive = c.ContextInsensitive
+	o.ShareContexts = c.ShareContexts
+	return o, nil
+}
+
+// Target is one points-to relationship target.
+type Target struct {
+	Name     string
+	Definite bool
+}
+
+func (t Target) String() string {
+	d := "P"
+	if t.Definite {
+		d = "D"
+	}
+	return t.Name + ":" + d
+}
+
+// Analysis is a completed points-to analysis of one program.
+type Analysis struct {
+	// Result exposes the full analysis result for advanced use.
+	Result *pta.Result
+	// Program is the simplified (SIMPLE) program.
+	Program *simple.Program
+}
+
+// AnalyzeSource parses, simplifies and analyzes C source text.
+func AnalyzeSource(filename, src string, cfg *Config) (*Analysis, error) {
+	tu, err := parser.Parse(filename, src)
+	if err != nil {
+		return nil, err
+	}
+	return AnalyzeUnit(tu, cfg)
+}
+
+// AnalyzeUnit analyzes an already-parsed translation unit.
+func AnalyzeUnit(tu *ast.TranslationUnit, cfg *Config) (*Analysis, error) {
+	prog, err := simplify.Simplify(tu)
+	if err != nil {
+		return nil, err
+	}
+	return AnalyzeProgram(prog, cfg)
+}
+
+// AnalyzeProgram analyzes a SIMPLE program.
+func AnalyzeProgram(prog *simple.Program, cfg *Config) (*Analysis, error) {
+	opts, err := cfg.options()
+	if err != nil {
+		return nil, err
+	}
+	res, err := pta.Analyze(prog, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Analysis{Result: res, Program: prog}, nil
+}
+
+// lookupVar finds a variable: fn=="" searches globals only.
+func (a *Analysis) lookupVar(fn, name string) *ast.Object {
+	if fn != "" {
+		if f := a.Program.Lookup(fn); f != nil {
+			for _, p := range f.Params {
+				if p.Name == name {
+					return p
+				}
+			}
+			for _, l := range f.Locals {
+				if l.Name == name {
+					return l
+				}
+			}
+		}
+	}
+	for _, g := range a.Program.Globals {
+		if g.Name == name {
+			return g
+		}
+	}
+	return nil
+}
+
+// PointsTo returns the targets of variable name (a local or parameter of
+// function fn, or a global when fn is "") in the points-to set at the exit
+// of main. NULL targets are omitted; targets are sorted by name.
+func (a *Analysis) PointsTo(fn, name string) []Target {
+	obj := a.lookupVar(fn, name)
+	if obj == nil {
+		return nil
+	}
+	return a.targets(a.Result.MainOut, obj)
+}
+
+func (a *Analysis) targets(s ptset.Set, obj *ast.Object) []Target {
+	l := a.Result.Table.VarLoc(obj, nil)
+	var out []Target
+	for _, t := range s.Targets(l) {
+		if t.Dst.Kind == loc.Null {
+			continue
+		}
+		out = append(out, Target{Name: t.Dst.Name(), Definite: bool(t.Def)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// PointsToString formats PointsTo as "a:D b:P ...".
+func (a *Analysis) PointsToString(fn, name string) string {
+	ts := a.PointsTo(fn, name)
+	parts := make([]string, len(ts))
+	for i, t := range ts {
+		parts[i] = t.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// CallTargets returns the functions an indirect call through the given
+// function pointer can invoke, according to the invocation graph built
+// during the analysis.
+func (a *Analysis) CallTargets(fnPtrVar string) []string {
+	seen := make(map[string]bool)
+	a.Result.Graph.Walk(func(n *invgraph.Node) {
+		if n.Site != nil && n.Site.Kind == simple.AsgnCallInd &&
+			n.Site.FnPtr.Name == fnPtrVar {
+			seen[n.Fn.Name()] = true
+		}
+	})
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// InvocationGraphStats returns the Table 6 measurements.
+func (a *Analysis) InvocationGraphStats() invgraph.Stats {
+	return a.Result.Graph.ComputeStats()
+}
+
+// WriteInvocationGraph emits the invocation graph in Graphviz DOT form.
+func (a *Analysis) WriteInvocationGraph(w io.Writer) {
+	a.Result.Graph.WriteDot(w)
+}
+
+// AliasPairs derives the alias pairs implied by the points-to set at main's
+// exit by transitive closure up to depth levels of dereference (§7.1).
+func (a *Analysis) AliasPairs(depth int) []alias.Pair {
+	return alias.FromPointsTo(a.Result.MainOut, depth)
+}
+
+// Replacements returns the indirect references that definite points-to
+// information can replace with direct references (§6.1).
+func (a *Analysis) Replacements() []xform.Replacement {
+	return xform.FindReplacements(a.Result)
+}
+
+// ConstantPropagation runs the generalized constant propagation client over
+// the analysis, using interprocedural MOD sets at call sites (§6.1).
+func (a *Analysis) ConstantPropagation() *constprop.Result {
+	return constprop.RunWithMod(a.Result, modref.Compute(a.Result))
+}
+
+// ModRef computes interprocedural MOD/REF side-effect sets over the
+// invocation graph (the read/write-set client of §6.1).
+func (a *Analysis) ModRef() *modref.Result {
+	return modref.Compute(a.Result)
+}
+
+// HeapConnections runs the companion connection analysis for heap-directed
+// pointers (the conclusions' reference [16]).
+func (a *Analysis) HeapConnections() *heapconn.Result {
+	return heapconn.Run(a.Result)
+}
+
+// Dependences runs array dependence testing over the program's counted
+// loops, using points-to resolution and head/tail alignment (§6.1, [28]).
+func (a *Analysis) Dependences() *deptest.Result {
+	return deptest.Run(a.Result)
+}
+
+// Diagnostics returns non-fatal analysis diagnostics.
+func (a *Analysis) Diagnostics() []string { return a.Result.Diags }
+
+// WriteSimple pretty-prints the simplified program.
+func (a *Analysis) WriteSimple(w io.Writer) { simple.Fprint(w, a.Program) }
