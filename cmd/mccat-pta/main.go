@@ -16,6 +16,7 @@
 //	-replace   print indirect references replaceable via definite info
 //	-alias     print alias pairs implied at main's exit (depth 2)
 //	-stats     print invocation graph statistics
+//	-check     run the memory-safety checker (NULL/uninit deref, UAF, dangling)
 //	-fnptr S   function pointer strategy: precise|addr-taken|all
 //	-ci        context-insensitive ablation
 //	-nodef     disable definite relationships
@@ -34,6 +35,7 @@ import (
 	"repro/internal/heapconn"
 	"repro/internal/modref"
 	"repro/internal/pta/loc"
+	"repro/internal/report"
 	"repro/pointsto"
 )
 
@@ -48,6 +50,7 @@ func main() {
 		doStats   = flag.Bool("stats", false, "print invocation graph statistics")
 		doConst   = flag.Bool("const", false, "run constant propagation over the points-to results")
 		doConn    = flag.Bool("conn", false, "run the heap connection analysis")
+		doCheck   = flag.Bool("check", false, "run the memory-safety checker")
 		doDep     = flag.Bool("dep", false, "run array dependence testing over the loops")
 		fnptr     = flag.String("fnptr", "precise", "function pointer strategy: precise|addr-taken|all")
 		ci        = flag.Bool("ci", false, "context-insensitive ablation")
@@ -148,6 +151,15 @@ func main() {
 			fmt.Printf("%s: %d heap pointers, %d connected pairs (naive %d), %d provably disjoint\n",
 				n, len(fr.HeapPtrs), fr.Exit.Len(), fr.NaivePairs, fr.DisjointPairs())
 		}
+		any = true
+	}
+	if *doCheck {
+		diags, err := a.Check()
+		if err != nil {
+			fatal(err)
+		}
+		report.WriteDiags(os.Stdout, diags)
+		report.WriteDiagSummary(os.Stdout, diags)
 		any = true
 	}
 	if *doPts || !any {

@@ -1,0 +1,14 @@
+/* Context-sensitivity demo: deref is safe from the first call site and a
+ * definite NULL dereference from the second, so the merged severity is a
+ * warning — bad in some but not all calling contexts. */
+int deref(int *p) {
+    return *p;
+}
+int main(void) {
+    int x;
+    int r;
+    x = 1;
+    r = deref(&x);
+    r = r + deref(0);
+    return r;
+}

@@ -1,0 +1,12 @@
+/* Dangling stack pointer: store publishes the address of its local in a
+ * global, which outlives the invocation. */
+int *g;
+void store(void) {
+    int local;
+    local = 2;
+    g = &local;
+}
+int main(void) {
+    store();
+    return 0;
+}

@@ -1,0 +1,10 @@
+/* Clean: the published address is a global's, which never dies. */
+int g;
+int *addr(void) {
+    return &g;
+}
+int main(void) {
+    int *p;
+    p = addr();
+    return *p;
+}

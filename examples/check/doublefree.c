@@ -1,0 +1,8 @@
+/* Double free: the second free sees only already-freed storage. */
+int main(void) {
+    int *p;
+    p = (int *) malloc(4);
+    free(p);
+    free(p);
+    return 0;
+}

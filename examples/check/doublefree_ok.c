@@ -1,0 +1,9 @@
+/* Clean: free-then-null; the second free is free(NULL), a no-op. */
+int main(void) {
+    int *p;
+    p = (int *) malloc(4);
+    free(p);
+    p = 0;
+    free(p);
+    return 0;
+}

@@ -1,0 +1,8 @@
+/* Definite NULL dereference: p can only be NULL at the load. */
+int main(void) {
+    int *p;
+    int x;
+    p = 0;
+    x = *p;
+    return x;
+}

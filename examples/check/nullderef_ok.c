@@ -1,0 +1,7 @@
+/* Clean: p definitely points to x when dereferenced. */
+int x;
+int main(void) {
+    int *p;
+    p = &x;
+    return *p;
+}

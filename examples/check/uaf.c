@@ -1,0 +1,11 @@
+/* Use after free: p's storage is freed in main, then dereferenced in use. */
+int use(int *q) {
+    return *q;
+}
+int main(void) {
+    int *p;
+    p = (int *) malloc(4);
+    *p = 1;
+    free(p);
+    return use(p);
+}

@@ -1,0 +1,11 @@
+/* Clean: the object is used only while live, and p is nulled after free. */
+int main(void) {
+    int *p;
+    int x;
+    p = (int *) malloc(4);
+    *p = 1;
+    x = *p;
+    free(p);
+    p = 0;
+    return x;
+}

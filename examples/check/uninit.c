@@ -1,0 +1,13 @@
+/* Dereference of a pointer with no remaining targets: leak returns the
+ * address of a dead local, which the analysis drops at unmap time, so p has
+ * an empty points-to set at the load. */
+int *leak(void) {
+    int x;
+    x = 1;
+    return &x;
+}
+int main(void) {
+    int *p;
+    p = leak();
+    return *p;
+}

@@ -1,0 +1,12 @@
+/* Clean: the callee returns heap storage, which outlives the call. */
+int *make(void) {
+    int *q;
+    q = (int *) malloc(4);
+    *q = 1;
+    return q;
+}
+int main(void) {
+    int *p;
+    p = make();
+    return *p;
+}

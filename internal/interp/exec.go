@@ -848,9 +848,20 @@ func (ip *Interp) builtin(name string, args []Value, pos token.Pos) (Value, erro
 		return intVal(-1), nil // EOF
 
 	case "free":
-		if len(args) == 1 && args[0].Kind == KPtr && args[0].P.HeapID >= 0 {
-			delete(ip.heap, args[0].P.HeapID)
+		if len(args) != 1 || args[0].Kind != KPtr {
+			return Value{}, ip.errf(pos, "free: expected one pointer argument")
 		}
+		p := args[0].P
+		if p.isNil() {
+			return intVal(0), nil // free(NULL) is a no-op
+		}
+		if p.HeapID < 0 {
+			return Value{}, ip.errf(pos, "free of non-heap pointer")
+		}
+		if _, live := ip.heap[p.HeapID]; !live {
+			return Value{}, ip.errf(pos, "double free of heap object")
+		}
+		delete(ip.heap, p.HeapID)
 		return intVal(0), nil
 
 	case "strcpy", "strncpy", "strcat":

@@ -5,10 +5,11 @@ import "repro/internal/cc/ast"
 // Fact is one concrete points-to observation: the cell at Src currently
 // holds the address Dst (or the function DstFn, for function pointers).
 type Fact struct {
-	Src    Pointer
-	Dst    Pointer     // valid when DstFn == nil and !DstStr
-	DstFn  *ast.Object // non-nil for function-pointer cells
-	DstStr bool        // the cell holds a string-literal pointer
+	Src      Pointer
+	Dst      Pointer     // valid when DstFn == nil and !DstStr
+	DstFn    *ast.Object // non-nil for function-pointer cells
+	DstStr   bool        // the cell holds a string-literal pointer
+	DstFreed bool        // Dst addresses a heap object that has been freed
 }
 
 // PointerFacts enumerates every pointer-valued cell currently visible:
@@ -21,7 +22,13 @@ func (ip *Interp) PointerFacts(includeFrame func(*Frame) bool) []Fact {
 			switch e.val.Kind {
 			case KPtr:
 				if !e.val.P.isNil() {
-					out = append(out, Fact{Src: e.addr, Dst: e.val.P})
+					f := Fact{Src: e.addr, Dst: e.val.P}
+					if p := e.val.P; p.HeapID >= 0 {
+						if _, live := ip.heap[p.HeapID]; !live {
+							f.DstFreed = true
+						}
+					}
+					out = append(out, f)
 				}
 			case KFunc:
 				if e.val.Fn != nil {

@@ -188,6 +188,12 @@ func (d *deepChecker) trace(b *simple.Basic, depth int) error {
 			dstNames = []*loc.Location{d.res.Table.StrLoc()}
 		default:
 			dstNames = d.namesAt(f.Dst, depth)
+			// A dead heap object may be named by either the freed or the
+			// heap location (free retargets only the freed pointer's own
+			// edge; aliases keep heap). Coverage by either naming is sound.
+			if f.DstFreed {
+				dstNames = append(dstNames, d.res.Table.FreedLoc())
+			}
 		}
 		if len(dstNames) == 0 {
 			continue

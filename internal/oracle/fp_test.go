@@ -1,0 +1,126 @@
+package oracle
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/cc/parser"
+	"repro/internal/check"
+	"repro/internal/interp"
+	"repro/internal/pta"
+	"repro/internal/simple"
+	"repro/internal/simplify"
+)
+
+// runDefiniteFPCheck analyzes src, collects the checker's definite (error)
+// statement-level diagnostics, and interprets the program with a pending
+// check: once a flagged statement starts executing, the interpreter must
+// fault before any further statement is traced (and before normal exit).
+// A flagged statement that completes is a definite-diagnostic false
+// positive. Returns how many flagged executions were validated by a fault.
+func runDefiniteFPCheck(t *testing.T, name, src string) int {
+	t.Helper()
+	tu, err := parser.Parse(name, src)
+	if err != nil {
+		t.Fatalf("%s: parse: %v", name, err)
+	}
+	prog, err := simplify.Simplify(tu)
+	if err != nil {
+		t.Fatalf("%s: simplify: %v", name, err)
+	}
+	res, err := pta.Analyze(prog, pta.Options{RecordContexts: true})
+	if err != nil {
+		t.Fatalf("%s: analyze: %v", name, err)
+	}
+	diags, err := check.Run(res)
+	if err != nil {
+		t.Fatalf("%s: check: %v", name, err)
+	}
+	flagged := make(map[*simple.Basic]check.Diag)
+	for _, d := range diags {
+		if d.Sev == check.Error && d.Stmt != nil {
+			flagged[d.Stmt] = d
+		}
+	}
+	if len(flagged) == 0 {
+		return 0
+	}
+
+	ip := interp.New(prog)
+	ip.MaxSteps = 500_000
+	var pending *check.Diag
+	ip.Trace = func(b *simple.Basic, depth int) error {
+		if pending != nil {
+			return fmt.Errorf("definite-diagnostic false positive: `%s` executed without faulting", pending)
+		}
+		if d, ok := flagged[b]; ok {
+			pending = &d
+		}
+		return nil
+	}
+	_, err = ip.Run()
+	_, isExit := interp.ExitCode(err)
+	switch {
+	case err != nil && strings.Contains(err.Error(), "false positive"):
+		t.Errorf("%s: %v", name, err)
+		return 0
+	case err == nil || isExit:
+		if pending != nil {
+			t.Errorf("%s: definite-diagnostic false positive: `%s` executed and the program exited normally", name, pending)
+		}
+		return 0
+	default:
+		// The run faulted. If a flagged statement was executing, its claim
+		// is validated; a fault elsewhere makes no judgement either way.
+		if pending != nil {
+			return 1
+		}
+		return 0
+	}
+}
+
+// TestCheckerDefiniteNoFalsePositives proves the checker's *error*-severity
+// statement diagnostics on the positive fixtures are not false positives:
+// each flagged statement, when reached, actually faults in the interpreter.
+func TestCheckerDefiniteNoFalsePositives(t *testing.T) {
+	fixtures := []string{"nullderef.c", "uaf.c", "doublefree.c"}
+	for _, f := range fixtures {
+		data, err := os.ReadFile(filepath.Join("..", "..", "examples", "check", f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := runDefiniteFPCheck(t, f, string(data)); got == 0 {
+			t.Errorf("%s: expected the flagged statement to be reached and fault", f)
+		}
+	}
+}
+
+// TestCheckerDefiniteNoFalsePositivesFuzz sweeps generated programs and the
+// benchmark suite: any definite diagnostic the checker emits on them must
+// fault when executed. (Well-formed programs rarely earn definite
+// diagnostics — the sweep guards against the checker flagging healthy
+// statements as certain failures.)
+func TestCheckerDefiniteNoFalsePositivesFuzz(t *testing.T) {
+	seeds := 25
+	if testing.Short() {
+		seeds = 5
+	}
+	for seed := 0; seed < seeds; seed++ {
+		cfg := bench.DefaultGenConfig(int64(seed))
+		cfg.Funcs = 2 + seed%3
+		cfg.StmtsPer = 8 + seed%10
+		cfg.UseFnPtrs = seed%2 == 0
+		runDefiniteFPCheck(t, fmt.Sprintf("gen-seed-%d", seed), bench.Generate(cfg))
+	}
+	for _, name := range bench.Names() {
+		src, err := bench.Source(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		runDefiniteFPCheck(t, name, src)
+	}
+}

@@ -1,6 +1,7 @@
 package pta
 
 import (
+	"repro/internal/pta/invgraph"
 	"repro/internal/pta/ptset"
 	"repro/internal/simple"
 )
@@ -8,8 +9,20 @@ import (
 // Annotations accumulates the program-point-specific points-to information:
 // for every basic statement, the merge of the input points-to sets over all
 // analyzed calling contexts. Tables 3–5 of the paper are computed from it.
+//
+// With per-context recording enabled (Options.RecordContexts) it also keeps
+// the merged input per invocation-graph node, so clients such as the
+// memory-safety checker can distinguish "bad in every calling context"
+// (definite error) from "bad in some context" (possible warning).
 type Annotations struct {
 	in map[*simple.Basic]ptset.Set
+
+	// perNode, when non-nil, holds for each statement the merged input per
+	// invocation-graph node that reached it. A node can reach a statement
+	// several times (recursion iterations, memoized re-analysis); merging
+	// only weakens definiteness, so a relationship definite in the merged
+	// set was definite on every real visit.
+	perNode map[*simple.Basic]map[*invgraph.Node]ptset.Set
 }
 
 // NewAnnotations returns an empty annotation store.
@@ -17,16 +30,40 @@ func NewAnnotations() *Annotations {
 	return &Annotations{in: make(map[*simple.Basic]ptset.Set)}
 }
 
-// Record merges the input set flowing into b.
-func (a *Annotations) Record(b *simple.Basic, in ptset.Set) {
+// EnableContexts turns on per-invocation-graph-node recording.
+func (a *Annotations) EnableContexts() {
+	if a.perNode == nil {
+		a.perNode = make(map[*simple.Basic]map[*invgraph.Node]ptset.Set)
+	}
+}
+
+// ContextsEnabled reports whether per-node recording is on.
+func (a *Annotations) ContextsEnabled() bool { return a.perNode != nil }
+
+// Record merges the input set flowing into b, attributed to the
+// invocation-graph node ign (which may be nil for synthetic contexts).
+func (a *Annotations) Record(b *simple.Basic, in ptset.Set, ign *invgraph.Node) {
 	if in.IsBottom() {
 		return
 	}
 	if old, ok := a.in[b]; ok {
 		a.in[b] = ptset.Merge(old, in)
+	} else {
+		a.in[b] = in.Clone()
+	}
+	if a.perNode == nil || ign == nil {
 		return
 	}
-	a.in[b] = in.Clone()
+	m := a.perNode[b]
+	if m == nil {
+		m = make(map[*invgraph.Node]ptset.Set)
+		a.perNode[b] = m
+	}
+	if old, ok := m[ign]; ok {
+		m[ign] = ptset.Merge(old, in)
+	} else {
+		m[ign] = in.Clone()
+	}
 }
 
 // At returns the merged points-to set flowing into b and whether the
@@ -34,6 +71,15 @@ func (a *Annotations) Record(b *simple.Basic, in ptset.Set) {
 func (a *Annotations) At(b *simple.Basic) (ptset.Set, bool) {
 	s, ok := a.in[b]
 	return s, ok
+}
+
+// ContextsAt returns the per-invocation-graph-node inputs recorded for b.
+// Empty unless EnableContexts was called before the analysis ran.
+func (a *Annotations) ContextsAt(b *simple.Basic) map[*invgraph.Node]ptset.Set {
+	if a.perNode == nil {
+		return nil
+	}
+	return a.perNode[b]
 }
 
 // Len returns the number of annotated statements.

@@ -2,6 +2,7 @@ package pta
 
 import (
 	"repro/internal/pta/invgraph"
+	"repro/internal/pta/loc"
 	"repro/internal/pta/ptset"
 	"repro/internal/simple"
 )
@@ -10,7 +11,7 @@ import (
 // statements to the interprocedural machinery.
 func (a *analyzer) processBasic(b *simple.Basic, in ptset.Set, ign *invgraph.Node) ptset.Set {
 	a.step()
-	a.ann.Record(b, in)
+	a.ann.Record(b, in, ign)
 
 	switch b.Kind {
 	case simple.AsgnCall:
@@ -77,8 +78,12 @@ var externalReturnsArg = map[string]int{
 
 // processExternalCall models a call to a function with no body in the
 // program (libc stubs). The modeled functions do not create or destroy
-// stack points-to relationships except through their returned pointer.
+// stack points-to relationships except through their returned pointer —
+// except free, which retargets heap relationships to the freed location.
 func (a *analyzer) processExternalCall(b *simple.Basic, in ptset.Set) ptset.Set {
+	if b.Callee.Name == "free" {
+		return a.processFree(b, in)
+	}
 	if b.LHS == nil || !isPointerStmt(b) {
 		return in
 	}
@@ -92,5 +97,40 @@ func (a *analyzer) processExternalCall(b *simple.Basic, in ptset.Set) ptset.Set 
 	}
 	out := in.Clone()
 	a.applyAssign(out, a.llocs(b.LHS, in), rls)
+	return out
+}
+
+// processFree models free(p): every relationship (l, heap, d) where l is an
+// L-location of the argument is retargeted to (l, freed, ·). When the
+// argument definitely denotes a single location, the heap edge is killed
+// outright (a strong update: after the call that pointer definitely no
+// longer addresses live heap storage); otherwise the heap edge stays and a
+// possible freed edge is added alongside it. Aliases of p are untouched —
+// they still carry (·, heap, ·) edges, which keeps the abstraction sound for
+// the live heap objects the single heap location also stands for.
+func (a *analyzer) processFree(b *simple.Basic, in ptset.Set) ptset.Set {
+	if len(b.Args) != 1 {
+		return in
+	}
+	arg, ok := b.Args[0].(*simple.Ref)
+	if !ok {
+		return in
+	}
+	freed := a.tab.FreedLoc()
+	out := in.Clone()
+	for _, ld := range a.llocs(arg, in) {
+		strong := ld.d == ptset.D && !ld.l.Multi() && !a.opts.NoDefinite
+		for _, t := range in.Targets(ld.l) {
+			if t.Dst.Kind != loc.Heap {
+				continue
+			}
+			if strong {
+				out.Remove(ld.l, t.Dst)
+				out.Insert(ld.l, freed, t.Def)
+			} else {
+				out.Insert(ld.l, freed, ptset.P)
+			}
+		}
+	}
 	return out
 }

@@ -28,6 +28,7 @@ const (
 	Null                 // the NULL pseudo-target
 	Str                  // string-literal storage
 	Func                 // a function, target of function pointers
+	Freed                // deallocated heap storage (targets of freed pointers)
 )
 
 // Elem is one element of a location's selector path.
@@ -91,7 +92,7 @@ func (l *Location) Type() *types.Type { return l.typ }
 // global variables, heap, NULL, strings, and functions.
 func (l *Location) IsGlobalish() bool {
 	switch l.Kind {
-	case Heap, Null, Str, Func:
+	case Heap, Null, Str, Func, Freed:
 		return true
 	case Var:
 		return l.Obj.Global
@@ -130,6 +131,7 @@ type Table struct {
 	heap   *Location
 	null   *Location
 	str    *Location
+	freed  *Location
 	owners map[*ast.Object]*simple.Function // local/param -> function
 }
 
@@ -156,9 +158,11 @@ func NewTable(prog *simple.Program) *Table {
 	t.heap = &Location{Kind: Heap, name: "heap", multi: true}
 	t.null = &Location{Kind: Null, name: "NULL"}
 	t.str = &Location{Kind: Str, name: "_string_", multi: true}
+	t.freed = &Location{Kind: Freed, name: "freed", multi: true}
 	t.heap.initSortKey()
 	t.null.initSortKey()
 	t.str.initSortKey()
+	t.freed.initSortKey()
 	if prog != nil {
 		for _, f := range prog.Functions {
 			for _, p := range f.Params {
@@ -187,6 +191,13 @@ func (t *Table) NullLoc() *Location { return t.null }
 
 // StrLoc returns the string-literal storage location.
 func (t *Table) StrLoc() *Location { return t.str }
+
+// FreedLoc returns the deallocated-heap location: free(p) retargets p's heap
+// relationships here, mirroring HeapLoc. Like the heap it stands for many
+// real locations and absorbs selectors, but unlike the heap it is never a
+// legal target of a load or store — the memory-safety checker reports
+// dereferences that can reach it.
+func (t *Table) FreedLoc() *Location { return t.freed }
 
 // FuncLoc returns the location standing for a function (the target of
 // function pointers).
@@ -272,7 +283,7 @@ func (t *Table) SymLoc(fn *simple.Function, sym string, path []Elem, typ *types.
 // on the collapsed $union member (union members overlap in memory).
 func (t *Table) Extend(l *Location, e Elem) *Location {
 	switch l.Kind {
-	case Heap, Str:
+	case Heap, Str, Freed:
 		return l
 	case Null, Func:
 		return nil

@@ -188,3 +188,28 @@ func TestSortLocsDeterministic(t *testing.T) {
 		t.Errorf("SortLocs order wrong: %v", Fmt(got))
 	}
 }
+
+func TestFreedLoc(t *testing.T) {
+	tab := NewTable(nil)
+	f := tab.FreedLoc()
+	if f == nil || f.Kind != Freed {
+		t.Fatalf("FreedLoc: %v", f)
+	}
+	if f == tab.HeapLoc() {
+		t.Error("FreedLoc must be distinct from HeapLoc")
+	}
+	if !f.Multi() {
+		t.Error("freed stands for many dead objects: must be multi")
+	}
+	if !f.IsGlobalish() {
+		t.Error("freed is visible in every scope: must be globalish")
+	}
+	// Like the heap, freed absorbs selectors: a field of a freed object is
+	// still freed storage.
+	if got := tab.Extend(f, FieldElem("next")); got != f {
+		t.Errorf("Extend(freed, .next) = %v, want freed itself", got)
+	}
+	if got := tab.Extend(f, TailElem); got != f {
+		t.Errorf("Extend(freed, tail) = %v, want freed itself", got)
+	}
+}

@@ -119,7 +119,7 @@ func (a *analyzer) indexNamed(out *locDSet, ld locD, c simple.IdxClass) {
 func (a *analyzer) indexTarget(out *locDSet, ld locD, c simple.IdxClass) {
 	l := ld.l
 	switch l.Kind {
-	case loc.Heap, loc.Str:
+	case loc.Heap, loc.Str, loc.Freed:
 		out.add(l, ld.d)
 		return
 	case loc.Null, loc.Func:
@@ -182,13 +182,15 @@ func (a *analyzer) siblingTail(l *loc.Location) *loc.Location {
 }
 
 // pointees returns the pointed-to pairs of the given locations under s:
-// {(t, d0 ∧ d1) | (b, d0) ∈ in, (b, t, d1) ∈ s}. When forWrite is set, NULL
-// and function targets are dropped (they are not writable stack locations).
+// {(t, d0 ∧ d1) | (b, d0) ∈ in, (b, t, d1) ∈ s}. When forWrite is set, NULL,
+// function, and freed targets are dropped (they are not writable stack
+// locations; a store through a freed pointer has no location the program can
+// legally observe again, and the checker reports it separately).
 func (a *analyzer) pointees(in []locD, s ptset.Set, forWrite bool) []locD {
 	out := newLocDSet()
 	for _, ld := range in {
 		for _, t := range s.Targets(ld.l) {
-			if forWrite && (t.Dst.Kind == loc.Null || t.Dst.Kind == loc.Func) {
+			if forWrite && (t.Dst.Kind == loc.Null || t.Dst.Kind == loc.Func || t.Dst.Kind == loc.Freed) {
 				continue
 			}
 			out.add(t.Dst, ld.d.And(t.Def))

@@ -61,6 +61,13 @@ type Options struct {
 	// MaxSteps bounds the number of basic-statement evaluations as a
 	// runaway guard (0 means the default of 50 million).
 	MaxSteps int
+
+	// RecordContexts keeps, for every statement, the merged input per
+	// invocation-graph node in addition to the global merge — required by
+	// the memory-safety checker (package check) to grade diagnostics by
+	// calling context. Off by default: it roughly doubles annotation
+	// memory.
+	RecordContexts bool
 }
 
 // Result is the outcome of an analysis.
@@ -104,6 +111,9 @@ func Analyze(prog *simple.Program, opts Options) (*Result, error) {
 	}
 	if a.maxSteps == 0 {
 		a.maxSteps = 50_000_000
+	}
+	if opts.RecordContexts {
+		a.ann.EnableContexts()
 	}
 	if opts.ShareContexts {
 		a.shared = make(map[*simple.Function][]sharedSummary)

@@ -1086,3 +1086,178 @@ func TestConcurrentIndependentAnalyses(t *testing.T) {
 		}
 	}
 }
+
+// ---------------------------------------------------------------------------
+// free() modeling: heap relationships retarget to the freed location.
+
+// TestFreeRetargetsToFreed checks the strong case: free(p) on a definite,
+// single pointer removes p's heap edge and replaces it with a freed edge.
+func TestFreeRetargetsToFreed(t *testing.T) {
+	res := analyzeSrc(t, `
+int main(void) {
+	int *p;
+	p = (int *) malloc(4);
+	free(p);
+	return 0;
+}
+`)
+	if got := mainTargets(t, res, "p"); got != "freed:P" {
+		t.Errorf("after free(p): p targets %q, want %q", got, "freed:P")
+	}
+}
+
+// TestFreeKeepsAliases checks that only the freed pointer is retargeted:
+// aliases of the dead object keep their heap edge (the single heap location
+// also stands for live objects, so dropping alias edges would be unsound).
+func TestFreeKeepsAliases(t *testing.T) {
+	res := analyzeSrc(t, `
+int main(void) {
+	int *p;
+	int *q;
+	p = (int *) malloc(4);
+	q = p;
+	free(p);
+	return 0;
+}
+`)
+	if got := mainTargets(t, res, "p"); got != "freed:P" {
+		t.Errorf("after free(p): p targets %q, want %q", got, "freed:P")
+	}
+	if got := mainTargets(t, res, "q"); got != "heap:P" {
+		t.Errorf("after free(p): alias q targets %q, want %q", got, "heap:P")
+	}
+}
+
+// TestFreeWeakThroughPointer checks the weak case: freeing through a pointer
+// with several possible targets keeps the heap edges and adds possible freed
+// edges alongside them.
+func TestFreeWeakThroughPointer(t *testing.T) {
+	res := analyzeSrc(t, `
+int main(void) {
+	int *p;
+	int *q;
+	int **pp;
+	int c;
+	p = (int *) malloc(4);
+	q = (int *) malloc(4);
+	if (c)
+		pp = &p;
+	else
+		pp = &q;
+	free(*pp);
+	return 0;
+}
+`)
+	for _, v := range []string{"p", "q"} {
+		if got := mainTargets(t, res, v); got != "freed:P heap:P" {
+			t.Errorf("after free(*pp): %s targets %q, want %q", v, got, "freed:P heap:P")
+		}
+	}
+}
+
+// TestFreeThenNullIdiom checks the free-then-NULL idiom: the subsequent
+// assignment strongly kills the freed edge, so p is definitely NULL.
+func TestFreeThenNullIdiom(t *testing.T) {
+	res := analyzeSrc(t, `
+int main(void) {
+	int *p;
+	p = (int *) malloc(4);
+	free(p);
+	p = 0;
+	return 0;
+}
+`)
+	if got := mainTargets(t, res, "p"); got != "" {
+		t.Errorf("after free(p); p = 0: p targets %q, want none (NULL only)", got)
+	}
+	obj := findObj(res, "main", "p")
+	l := res.Table.VarLoc(obj, nil)
+	if d, ok := res.MainOut.Lookup(l, res.Table.NullLoc()); !ok || d != ptset.D {
+		t.Errorf("after free(p); p = 0: want (p,NULL,D), got ok=%v d=%v", ok, d)
+	}
+}
+
+// TestFreeNonHeapNoEffect checks that free of a pointer with no heap edge
+// changes nothing (the checker reports invalid frees; the analysis itself
+// stays neutral).
+func TestFreeNonHeapNoEffect(t *testing.T) {
+	res := analyzeSrc(t, `
+int main(void) {
+	int x;
+	int *p;
+	p = &x;
+	free(p);
+	return 0;
+}
+`)
+	if got := mainTargets(t, res, "p"); got != "x:D" {
+		t.Errorf("after free(&x): p targets %q, want %q", got, "x:D")
+	}
+}
+
+// TestFreeAcrossCall checks that free inside a callee retargets the caller's
+// pointer through the invisible-variable machinery.
+func TestFreeAcrossCall(t *testing.T) {
+	res := analyzeSrc(t, `
+void rel(int **pp) {
+	free(*pp);
+}
+int main(void) {
+	int *p;
+	p = (int *) malloc(4);
+	rel(&p);
+	return 0;
+}
+`)
+	if got := mainTargets(t, res, "p"); got != "freed:P" {
+		t.Errorf("after rel(&p): p targets %q, want %q", got, "freed:P")
+	}
+}
+
+// TestRecordContexts checks the per-invocation-graph-node annotations: the
+// same statement analyzed from two call sites records a separate input per
+// node, and the per-node merge of all nodes agrees with the global merge.
+func TestRecordContexts(t *testing.T) {
+	src := `
+int g;
+void set(int *q) {
+	*q = 1;
+}
+int main(void) {
+	int a;
+	int *p;
+	p = &a;
+	set(p);
+	set(&g);
+	return 0;
+}
+`
+	res := analyzeSrcOpts(t, src, Options{RecordContexts: true})
+	var deref *simple.Basic
+	res.Prog.ForEachBasic(func(b *simple.Basic) {
+		if deref == nil && b.LHS != nil && b.LHS.Deref && b.LHS.Var.Name == "q" {
+			deref = b
+		}
+	})
+	if deref == nil {
+		t.Fatal("no *q = ... statement found")
+	}
+	ctxs := res.Annots.ContextsAt(deref)
+	if len(ctxs) != 2 {
+		t.Fatalf("ContextsAt(*q=1): %d contexts, want 2", len(ctxs))
+	}
+	merged := ptset.NewBottom()
+	for n, in := range ctxs {
+		if n.Fn.Name() != "set" {
+			t.Errorf("context node is %s, want set", n.Fn.Name())
+		}
+		merged = ptset.Merge(merged, in)
+	}
+	global, ok := res.Annots.At(deref)
+	if !ok {
+		t.Fatal("no global annotation for *q = 1")
+	}
+	if !ptset.Equal(merged, global) {
+		t.Errorf("per-node merge %s != global merge %s", merged, global)
+	}
+}

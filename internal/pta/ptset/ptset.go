@@ -127,6 +127,14 @@ func (s Set) Sources(dst *loc.Location) []Triple {
 	return out
 }
 
+// Remove deletes the single edge (src, dst) if present.
+func (s Set) Remove(src, dst *loc.Location) {
+	if s.bottom {
+		return
+	}
+	delete(s.m, Edge{src, dst})
+}
+
 // Kill removes every relationship whose source is src.
 func (s Set) Kill(src *loc.Location) {
 	if s.bottom {

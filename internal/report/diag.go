@@ -1,0 +1,48 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/check"
+)
+
+// WriteDiags renders checker diagnostics in the conventional
+// file:line:col: severity: message form, one per line, with the triggering
+// invocation-graph context appended. Diagnostics arrive already sorted by
+// position from check.Run.
+func WriteDiags(w io.Writer, diags []check.Diag) {
+	for _, d := range diags {
+		fmt.Fprintln(w, d.String())
+	}
+}
+
+// DiagCounts tallies diagnostics by severity.
+func DiagCounts(diags []check.Diag) (errors, warnings int) {
+	for _, d := range diags {
+		if d.Sev == check.Error {
+			errors++
+		} else {
+			warnings++
+		}
+	}
+	return errors, warnings
+}
+
+// WriteDiagSummary writes a one-line closing summary, matching compiler
+// convention ("2 errors, 1 warning").
+func WriteDiagSummary(w io.Writer, diags []check.Diag) {
+	errs, warns := DiagCounts(diags)
+	if errs == 0 && warns == 0 {
+		fmt.Fprintln(w, "no issues found")
+		return
+	}
+	fmt.Fprintf(w, "%s, %s\n", plural(errs, "error"), plural(warns, "warning"))
+}
+
+func plural(n int, what string) string {
+	if n == 1 {
+		return fmt.Sprintf("1 %s", what)
+	}
+	return fmt.Sprintf("%d %ss", n, what)
+}

@@ -509,6 +509,18 @@ func (s *simplifier) lowerCall(e *ast.Call, lhs *simple.Ref) {
 		return
 	}
 
+	// Deallocation: the external free keeps its argument's reference shape
+	// (*pp, s.f, a[i]) instead of loading it into a temporary, so the
+	// points-to analysis retargets the actual pointer cell rather than a
+	// copy. Only safe for the external free — a program-defined free needs
+	// bare arguments for the actual-to-formal parameter map.
+	if id, ok := fun.(*ast.Ident); ok && id.Obj.Kind == ast.FuncObj &&
+		id.Obj.Name == "free" && !s.defined["free"] && len(e.Args) == 1 {
+		s.emit(&simple.Basic{Kind: simple.AsgnCall, LHS: lhs,
+			Callee: id.Obj, Args: []simple.Operand{s.lowerFreeArg(e.Args[0])}, Pos: pos})
+		return
+	}
+
 	// Argument lowering: constants or bare variable names only.
 	var ftype *types.Type
 	if ft := fun.Type(); ft != nil {
@@ -537,6 +549,29 @@ func (s *simplifier) lowerCall(e *ast.Call, lhs *simple.Ref) {
 	fp := s.lowerFnPtrVar(fun)
 	s.emit(&simple.Basic{Kind: simple.AsgnCallInd, LHS: lhs,
 		FnPtr: fp, Args: args, Pos: pos})
+}
+
+// lowerFreeArg lowers the argument of the external free to a reference that
+// still denotes the pointer's own cell (bare name, *pp, s.f, p->f, a[i]),
+// rather than a temporary copy of its value, so free's kill applies to the
+// real cell. Expressions without a cell fall back to normal argument
+// lowering.
+func (s *simplifier) lowerFreeArg(a ast.Expr) simple.Operand {
+	switch e := a.(type) {
+	case *ast.Cast:
+		return s.lowerFreeArg(e.X)
+	case *ast.Ident:
+		if e.Obj.Kind != ast.FuncObj && (e.Obj.Type == nil || e.Obj.Type.Kind != types.Array) {
+			return simple.VarRef(e.Obj, a.Pos())
+		}
+	case *ast.Index, *ast.Member:
+		return s.lowerToRef(a)
+	case *ast.Unary:
+		if e.Op == token.MUL {
+			return s.lowerToRef(a)
+		}
+	}
+	return s.lowerArg(a, nil)
 }
 
 // lowerArg lowers one call argument to a constant or a bare variable.

@@ -1,0 +1,138 @@
+package simplify_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/cc/parser"
+	"repro/internal/simple"
+	"repro/internal/simplify"
+)
+
+// kitchenSink exercises every lowering path that synthesizes statements or
+// temporaries: compound/postfix assignment, short-circuit booleans,
+// conditional expressions, aggregate copies, array decay, function-pointer
+// loads, global initializers, returns of pointers, and heap calls.
+const kitchenSink = `
+struct node { int v; struct node *next; int arr[4]; };
+int g = 5;
+int garr[3];
+int *gp = &g;
+struct node gn;
+int (*fp)(int);
+int id(int x) { return x; }
+int *mk(void) {
+    int *q;
+    q = (int *) malloc(4);
+    return q;
+}
+int pick(int c) {
+    int r;
+    r = c ? g : garr[1];
+    return r;
+}
+int main(void) {
+    struct node a, b;
+    int i;
+    int x;
+    char *s;
+    int *h;
+    s = "hello";
+    fp = id;
+    a.v = 1;
+    a.next = &b;
+    b = a;
+    for (i = 0; i < 3; i++) garr[i] = i;
+    while (i > 0) { i--; }
+    do { x = fp(2); } while (0);
+    switch (x) { case 1: x = 2; break; default: x = 3; }
+    if (x && g || !i) x = pick(1);
+    a.next->v += 2;
+    h = mk();
+    *h = x++;
+    free(h);
+    return x;
+}
+`
+
+func checkProgPositions(t *testing.T, name string, prog *simple.Program) {
+	t.Helper()
+	refs := func(b *simple.Basic) []*simple.Ref {
+		out := []*simple.Ref{b.LHS, b.Addr}
+		add := func(op simple.Operand) {
+			if r, ok := op.(*simple.Ref); ok {
+				out = append(out, r)
+			}
+		}
+		add(b.X)
+		add(b.Y)
+		for _, a := range b.Args {
+			add(a)
+		}
+		return out
+	}
+	prog.ForEachBasic(func(b *simple.Basic) {
+		if !b.Pos.IsValid() {
+			t.Errorf("%s: statement `%s` has no source position", name, b)
+		}
+		for _, r := range refs(b) {
+			if r != nil && !r.Pos.IsValid() {
+				t.Errorf("%s: `%s`: reference %s has no source position", name, b, r)
+			}
+		}
+	})
+	for _, fn := range prog.Functions {
+		for _, l := range fn.Locals {
+			if !l.Pos.IsValid() {
+				t.Errorf("%s: %s: local %s has no source position", name, fn.Name(), l.Name)
+			}
+		}
+		if fn.RetVal != nil && !fn.RetVal.Pos.IsValid() {
+			t.Errorf("%s: %s: __retval has no source position", name, fn.Name())
+		}
+	}
+}
+
+// TestPositionsPropagate is the regression test behind the checker's
+// positioned diagnostics: every basic statement, reference, and
+// simplifier-synthesized temporary must carry a valid source position, since
+// diagnostics anchor on them.
+func TestPositionsPropagate(t *testing.T) {
+	tu, err := parser.Parse("sink.c", kitchenSink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := simplify.Simplify(tu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkProgPositions(t, "sink.c", prog)
+}
+
+// TestPositionsPropagateCorpus sweeps the benchmark suite and a slice of
+// generated programs through the same invariant.
+func TestPositionsPropagateCorpus(t *testing.T) {
+	srcs := map[string]string{}
+	for _, name := range bench.Names() {
+		s, err := bench.Source(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srcs[name] = s
+	}
+	for seed := 0; seed < 10; seed++ {
+		srcs[fmt.Sprintf("gen-%d", seed)] = bench.Generate(bench.DefaultGenConfig(int64(seed)))
+	}
+	for name, src := range srcs {
+		tu, err := parser.Parse(name+".c", src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		prog, err := simplify.Simplify(tu)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		checkProgPositions(t, name, prog)
+	}
+}

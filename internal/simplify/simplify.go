@@ -28,6 +28,10 @@ func Simplify(tu *ast.TranslationUnit) (*simple.Program, error) {
 			File:        tu.File,
 			SourceLines: tu.SourceLines,
 		},
+		defined: make(map[string]bool, len(tu.Funcs)),
+	}
+	for _, fd := range tu.Funcs {
+		s.defined[fd.Obj.Name] = true
 	}
 	for _, g := range tu.Globals {
 		s.prog.Globals = append(s.prog.Globals, g.Obj)
@@ -59,12 +63,13 @@ func Simplify(tu *ast.TranslationUnit) (*simple.Program, error) {
 }
 
 type simplifier struct {
-	prog   *simple.Program
-	fn     *simple.Function
-	out    *simple.Seq // current output sequence
-	temps  int
-	stmtID int
-	errors []error
+	prog    *simple.Program
+	fn      *simple.Function
+	out     *simple.Seq // current output sequence
+	temps   int
+	stmtID  int
+	errors  []error
+	defined map[string]bool // functions with bodies in this unit
 }
 
 func (s *simplifier) errorf(pos token.Pos, format string, args ...any) {

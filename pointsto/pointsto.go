@@ -23,6 +23,7 @@ import (
 	"repro/internal/alias"
 	"repro/internal/cc/ast"
 	"repro/internal/cc/parser"
+	"repro/internal/check"
 	"repro/internal/constprop"
 	"repro/internal/deptest"
 	"repro/internal/heapconn"
@@ -252,6 +253,27 @@ func (a *Analysis) HeapConnections() *heapconn.Result {
 // loops, using points-to resolution and head/tail alignment (§6.1, [28]).
 func (a *Analysis) Dependences() *deptest.Result {
 	return deptest.Run(a.Result)
+}
+
+// Check runs the context-sensitive memory-safety checker (NULL dereference,
+// uninitialized dereference, use-after-free, double free, dangling stack
+// pointers) over the program. The checker needs per-context annotations, so
+// if this analysis was run without them (or with ShareContexts, whose cache
+// hits skip the per-context re-analysis) the points-to analysis is re-run
+// internally with the required options; the re-run does not disturb Result.
+func (a *Analysis) Check() ([]check.Diag, error) {
+	res := a.Result
+	if !res.Annots.ContextsEnabled() || res.Opts.ShareContexts {
+		opts := res.Opts
+		opts.ShareContexts = false
+		opts.RecordContexts = true
+		var err error
+		res, err = pta.Analyze(a.Program, opts)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return check.Run(res)
 }
 
 // Diagnostics returns non-fatal analysis diagnostics.
