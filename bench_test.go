@@ -9,6 +9,7 @@
 package main
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -154,6 +155,25 @@ func BenchmarkAblationMemoization(b *testing.B) {
 			analyzeAll(b, progs, pta.Options{NoMemo: true})
 		}
 	})
+}
+
+// BenchmarkWorkers measures the parallel evaluator across pool sizes: the
+// suite analyzed serially, with two workers, and with GOMAXPROCS workers.
+// Results are bit-identical across pool sizes (see the determinism tests);
+// only wall time may differ.
+func BenchmarkWorkers(b *testing.B) {
+	progs := loadSuite(b)
+	for _, w := range []int{1, 2, 0} {
+		name := fmt.Sprintf("workers-%d", w)
+		if w == 0 {
+			name = "workers-gomaxprocs"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				analyzeAll(b, progs, pta.Options{Workers: w})
+			}
+		})
+	}
 }
 
 // BenchmarkAblationDefinite measures the cost of carrying definite

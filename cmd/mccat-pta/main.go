@@ -15,7 +15,10 @@
 //	-dot       print the invocation graph in Graphviz DOT form
 //	-replace   print indirect references replaceable via definite info
 //	-alias     print alias pairs implied at main's exit (depth 2)
-//	-stats     print invocation graph statistics
+//	-stats     print invocation graph and analysis statistics (steps,
+//	           memoization hit rate, hash-consing, peak set size)
+//	-workers N worker pool size (0 = GOMAXPROCS, 1 = serial; results are
+//	           bit-identical for every worker count)
 //	-check     run the memory-safety checker (NULL/uninit deref, UAF, dangling)
 //	-fnptr S   function pointer strategy: precise|addr-taken|all
 //	-ci        context-insensitive ablation
@@ -55,6 +58,7 @@ func main() {
 		fnptr     = flag.String("fnptr", "precise", "function pointer strategy: precise|addr-taken|all")
 		ci        = flag.Bool("ci", false, "context-insensitive ablation")
 		nodef     = flag.Bool("nodef", false, "disable definite relationships")
+		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -82,6 +86,7 @@ func main() {
 		FnPtrStrategy:      *fnptr,
 		ContextInsensitive: *ci,
 		NoDefinite:         *nodef,
+		Workers:            *workers,
 	}
 	a, err := pointsto.AnalyzeSource(name, src, cfg)
 	if err != nil {
@@ -103,6 +108,18 @@ func main() {
 			st.Nodes, st.CallSites, st.Functions, st.Recursive, st.Approximate)
 		fmt.Printf("avg nodes/call-site %.2f, avg nodes/function %.2f\n",
 			st.AvgPerCallSite(), st.AvgPerFunction())
+		r := a.Result
+		memoRate := 0.0
+		if lookups := r.MemoHits + r.MemoMisses; lookups > 0 {
+			memoRate = 100 * float64(r.MemoHits) / float64(lookups)
+		}
+		internRate := 0.0
+		if lookups := r.Interning.Hits + r.Interning.Misses; lookups > 0 {
+			internRate = 100 * float64(r.Interning.Hits) / float64(lookups)
+		}
+		fmt.Printf("workers %d, steps %d, peak set %d\n", r.Workers, r.Steps, r.PeakSetLen)
+		fmt.Printf("memo: %d hits / %d misses (%.1f%% hit rate)\n", r.MemoHits, r.MemoMisses, memoRate)
+		fmt.Printf("interning: %d distinct sets, %.1f%% hit rate\n", r.Interning.Distinct, internRate)
 		any = true
 	}
 	if *doRepl {

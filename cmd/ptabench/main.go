@@ -8,15 +8,20 @@
 //	ptabench -table 3   # one table
 //	ptabench -livc      # the function-pointer strategy experiment
 //	ptabench -ablation  # precision ablations (definite info, arrays, context)
+//	ptabench -perf      # wall-time/memoization report (serial vs parallel vs
+//	                    # unmemoized); -out writes BENCH_pta.json, -verify
+//	                    # exits nonzero on divergence or a cold memo cache
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/baseline"
 	"repro/internal/bench"
+	"repro/internal/perf"
 	"repro/internal/pta"
 	"repro/internal/report"
 )
@@ -26,16 +31,68 @@ func main() {
 		tableN   = flag.Int("table", 0, "print only the given table (2-6)")
 		livc     = flag.Bool("livc", false, "run the livc function-pointer experiment")
 		ablation = flag.Bool("ablation", false, "run the precision ablations")
+		perf     = flag.Bool("perf", false, "run the performance report (wall time, memoization, parallel speedup)")
+		workers  = flag.Int("workers", 0, "worker pool size for the parallel perf runs (0 = GOMAXPROCS)")
+		repeats  = flag.Int("repeats", 3, "timing repetitions per variant (best kept)")
+		progs    = flag.String("progs", "", "comma-separated benchmark names for -perf (default: all)")
+		out      = flag.String("out", "", "also write the -perf report as JSON to this file")
+		verify   = flag.Bool("verify", false, "with -perf: exit 1 if any variant diverges or no program hits the memo cache")
 	)
 	flag.Parse()
 
 	switch {
+	case *perf:
+		runPerf(*progs, *workers, *repeats, *out, *verify)
 	case *livc:
 		runLivc()
 	case *ablation:
 		runAblation()
 	default:
 		runTables(*tableN)
+	}
+}
+
+// runPerf times the suite under the serial, parallel and unmemoized
+// configurations and renders the report (optionally as JSON). With verify
+// it enforces the two smoke invariants: every program's variants agree
+// byte-for-byte, and the input-keyed memo cache is not universally cold.
+func runPerf(progs string, workers, repeats int, out string, verify bool) {
+	var names []string
+	if progs != "" {
+		names = strings.Split(progs, ",")
+	}
+	rep, err := perf.RunPerf(names, workers, repeats)
+	if err != nil {
+		fatal(err)
+	}
+	rep.WriteTable(os.Stdout)
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stdout, "\nwrote %s\n", out)
+	}
+	if verify {
+		anyMemoHit := false
+		for _, p := range rep.Programs {
+			if !p.Identical {
+				fatal(fmt.Errorf("verify: %s: serial, parallel and unmemoized results diverge", p.Name))
+			}
+			if p.MemoHits > 0 {
+				anyMemoHit = true
+			}
+		}
+		if !anyMemoHit {
+			fatal(fmt.Errorf("verify: memo cache was cold on every program (hit rate zero)"))
+		}
+		fmt.Println("verify: all variants byte-identical, memo cache warm")
 	}
 }
 

@@ -64,6 +64,7 @@ func (r *AndersenResult) apply(b *simple.Basic) {
 	case simple.AsgnCall:
 		callee := r.Prog.Lookup(b.Callee.Name)
 		if callee == nil {
+			r.applyExternal(b)
 			return
 		}
 		r.applyCall(b, callee)
@@ -85,6 +86,30 @@ func (r *AndersenResult) apply(b *simple.Basic) {
 		rls := pta.EvalRLocs(r.shell, b, r.Sol)
 		r.insertAll(lls, rls)
 	}
+}
+
+// applyExternal models calls to functions with no body in the program the
+// same way the context-sensitive analysis does: library functions that
+// return one of their pointer arguments (strcpy and friends) union that
+// argument's R-locations into the call LHS. Other externals contribute
+// nothing to the may-point-to solution (the context-sensitive analysis
+// binds their results to NULL, which reported results exclude).
+func (r *AndersenResult) applyExternal(b *simple.Basic) {
+	if b.LHS == nil {
+		return
+	}
+	idx, ok := pta.ExternalReturnsArg(b.Callee.Name)
+	if !ok || idx >= len(b.Args) {
+		return
+	}
+	var rls []pta.BaseLoc
+	switch a := b.Args[idx].(type) {
+	case *simple.Ref:
+		rls = pta.EvalRLocsOfRef(r.shell, a, r.Sol)
+	case *simple.ConstString:
+		rls = []pta.BaseLoc{{Loc: r.Table.StrLoc(), Def: ptset.P}}
+	}
+	r.insertAll(pta.EvalLLocs(r.shell, b.LHS, r.Sol), rls)
 }
 
 // applyCall unions actual targets into formals and retval targets into the

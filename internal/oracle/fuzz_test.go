@@ -43,6 +43,56 @@ func TestGeneratedProgramsSound(t *testing.T) {
 	}
 }
 
+// FuzzMemoParallelEquivalence is the differential fuzz target for the
+// summary cache and the parallel evaluator: the fuzzer mutates the program
+// generator's shape parameters, and for every generated program the
+// memoized, unmemoized and parallel analyses must produce byte-identical
+// canonical results — and the memoized result must still soundly cover the
+// program's concrete execution.
+func FuzzMemoParallelEquivalence(f *testing.F) {
+	f.Add(int64(1), uint8(3), uint8(12), uint8(2), true)
+	f.Add(int64(7), uint8(2), uint8(8), uint8(1), false)
+	f.Add(int64(42), uint8(4), uint8(16), uint8(3), true)
+	f.Fuzz(func(t *testing.T, seed int64, funcs, stmts, depth uint8, fnptrs bool) {
+		cfg := bench.DefaultGenConfig(seed)
+		cfg.Funcs = 1 + int(funcs%5)
+		cfg.StmtsPer = 1 + int(stmts%24)
+		cfg.MaxDepth = 1 + int(depth%3)
+		cfg.UseFnPtrs = fnptrs
+		src := bench.Generate(cfg)
+
+		tu, err := parser.Parse("fuzz.c", src)
+		if err != nil {
+			t.Fatalf("parse: %v\n%s", err, src)
+		}
+		prog, err := simplify.Simplify(tu)
+		if err != nil {
+			t.Fatalf("simplify: %v\n%s", err, src)
+		}
+		memo, err := pta.Analyze(prog, pta.Options{Workers: 1})
+		if err != nil {
+			t.Fatalf("analyze: %v\n%s", err, src)
+		}
+		want := pta.Fingerprint(memo)
+		for _, opts := range []pta.Options{
+			{Workers: 1, NoMemo: true},
+			{Workers: 4},
+			{Workers: 4, NoMemo: true},
+		} {
+			res, err := pta.Analyze(prog, opts)
+			if err != nil {
+				t.Fatalf("analyze %+v: %v\n%s", opts, err, src)
+			}
+			if got := pta.Fingerprint(res); got != want {
+				t.Fatalf("%+v: result differs from memoized serial analysis\n%s", opts, src)
+			}
+		}
+		if err := RunAndCheck(memo, prog, 200_000); err != nil {
+			t.Fatalf("soundness: %v\n%s", err, src)
+		}
+	})
+}
+
 // TestGeneratedProgramsSoundUnderAblations repeats a few seeds under each
 // ablation configuration: ablations trade precision, never soundness.
 func TestGeneratedProgramsSoundUnderAblations(t *testing.T) {

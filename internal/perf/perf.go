@@ -1,0 +1,177 @@
+// Package perf times the points-to analysis over the benchmark suite in
+// its serial, parallel and unmemoized configurations and emits the
+// machine-readable report committed as BENCH_pta.json. It lives outside
+// internal/bench because it depends on internal/pta, whose tests load the
+// benchmark programs.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/pta"
+	"repro/internal/simple"
+)
+
+// PerfProgram is the performance record of one benchmark program: wall
+// times of the serial, parallel and unmemoized analyses, the memoization
+// and hash-consing counters, and the cross-check that all three variants
+// produced byte-identical results.
+type PerfProgram struct {
+	Name  string `json:"name"`
+	Steps int    `json:"steps"` // basic-statement evaluations (memoized)
+
+	// Wall times in milliseconds (best of Repeats runs).
+	WallSerialMS   float64 `json:"wall_serial_ms"`
+	WallParallelMS float64 `json:"wall_parallel_ms"`
+	WallNoMemoMS   float64 `json:"wall_nomemo_ms"`
+
+	// Memoization: input-keyed summary-cache activity of the serial run.
+	MemoHits    int     `json:"memo_hits"`
+	MemoMisses  int     `json:"memo_misses"`
+	MemoHitRate float64 `json:"memo_hit_rate"`
+
+	// Hash-consing: distinct sets in the intern table and its hit rate.
+	DistinctSets  int     `json:"distinct_sets"`
+	InternHitRate float64 `json:"intern_hit_rate"`
+
+	// PeakSetLen is the largest points-to set flowing into any statement.
+	PeakSetLen int `json:"peak_set_len"`
+
+	// SpeedupMemo is the memoization speedup (unmemoized / memoized wall
+	// time, both serial); SpeedupParallel is serial / parallel wall time.
+	SpeedupMemo     float64 `json:"speedup_memo"`
+	SpeedupParallel float64 `json:"speedup_parallel"`
+
+	// Identical reports that the serial, parallel and unmemoized analyses
+	// produced byte-identical canonical results.
+	Identical bool `json:"identical"`
+}
+
+// PerfReport is the machine-readable performance report (BENCH_pta.json).
+type PerfReport struct {
+	Workers    int           `json:"workers"` // pool size of the parallel runs
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Repeats    int           `json:"repeats"` // timing runs per variant (best kept)
+	Programs   []PerfProgram `json:"programs"`
+}
+
+// RunPerf analyzes the named benchmark programs (all of them when names is
+// empty) three ways — serial memoized, parallel memoized, serial unmemoized
+// — timing each with Repeats repetitions, and cross-checks that all
+// variants agree byte-for-byte.
+func RunPerf(names []string, workers, repeats int) (*PerfReport, error) {
+	if len(names) == 0 {
+		names = bench.Names()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if repeats <= 0 {
+		repeats = 3
+	}
+	rep := &PerfReport{Workers: workers, GOMAXPROCS: runtime.GOMAXPROCS(0), Repeats: repeats}
+	for _, name := range names {
+		prog, err := bench.Load(name)
+		if err != nil {
+			return nil, err
+		}
+		p := PerfProgram{Name: name}
+
+		serial, wall, err := timeAnalysis(prog, pta.Options{Workers: 1}, repeats)
+		if err != nil {
+			return nil, fmt.Errorf("%s serial: %w", name, err)
+		}
+		p.WallSerialMS = wall
+		p.Steps = serial.Steps
+		p.MemoHits, p.MemoMisses = serial.MemoHits, serial.MemoMisses
+		if lookups := serial.MemoHits + serial.MemoMisses; lookups > 0 {
+			p.MemoHitRate = float64(serial.MemoHits) / float64(lookups)
+		}
+		p.DistinctSets = serial.Interning.Distinct
+		if lookups := serial.Interning.Hits + serial.Interning.Misses; lookups > 0 {
+			p.InternHitRate = float64(serial.Interning.Hits) / float64(lookups)
+		}
+		p.PeakSetLen = serial.PeakSetLen
+
+		parallel, wall, err := timeAnalysis(prog, pta.Options{Workers: workers}, repeats)
+		if err != nil {
+			return nil, fmt.Errorf("%s parallel: %w", name, err)
+		}
+		p.WallParallelMS = wall
+
+		nomemo, wall, err := timeAnalysis(prog, pta.Options{Workers: 1, NoMemo: true}, repeats)
+		if err != nil {
+			return nil, fmt.Errorf("%s nomemo: %w", name, err)
+		}
+		p.WallNoMemoMS = wall
+
+		if p.WallSerialMS > 0 {
+			p.SpeedupMemo = p.WallNoMemoMS / p.WallSerialMS
+		}
+		if p.WallParallelMS > 0 {
+			p.SpeedupParallel = p.WallSerialMS / p.WallParallelMS
+		}
+		fp := pta.Fingerprint(serial)
+		p.Identical = fp == pta.Fingerprint(parallel) && fp == pta.Fingerprint(nomemo)
+
+		rep.Programs = append(rep.Programs, p)
+	}
+	return rep, nil
+}
+
+// timeAnalysis runs the analysis repeats times and returns the last result
+// with the best (minimum) wall time in milliseconds.
+func timeAnalysis(prog *simple.Program, opts pta.Options, repeats int) (*pta.Result, float64, error) {
+	var res *pta.Result
+	best := 0.0
+	for i := 0; i < repeats; i++ {
+		start := time.Now()
+		r, err := pta.Analyze(prog, opts)
+		if err != nil {
+			return nil, 0, err
+		}
+		ms := float64(time.Since(start).Microseconds()) / 1000
+		if i == 0 || ms < best {
+			best = ms
+		}
+		res = r
+	}
+	return res, best, nil
+}
+
+// SortBySteps returns the report's program names ordered by descending
+// analysis effort — the "largest" programs for smoke checks.
+func (r *PerfReport) SortBySteps() []string {
+	ps := append([]PerfProgram{}, r.Programs...)
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Steps > ps[j].Steps })
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// WriteJSON emits the report as indented JSON.
+func (r *PerfReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteTable renders the report as an aligned text table.
+func (r *PerfReport) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "points-to analysis performance (workers=%d, best of %d runs)\n\n", r.Workers, r.Repeats)
+	fmt.Fprintf(w, "%-11s %9s %9s %9s %9s %7s %7s %6s %8s %5s\n",
+		"program", "serial", "parallel", "nomemo", "steps", "memo%", "intern%", "peak", "distinct", "ok")
+	for _, p := range r.Programs {
+		fmt.Fprintf(w, "%-11s %7.2fms %7.2fms %7.2fms %9d %6.1f%% %6.1f%% %6d %8d %5v\n",
+			p.Name, p.WallSerialMS, p.WallParallelMS, p.WallNoMemoMS, p.Steps,
+			100*p.MemoHitRate, 100*p.InternHitRate, p.PeakSetLen, p.DistinctSets, p.Identical)
+	}
+}

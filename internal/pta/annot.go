@@ -1,6 +1,8 @@
 package pta
 
 import (
+	"sync"
+
 	"repro/internal/pta/invgraph"
 	"repro/internal/pta/ptset"
 	"repro/internal/simple"
@@ -15,6 +17,7 @@ import (
 // memory-safety checker can distinguish "bad in every calling context"
 // (definite error) from "bad in some context" (possible warning).
 type Annotations struct {
+	mu sync.Mutex
 	in map[*simple.Basic]ptset.Set
 
 	// perNode, when non-nil, holds for each statement the merged input per
@@ -42,10 +45,14 @@ func (a *Annotations) ContextsEnabled() bool { return a.perNode != nil }
 
 // Record merges the input set flowing into b, attributed to the
 // invocation-graph node ign (which may be nil for synthetic contexts).
+// Safe for concurrent use; Merge is commutative and associative, so the
+// accumulated annotation is independent of recording order.
 func (a *Annotations) Record(b *simple.Basic, in ptset.Set, ign *invgraph.Node) {
 	if in.IsBottom() {
 		return
 	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	if old, ok := a.in[b]; ok {
 		a.in[b] = ptset.Merge(old, in)
 	} else {

@@ -11,6 +11,7 @@ import (
 // statements to the interprocedural machinery.
 func (a *analyzer) processBasic(b *simple.Basic, in ptset.Set, ign *invgraph.Node) ptset.Set {
 	a.step()
+	a.notePeak(in.Len())
 	a.ann.Record(b, in, ign)
 
 	switch b.Kind {
@@ -74,6 +75,14 @@ var externalReturnsArg = map[string]int{
 	"memcpy":  0,
 	"memmove": 0,
 	"memset":  0,
+}
+
+// ExternalReturnsArg reports whether the named external library function is
+// modeled as returning one of its pointer arguments, and which one. Exposed
+// so baseline analyses can model the same externals and stay comparable.
+func ExternalReturnsArg(name string) (int, bool) {
+	idx, ok := externalReturnsArg[name]
+	return idx, ok
 }
 
 // processExternalCall models a call to a function with no body in the

@@ -1,0 +1,36 @@
+package pta
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/simple"
+)
+
+// Fingerprint renders a Result into a canonical, byte-stable string: the
+// exit set of main, the merged per-statement annotations in program order,
+// the sorted diagnostics, and the canonicalized invocation graph. Two
+// analyses of the same program agree on every reported analysis fact iff
+// their fingerprints are byte-identical; the determinism and equivalence
+// tests (serial vs parallel vs memoized) compare this string.
+func Fingerprint(res *Result) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "main-out: %s\n", res.MainOut.String())
+	i := 0
+	res.Prog.ForEachBasic(func(b *simple.Basic) {
+		i++
+		if s, ok := res.Annots.At(b); ok {
+			fmt.Fprintf(&sb, "stmt %04d @%v: %s\n", i, b.Pos, s.String())
+		}
+	})
+	for _, d := range res.Diags {
+		fmt.Fprintf(&sb, "diag: %s\n", d)
+	}
+	if res.Graph != nil {
+		st := res.Graph.ComputeStats()
+		fmt.Fprintf(&sb, "graph: nodes=%d sites=%d funcs=%d rec=%d approx=%d\n",
+			st.Nodes, st.CallSites, st.Functions, st.Recursive, st.Approximate)
+		res.Graph.WriteDot(&sb)
+	}
+	return sb.String()
+}

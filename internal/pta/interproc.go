@@ -442,7 +442,7 @@ func (a *analyzer) processDirectCall(b *simple.Basic, in ptset.Set, ign *invgrap
 	if callee == nil {
 		return a.processExternalCall(b, in)
 	}
-	child := ign.ChildFor(b)
+	child := a.g.ChildFor(ign, b)
 	if child == nil {
 		// Defensive: a call site missed by static construction (should
 		// not happen) is expanded dynamically.
@@ -474,16 +474,35 @@ func (a *analyzer) processCallNode(n *invgraph.Node, funcInput ptset.Set) ptset.
 		return a.processCI(n.Fn, funcInput)
 	}
 	if n.Kind == invgraph.Approximate {
+		// The recursive partner is an ancestor whose fixed-point loop is
+		// currently suspended (its goroutine chain is waiting on this
+		// subtree), so its stored input/output are stable here; only the
+		// pending-list append needs serializing, because sibling subtrees
+		// evaluated in parallel can reach the same partner.
 		rec := n.RecPartner
 		if rec.HasInput && ptset.Subset(funcInput, rec.StoredInput) {
 			return rec.StoredOutput
 		}
+		a.recMu.Lock()
 		rec.Pending = append(rec.Pending, funcInput)
+		a.recMu.Unlock()
 		return ptset.NewBottom()
 	}
 
-	if !a.opts.NoMemo && n.HasResult && ptset.Equal(funcInput, n.StoredInput) {
-		return n.StoredOutput
+	// Input-keyed memoization: the summary cache maps every hash-consed
+	// mapped input this node has been evaluated under to its hash-consed
+	// output, generalizing Figure 4's single stored IN/OUT pair. The node is
+	// only ever processed by the goroutine that owns its subtree, so the map
+	// needs no lock; the intern table itself is shared and synchronized.
+	// (Hand-built shell analyzers carry no intern table; they run unmemoized.)
+	var memoKey *ptset.Interned
+	if !a.opts.NoMemo && a.intern != nil {
+		memoKey = a.intern.Intern(funcInput)
+		if out, ok := n.Memo[memoKey]; ok {
+			a.memoHits.Add(1)
+			return out.AsSet()
+		}
+		a.memoMisses.Add(1)
 	}
 
 	// Global summary sharing (the paper's §6 future-work optimization): a
@@ -534,6 +553,12 @@ func (a *analyzer) processCallNode(n *invgraph.Node, funcInput ptset.Set) ptset.
 	}
 	n.StoredInput = funcInput // reset to the initial input for memoization
 	n.HasResult = true
+	if memoKey != nil {
+		if n.Memo == nil {
+			n.Memo = make(map[*ptset.Interned]*ptset.Interned)
+		}
+		n.Memo[memoKey] = a.intern.Intern(n.StoredOutput)
+	}
 	if a.shared != nil {
 		a.shared[n.Fn] = append(a.shared[n.Fn], sharedSummary{in: funcInput, out: n.StoredOutput})
 	}
@@ -587,14 +612,26 @@ func (a *analyzer) processIndirectCall(b *simple.Basic, in ptset.Set, ign *invgr
 		return in
 	}
 
-	callOutput := ptset.NewBottom()
-	for _, fn := range targets {
+	// Create the children serially in sorted target order, so the invocation
+	// graph (and any recursion approximation it triggers) is identical to
+	// the serial analysis, then evaluate the target subtrees in parallel.
+	// Each target gets its own input clone, and the outputs are merged in
+	// index order, so the result is bit-identical for every worker count.
+	children := make([]*invgraph.Node, len(targets))
+	for i, fn := range targets {
+		children[i] = a.g.AddIndirectChild(ign, b, fn)
+	}
+	outs := make([]ptset.Set, len(targets))
+	a.runParallel(len(targets), func(i int) {
+		fn := targets[i]
 		// While analyzing target fn, the pointer definitely points to it.
 		inF := in.Clone()
 		inF.Kill(fpLoc)
 		inF.Insert(fpLoc, a.tab.FuncLoc(fn.Obj), ptset.D)
-		child := a.g.AddIndirectChild(ign, b, fn)
-		out := a.invoke(child, b, fn, inF)
+		outs[i] = a.invoke(children[i], b, fn, inF)
+	})
+	callOutput := ptset.NewBottom()
+	for _, out := range outs {
 		callOutput = ptset.Merge(callOutput, out)
 	}
 	return callOutput

@@ -11,6 +11,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/pta/ptset"
 	"repro/internal/simple"
@@ -61,16 +62,30 @@ type Node struct {
 	StoredOutput ptset.Set
 	Pending      []ptset.Set
 
+	// Memo is the input-keyed summary cache: the hash-consed mapped input
+	// of every completed evaluation of this node maps to its hash-consed
+	// output, generalizing the paper's single stored IN/OUT pair to all
+	// inputs ever seen, so repeated invocations under equal contexts reuse
+	// the stored output without re-walking the body. It is owned by the
+	// analysis goroutine processing this node (invocation subtrees are
+	// disjoint), so no locking is needed.
+	Memo map[*ptset.Interned]*ptset.Interned
+
 	// MapInfo records the context-sensitive association between symbolic
 	// names and the invisible variables they represent for this
 	// invocation. It is owned by the analysis (package pta).
 	MapInfo any
 }
 
-// Graph is the invocation graph of a program.
+// Graph is the invocation graph of a program. Dynamic growth during the
+// analysis (AddIndirectChild, including the recursion check's Kind writes on
+// ancestors) is serialized by an internal mutex so parallel evaluation of
+// sibling subtrees stays race-free.
 type Graph struct {
 	Root *Node
 	Prog *simple.Program
+
+	mu sync.Mutex
 }
 
 // Build constructs the initial invocation graph by a depth-first traversal
@@ -130,6 +145,15 @@ func (n *Node) ChildFor(site *simple.Basic) *Node {
 	return nil
 }
 
+// ChildFor returns the child of n for the given direct call site, holding
+// the graph lock: parallel analysis workers evaluating sibling branches of
+// n's body may be appending indirect children to n concurrently.
+func (g *Graph) ChildFor(n *Node, site *simple.Basic) *Node {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return n.ChildFor(site)
+}
+
 // IndirectChild returns the child of n for (site, fn) if it exists.
 func (n *Node) IndirectChild(site *simple.Basic, fn *simple.Function) *Node {
 	for _, c := range n.Children {
@@ -142,8 +166,11 @@ func (n *Node) IndirectChild(site *simple.Basic, fn *simple.Function) *Node {
 
 // AddIndirectChild records that the indirect call at site can invoke fn,
 // updating the invocation graph (paper Figure 5's updateInvocGraph). The
-// child subtree for fn's own direct calls is built immediately.
+// child subtree for fn's own direct calls is built immediately. Safe for
+// concurrent use by parallel analysis workers.
 func (g *Graph) AddIndirectChild(parent *Node, site *simple.Basic, fn *simple.Function) *Node {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	if c := parent.IndirectChild(site, fn); c != nil {
 		return c
 	}
@@ -243,6 +270,30 @@ func (g *Graph) ComputeStats() Stats {
 		}
 	}
 	return st
+}
+
+// Canonicalize sorts every node's children into (call-site textual order,
+// callee name) order. During parallel analysis, indirect children discovered
+// by concurrently evaluated branches of the same body can be appended in
+// scheduling order; canonicalizing afterwards makes the graph — and every
+// rendering derived from it — independent of the worker count.
+func (g *Graph) Canonicalize() {
+	g.Walk(func(n *Node) {
+		if len(n.Children) < 2 {
+			return
+		}
+		rank := make(map[*simple.Basic]int)
+		for i, s := range CallSites(n.Fn) {
+			rank[s] = i
+		}
+		sort.SliceStable(n.Children, func(i, j int) bool {
+			ci, cj := n.Children[i], n.Children[j]
+			if rank[ci.Site] != rank[cj.Site] {
+				return rank[ci.Site] < rank[cj.Site]
+			}
+			return ci.Fn.Name() < cj.Fn.Name()
+		})
+	})
 }
 
 // Walk visits every node of the graph in depth-first preorder.

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/cc/ast"
 	"repro/internal/cc/types"
@@ -123,8 +124,12 @@ func (l *Location) initSortKey() {
 // ---------------------------------------------------------------------------
 // Table
 
-// Table interns all locations of one program analysis.
+// Table interns all locations of one program analysis. It is safe for
+// concurrent use: the parallel analysis workers intern locations through a
+// shared table, and interning is idempotent (one canonical *Location per
+// key, so pointer equality remains identity).
 type Table struct {
+	mu     sync.RWMutex
 	vars   map[varKey]*Location
 	syms   map[symKey]*Location
 	funcs  map[*ast.Object]*Location
@@ -181,7 +186,11 @@ func NewTable(prog *simple.Program) *Table {
 
 // RegisterLocal records that obj is a local of fn (used for temporaries
 // added after table construction).
-func (t *Table) RegisterLocal(obj *ast.Object, fn *simple.Function) { t.owners[obj] = fn }
+func (t *Table) RegisterLocal(obj *ast.Object, fn *simple.Function) {
+	t.mu.Lock()
+	t.owners[obj] = fn
+	t.mu.Unlock()
+}
 
 // HeapLoc returns the single heap location.
 func (t *Table) HeapLoc() *Location { return t.heap }
@@ -202,10 +211,18 @@ func (t *Table) FreedLoc() *Location { return t.freed }
 // FuncLoc returns the location standing for a function (the target of
 // function pointers).
 func (t *Table) FuncLoc(obj *ast.Object) *Location {
+	t.mu.RLock()
+	l, ok := t.funcs[obj]
+	t.mu.RUnlock()
+	if ok {
+		return l
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if l, ok := t.funcs[obj]; ok {
 		return l
 	}
-	l := &Location{Kind: Func, Obj: obj, name: obj.Name, typ: obj.Type}
+	l = &Location{Kind: Func, Obj: obj, name: obj.Name, typ: obj.Type}
 	l.initSortKey()
 	t.funcs[obj] = l
 	return l
@@ -222,10 +239,18 @@ func pathString(path []Elem) string {
 // VarLoc returns the location for a variable plus selector path.
 func (t *Table) VarLoc(obj *ast.Object, path []Elem) *Location {
 	key := varKey{obj: obj, path: pathString(path)}
+	t.mu.RLock()
+	l, ok := t.vars[key]
+	t.mu.RUnlock()
+	if ok {
+		return l
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if l, ok := t.vars[key]; ok {
 		return l
 	}
-	l := &Location{
+	l = &Location{
 		Kind: Var,
 		Obj:  obj,
 		Fn:   t.owners[obj],
@@ -251,10 +276,18 @@ func (t *Table) VarLoc(obj *ast.Object, path []Elem) *Location {
 // scoped to fn.
 func (t *Table) SymLoc(fn *simple.Function, sym string, path []Elem, typ *types.Type) *Location {
 	key := symKey{fn: fn, sym: sym, path: pathString(path)}
+	t.mu.RLock()
+	l, ok := t.syms[key]
+	t.mu.RUnlock()
+	if ok {
+		return l
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if l, ok := t.syms[key]; ok {
 		return l
 	}
-	l := &Location{
+	l = &Location{
 		Kind: Symbolic,
 		Fn:   fn,
 		Sym:  sym,
@@ -352,6 +385,8 @@ func typeAt(t *types.Type, path []Elem) *types.Type {
 // fn (Table 2 counts them among the function's abstract stack variables).
 func (t *Table) SymCount(fn *simple.Function) int {
 	names := make(map[string]bool)
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	for k := range t.syms {
 		if k.fn == fn && k.path == "" {
 			names[k.sym] = true

@@ -1,0 +1,66 @@
+package pta
+
+import "sync"
+
+// This file implements the bounded worker pool that evaluates independent
+// invocation subtrees concurrently. Two program points fan out: the targets
+// of an indirect call site (disjoint children of one invocation-graph node)
+// and the branches of an if statement (disjoint statement subtrees fed the
+// same read-only input set). Everything the subtrees share — the location
+// table, the intern table, the invocation graph, annotations, recursion
+// pending lists, diagnostics — is internally synchronized; all merges of
+// subtree results happen in deterministic index order, so the analysis is
+// bit-identical for every worker count.
+
+// runParallel evaluates task(0..n-1) using up to a.workers goroutines
+// (including the calling one). Tasks beyond the available pool slots run
+// inline on the caller, so the pool is work-conserving and never deadlocks
+// under nested fan-out. Panics are captured per task and rethrown in index
+// order after every task has finished, which keeps the stepsExceeded unwind
+// deterministic and never leaks a running goroutine.
+func (a *analyzer) runParallel(n int, task func(i int)) {
+	if a.workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			task(i)
+		}
+		return
+	}
+	panics := make([]any, n)
+	run := func(i int) {
+		defer func() { panics[i] = recover() }()
+		task(i)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n-1; i++ {
+		i := i
+		select {
+		case a.sem <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-a.sem }()
+				run(i)
+			}()
+		default:
+			run(i) // pool exhausted: stay on the caller
+		}
+	}
+	run(n - 1) // the caller always contributes
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+}
+
+// runBoth evaluates two independent tasks, possibly concurrently.
+func (a *analyzer) runBoth(f, g func()) {
+	a.runParallel(2, func(i int) {
+		if i == 0 {
+			f()
+		} else {
+			g()
+		}
+	})
+}

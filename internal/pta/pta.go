@@ -2,6 +2,11 @@ package pta
 
 import (
 	"fmt"
+	"runtime"
+	"slices"
+	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/cc/ast"
 	"repro/internal/cc/types"
@@ -68,6 +73,15 @@ type Options struct {
 	// calling context. Off by default: it roughly doubles annotation
 	// memory.
 	RecordContexts bool
+
+	// Workers bounds the worker pool that evaluates independent invocation
+	// subtrees (function-pointer fan-out targets and if/else branches) in
+	// parallel. 0 means GOMAXPROCS; 1 forces fully serial evaluation. All
+	// merges are performed in deterministic order, so results are
+	// bit-identical to the serial analysis for every worker count. The
+	// ShareContexts and ContextInsensitive variants are order-sensitive
+	// global fixed points and always run serially.
+	Workers int
 }
 
 // Result is the outcome of an analysis.
@@ -93,6 +107,21 @@ type Result struct {
 
 	// SharedHits counts summary-cache reuses under Options.ShareContexts.
 	SharedHits int
+
+	// Workers is the effective worker-pool size the analysis ran with.
+	Workers int
+
+	// MemoHits and MemoMisses count input-keyed summary-cache lookups on
+	// invocation-graph nodes: a hit returns the stored output without
+	// re-walking the callee body.
+	MemoHits, MemoMisses int
+
+	// PeakSetLen is the largest points-to set observed flowing into any
+	// basic statement.
+	PeakSetLen int
+
+	// Interning reports hash-consing activity (distinct sets, hit rate).
+	Interning ptset.InternStats
 }
 
 // Analyze runs the points-to analysis on a SIMPLE program.
@@ -107,7 +136,8 @@ func Analyze(prog *simple.Program, opts Options) (*Result, error) {
 		g:        g,
 		opts:     opts,
 		ann:      NewAnnotations(),
-		maxSteps: opts.MaxSteps,
+		intern:   ptset.NewInterner(),
+		maxSteps: int64(opts.MaxSteps),
 	}
 	if a.maxSteps == 0 {
 		a.maxSteps = 50_000_000
@@ -118,16 +148,45 @@ func Analyze(prog *simple.Program, opts Options) (*Result, error) {
 	if opts.ShareContexts {
 		a.shared = make(map[*simple.Function][]sharedSummary)
 	}
+	a.workers = effectiveWorkers(opts)
+	if a.workers > 1 {
+		// Slots for extra goroutines beyond the caller's own.
+		a.sem = make(chan struct{}, a.workers-1)
+	}
 	res := &Result{Prog: prog, Table: a.tab, Graph: g, Opts: opts, Annots: a.ann}
 
 	if err := a.run(); err != nil {
 		return nil, err
 	}
+	// Child order under parallel fan-out depends on scheduling; restore the
+	// canonical (site, callee) order so graph renderings are deterministic.
+	g.Canonicalize()
+	// Diagnostics are emitted from whichever worker encounters them; sort
+	// and deduplicate so serial and parallel runs report identically.
+	sort.Strings(a.diags)
+	res.Diags = slices.Compact(a.diags)
 	res.MainOut = a.mainOut
-	res.Diags = a.diags
-	res.Steps = a.steps
+	res.Steps = int(a.steps.Load())
 	res.SharedHits = a.sharedHits
+	res.Workers = a.workers
+	res.MemoHits = int(a.memoHits.Load())
+	res.MemoMisses = int(a.memoMisses.Load())
+	res.PeakSetLen = int(a.peakSet.Load())
+	res.Interning = a.intern.Stats()
 	return res, nil
+}
+
+// effectiveWorkers resolves Options.Workers: 0 defaults to GOMAXPROCS, and
+// the order-sensitive global-fixed-point variants force serial evaluation.
+func effectiveWorkers(opts Options) int {
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if opts.ShareContexts || opts.ContextInsensitive {
+		w = 1
+	}
+	return w
 }
 
 type analyzer struct {
@@ -136,10 +195,25 @@ type analyzer struct {
 	g        *invgraph.Graph
 	opts     Options
 	ann      *Annotations
+	intern   *ptset.Interner
 	diags    []string
-	steps    int
-	maxSteps int
+	diagMu   sync.Mutex
+	steps    atomic.Int64
+	maxSteps int64
 	mainOut  ptset.Set
+
+	// Worker pool: workers is the effective parallelism; sem holds the
+	// slots for goroutines beyond the one running the analysis (nil when
+	// serial). recMu serializes appends to recursion pending lists, which
+	// sibling subtrees may share through an ancestor.
+	workers int
+	sem     chan struct{}
+	recMu   sync.Mutex
+
+	// Memoization and peak-size counters (atomics: workers update them).
+	memoHits   atomic.Int64
+	memoMisses atomic.Int64
+	peakSet    atomic.Int64
 
 	// Context-insensitive variant state.
 	ci        map[*simple.Function]*ciSummary
@@ -159,15 +233,27 @@ type sharedSummary struct {
 }
 
 func (a *analyzer) diagf(format string, args ...any) {
-	a.diags = append(a.diags, fmt.Sprintf(format, args...))
+	s := fmt.Sprintf(format, args...)
+	a.diagMu.Lock()
+	a.diags = append(a.diags, s)
+	a.diagMu.Unlock()
 }
 
 type stepsExceeded struct{}
 
 func (a *analyzer) step() {
-	a.steps++
-	if a.steps > a.maxSteps {
+	if a.steps.Add(1) > a.maxSteps {
 		panic(stepsExceeded{})
+	}
+}
+
+// notePeak records the size of a set flowing into a statement.
+func (a *analyzer) notePeak(n int) {
+	for {
+		cur := a.peakSet.Load()
+		if int64(n) <= cur || a.peakSet.CompareAndSwap(cur, int64(n)) {
+			return
+		}
 	}
 }
 

@@ -1,0 +1,170 @@
+package ptset
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Interned is a hash-consed, immutable points-to set: within one Interner,
+// structurally equal sets intern to the same *Interned, so set equality is
+// pointer equality and a stored summary can be reused without copying.
+type Interned struct {
+	owner   *Interner
+	hash    uint64
+	triples []Triple // canonical order (sorted by source, then target)
+	set     Set      // frozen view sharing this node's storage
+	bottom  bool
+}
+
+// AsSet returns a frozen Set view of the interned set. The view shares
+// storage with the intern table: mutating operations panic, and Clone gives
+// a mutable copy. Re-interning the view is O(1).
+func (i *Interned) AsSet() Set { return i.set }
+
+// Len returns the number of triples (0 for BOTTOM).
+func (i *Interned) Len() int { return len(i.triples) }
+
+// IsBottom reports whether the interned set is BOTTOM.
+func (i *Interned) IsBottom() bool { return i.bottom }
+
+// Triples returns the canonical triple ordering. Callers must not modify the
+// returned slice.
+func (i *Interned) Triples() []Triple { return i.triples }
+
+// Hash returns the structural hash (stable within a process run).
+func (i *Interned) Hash() uint64 { return i.hash }
+
+func (i *Interned) String() string { return i.set.String() }
+
+// Interner is a global intern table for points-to sets, safe for concurrent
+// use by the analysis worker pool. One Interner is shared by every goroutine
+// of an analysis run; sets from different Interners never compare equal by
+// pointer.
+type Interner struct {
+	mu      sync.RWMutex
+	buckets map[uint64][]*Interned
+	bottom  *Interned
+	empty   *Interned
+
+	hits   atomic.Uint64 // Intern calls answered by an existing node
+	misses atomic.Uint64 // Intern calls that created a new node
+}
+
+// NewInterner returns an empty intern table.
+func NewInterner() *Interner {
+	it := &Interner{buckets: make(map[uint64][]*Interned)}
+	it.bottom = &Interned{owner: it, bottom: true}
+	it.bottom.set = Set{bottom: true, frozen: true, interned: it.bottom}
+	it.empty = &Interned{owner: it}
+	it.empty.set = Set{m: map[Edge]Def{}, frozen: true, interned: it.empty}
+	return it
+}
+
+// InternStats reports intern-table activity.
+type InternStats struct {
+	Distinct int    // distinct sets interned (excluding BOTTOM and empty)
+	Hits     uint64 // lookups answered by an existing node
+	Misses   uint64 // lookups that created a new node
+}
+
+// Stats returns a snapshot of the table's counters.
+func (it *Interner) Stats() InternStats {
+	it.mu.RLock()
+	defer it.mu.RUnlock()
+	n := 0
+	for _, b := range it.buckets {
+		n += len(b)
+	}
+	return InternStats{Distinct: n, Hits: it.hits.Load(), Misses: it.misses.Load()}
+}
+
+// Intern returns the canonical interned form of s. Interning a frozen view
+// produced by this table is O(1); otherwise the set is canonicalized (sorted
+// triple order), hashed, and deduplicated against the table.
+func (it *Interner) Intern(s Set) *Interned {
+	if s.interned != nil && s.interned.owner == it {
+		it.hits.Add(1)
+		return s.interned
+	}
+	if s.IsBottom() {
+		it.hits.Add(1)
+		return it.bottom
+	}
+	if s.Len() == 0 {
+		it.hits.Add(1)
+		return it.empty
+	}
+	ts := s.Triples() // canonical: sorted by (src, dst) sort keys
+	h := hashTriples(ts)
+
+	it.mu.RLock()
+	for _, cand := range it.buckets[h] {
+		if sameTriples(cand.triples, ts) {
+			it.mu.RUnlock()
+			it.hits.Add(1)
+			return cand
+		}
+	}
+	it.mu.RUnlock()
+
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	for _, cand := range it.buckets[h] {
+		if sameTriples(cand.triples, ts) {
+			it.hits.Add(1)
+			return cand
+		}
+	}
+	m := make(map[Edge]Def, len(ts))
+	for _, t := range ts {
+		m[Edge{t.Src, t.Dst}] = t.Def
+	}
+	node := &Interned{owner: it, hash: h, triples: ts}
+	node.set = Set{m: m, frozen: true, interned: node}
+	it.buckets[h] = append(it.buckets[h], node)
+	it.misses.Add(1)
+	return node
+}
+
+// sameTriples compares canonicalized triple slices; locations are interned,
+// so pointer comparison suffices.
+func sameTriples(a, b []Triple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Src != b[i].Src || a[i].Dst != b[i].Dst || a[i].Def != b[i].Def {
+			return false
+		}
+	}
+	return true
+}
+
+// hashTriples computes an FNV-1a structural hash over the canonical triple
+// order, using the locations' deterministic sort keys.
+func hashTriples(ts []Triple) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime64
+		}
+		h ^= 0xff
+		h *= prime64
+	}
+	for _, t := range ts {
+		mix(t.Src.SortKey())
+		mix(t.Dst.SortKey())
+		if t.Def == D {
+			h ^= 1
+		} else {
+			h ^= 2
+		}
+		h *= prime64
+	}
+	return h
+}

@@ -1,0 +1,172 @@
+package ptset
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/cc/ast"
+	"repro/internal/pta/loc"
+)
+
+// mkLocs builds n distinct global-variable locations.
+func mkLocs(t *testing.T, n int) []*loc.Location {
+	t.Helper()
+	tab := loc.NewTable(nil)
+	out := make([]*loc.Location, n)
+	for i := range out {
+		out[i] = tab.VarLoc(&ast.Object{Name: fmt.Sprintf("v%02d", i), Global: true}, nil)
+	}
+	return out
+}
+
+func TestInternIdentity(t *testing.T) {
+	ls := mkLocs(t, 4)
+	it := NewInterner()
+
+	a := New()
+	a.Insert(ls[0], ls[1], D)
+	a.Insert(ls[2], ls[3], P)
+
+	// The same content built in the opposite insertion order.
+	b := New()
+	b.Insert(ls[2], ls[3], P)
+	b.Insert(ls[0], ls[1], D)
+
+	ia, ib := it.Intern(a), it.Intern(b)
+	if ia != ib {
+		t.Fatalf("structurally equal sets interned to different nodes:\n%s\n%s", ia, ib)
+	}
+	if !Equal(ia.AsSet(), a) {
+		t.Fatalf("interned view %s != original %s", ia.AsSet(), a)
+	}
+
+	// Different content interns differently.
+	c := a.Clone()
+	c.Insert(ls[1], ls[3], P)
+	if it.Intern(c) == ia {
+		t.Fatal("distinct sets interned to the same node")
+	}
+
+	// Definiteness is part of identity.
+	d := New()
+	d.Insert(ls[0], ls[1], P)
+	d.Insert(ls[2], ls[3], P)
+	if it.Intern(d) == ia {
+		t.Fatal("sets differing only in definiteness interned to the same node")
+	}
+}
+
+func TestInternBottomAndEmpty(t *testing.T) {
+	it := NewInterner()
+	if !it.Intern(NewBottom()).IsBottom() {
+		t.Fatal("interned BOTTOM is not BOTTOM")
+	}
+	if it.Intern(NewBottom()) != it.Intern(NewBottom()) {
+		t.Fatal("BOTTOM does not intern canonically")
+	}
+	if it.Intern(New()) != it.Intern(New()) {
+		t.Fatal("empty set does not intern canonically")
+	}
+	if it.Intern(New()) == it.Intern(NewBottom()) {
+		t.Fatal("empty and BOTTOM interned to the same node")
+	}
+}
+
+func TestInternReinternIsO1(t *testing.T) {
+	ls := mkLocs(t, 2)
+	it := NewInterner()
+	s := New()
+	s.Insert(ls[0], ls[1], D)
+	i1 := it.Intern(s)
+	// Re-interning the frozen view takes the backref fast path.
+	if it.Intern(i1.AsSet()) != i1 {
+		t.Fatal("re-interning a frozen view did not return the same node")
+	}
+}
+
+func TestFrozenViewPanicsOnMutation(t *testing.T) {
+	ls := mkLocs(t, 2)
+	it := NewInterner()
+	s := New()
+	s.Insert(ls[0], ls[1], D)
+	v := it.Intern(s).AsSet()
+	if !v.Frozen() {
+		t.Fatal("interned view is not frozen")
+	}
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s on frozen set did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Insert", func() { v.Insert(ls[1], ls[0], P) })
+	mustPanic("Remove", func() { v.Remove(ls[0], ls[1]) })
+	mustPanic("Kill", func() { v.Kill(ls[0]) })
+	mustPanic("Weaken", func() { v.Weaken(ls[0]) })
+
+	// Clone unfreezes.
+	c := v.Clone()
+	c.Insert(ls[1], ls[0], P)
+	if c.Len() != 2 || v.Len() != 1 {
+		t.Fatalf("clone of frozen view is not independent: clone=%s view=%s", c, v)
+	}
+}
+
+func TestInternEqualSubsetFastPaths(t *testing.T) {
+	ls := mkLocs(t, 3)
+	it := NewInterner()
+	s := New()
+	s.Insert(ls[0], ls[1], D)
+	s.Insert(ls[1], ls[2], P)
+	a, b := it.Intern(s).AsSet(), it.Intern(s.Clone()).AsSet()
+	if !Equal(a, b) || !Subset(a, b) || !Subset(b, a) {
+		t.Fatal("interned views of equal sets do not compare equal")
+	}
+	// Cross-interner views must still compare structurally.
+	other := NewInterner().Intern(s.Clone()).AsSet()
+	if !Equal(a, other) {
+		t.Fatal("equal sets from different interners compare unequal")
+	}
+}
+
+// TestInternConcurrent hammers one Interner from many goroutines; run under
+// -race this checks the table's locking.
+func TestInternConcurrent(t *testing.T) {
+	ls := mkLocs(t, 8)
+	it := NewInterner()
+	const workers = 8
+	got := make([][]*Interned, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for round := 0; round < 200; round++ {
+				s := New()
+				for i := 0; i < len(ls)-1; i++ {
+					if (round>>(i%4))&1 == 0 {
+						s.Insert(ls[i], ls[i+1], Def(i%2 == 0))
+					}
+				}
+				got[w] = append(got[w], it.Intern(s))
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Every worker interned the same sequence of sets: identical handles.
+	for w := 1; w < workers; w++ {
+		for i := range got[0] {
+			if got[w][i] != got[0][i] {
+				t.Fatalf("worker %d round %d interned a different node", w, i)
+			}
+		}
+	}
+	st := it.Stats()
+	if st.Distinct == 0 || st.Hits == 0 {
+		t.Fatalf("implausible intern stats: %+v", st)
+	}
+}

@@ -51,9 +51,16 @@ func (t Triple) String() string {
 //
 // Invariant: a set holds at most one triple per (src, dst) edge; inserting
 // both D and P for the same edge weakens it to P.
+//
+// A set can be frozen (see Interner): frozen sets share storage with the
+// intern table and panic on mutation; Clone yields a mutable copy.
 type Set struct {
 	m      map[Edge]Def
 	bottom bool
+	frozen bool
+	// interned points back to the canonical interned form when this set is
+	// a frozen view of one, making re-interning O(1).
+	interned *Interned
 }
 
 // New returns an empty set.
@@ -74,6 +81,9 @@ func (s Set) Len() int { return len(s.m) }
 func (s Set) Insert(src, dst *loc.Location, d Def) {
 	if s.bottom {
 		panic("ptset: insert into BOTTOM")
+	}
+	if s.frozen {
+		panic("ptset: insert into frozen set")
 	}
 	e := Edge{src, dst}
 	if old, ok := s.m[e]; ok {
@@ -132,6 +142,9 @@ func (s Set) Remove(src, dst *loc.Location) {
 	if s.bottom {
 		return
 	}
+	if s.frozen {
+		panic("ptset: remove from frozen set")
+	}
 	delete(s.m, Edge{src, dst})
 }
 
@@ -139,6 +152,9 @@ func (s Set) Remove(src, dst *loc.Location) {
 func (s Set) Kill(src *loc.Location) {
 	if s.bottom {
 		return
+	}
+	if s.frozen {
+		panic("ptset: kill in frozen set")
 	}
 	for e := range s.m {
 		if e.Src == src {
@@ -152,6 +168,9 @@ func (s Set) Weaken(src *loc.Location) {
 	if s.bottom {
 		return
 	}
+	if s.frozen {
+		panic("ptset: weaken in frozen set")
+	}
 	for e, d := range s.m {
 		if e.Src == src && d == D {
 			s.m[e] = P
@@ -159,7 +178,10 @@ func (s Set) Weaken(src *loc.Location) {
 	}
 }
 
-// Clone returns a deep copy.
+// Frozen reports whether the set is an immutable interned view.
+func (s Set) Frozen() bool { return s.frozen }
+
+// Clone returns a deep, mutable copy.
 func (s Set) Clone() Set {
 	if s.bottom {
 		return NewBottom()
@@ -222,6 +244,9 @@ func MergeAll(sets ...Set) Set {
 //
 // BOTTOM is a subset of everything.
 func Subset(a, b Set) bool {
+	if a.interned != nil && a.interned == b.interned {
+		return true // identical interned sets
+	}
 	if a.bottom {
 		return true
 	}
@@ -240,8 +265,17 @@ func Subset(a, b Set) bool {
 	return true
 }
 
-// Equal reports structural equality.
+// Equal reports structural equality. Views of the same intern table compare
+// by pointer.
 func Equal(a, b Set) bool {
+	if a.interned != nil && b.interned != nil {
+		if a.interned == b.interned {
+			return true
+		}
+		if a.interned.owner == b.interned.owner {
+			return false // same table, different canonical sets
+		}
+	}
 	if a.bottom || b.bottom {
 		return a.bottom == b.bottom
 	}

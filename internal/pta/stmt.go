@@ -42,11 +42,17 @@ func (a *analyzer) processStmt(s simple.Stmt, in ptset.Set, ign *invgraph.Node) 
 		return a.processSeq(s, in, ign)
 
 	case *simple.If:
-		thenF := a.processStmt(s.Then, in, ign)
-		var elseF flow
+		// The branches are independent subtrees over the same (read-only)
+		// input set: statement processing never mutates its input, so they
+		// can run concurrently; the merge below is in fixed branch order.
+		var thenF, elseF flow
 		if s.Else != nil {
-			elseF = a.processStmt(s.Else, in, ign)
+			a.runBoth(
+				func() { thenF = a.processStmt(s.Then, in, ign) },
+				func() { elseF = a.processStmt(s.Else, in, ign) },
+			)
 		} else {
+			thenF = a.processStmt(s.Then, in, ign)
 			elseF = flow{out: in}
 		}
 		out := flow{out: ptset.Merge(thenF.out, elseF.out)}

@@ -54,6 +54,10 @@ type Config struct {
 	// global per-function summary cache that shares invocation-graph
 	// subtrees with identical inputs.
 	ShareContexts bool
+	// Workers bounds the pool evaluating independent invocation subtrees
+	// in parallel: 0 means GOMAXPROCS, 1 forces serial. Results are
+	// bit-identical for every worker count.
+	Workers int
 }
 
 func (c *Config) options() (pta.Options, error) {
@@ -76,6 +80,7 @@ func (c *Config) options() (pta.Options, error) {
 	o.NoMemo = c.NoMemo
 	o.ContextInsensitive = c.ContextInsensitive
 	o.ShareContexts = c.ShareContexts
+	o.Workers = c.Workers
 	return o, nil
 }
 
