@@ -23,11 +23,25 @@
 //	-fnptr S   function pointer strategy: precise|addr-taken|all
 //	-ci        context-insensitive ablation
 //	-nodef     disable definite relationships
+//
+// Observability flags:
+//
+//	-metrics        print the full metrics report (engine counters, memo and
+//	                intern hit rates, set-cardinality distribution, per-function
+//	                cost table)
+//	-trace F        record a structured execution trace and write it to F as
+//	                Chrome trace_event JSON (open in ui.perfetto.dev)
+//	-trace-jsonl F  write the trace to F as a JSON-lines stream instead
+//	-trace-buf N    per-shard trace ring capacity in events (drop-oldest)
+//	-cpuprofile F   write a CPU profile of the run to F
+//	-memprofile F   write a heap profile at exit to F
+//	-debug-addr A   serve net/http/pprof on A (e.g. localhost:6060)
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -37,6 +51,7 @@ import (
 	"repro/internal/deptest"
 	"repro/internal/heapconn"
 	"repro/internal/modref"
+	"repro/internal/obsv"
 	"repro/internal/pta/loc"
 	"repro/internal/report"
 	"repro/pointsto"
@@ -59,6 +74,14 @@ func main() {
 		ci        = flag.Bool("ci", false, "context-insensitive ablation")
 		nodef     = flag.Bool("nodef", false, "disable definite relationships")
 		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
+
+		doMetrics  = flag.Bool("metrics", false, "print the full metrics report")
+		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON execution trace to this file")
+		traceJSONL = flag.String("trace-jsonl", "", "write a JSON-lines execution trace to this file")
+		traceBuf   = flag.Int("trace-buf", 0, "per-shard trace ring capacity in events (0 = default)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile at exit to this file")
+		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof on this address")
 	)
 	flag.Parse()
 
@@ -82,15 +105,33 @@ func main() {
 		os.Exit(2)
 	}
 
+	prof, err := obsv.StartProfiles(*cpuprofile, *memprofile, *debugAddr)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fatal(err)
+		}
+	}()
+
 	cfg := &pointsto.Config{
 		FnPtrStrategy:      *fnptr,
 		ContextInsensitive: *ci,
 		NoDefinite:         *nodef,
 		Workers:            *workers,
+		Trace:              *traceOut != "" || *traceJSONL != "",
+		TraceBuffer:        *traceBuf,
 	}
 	a, err := pointsto.AnalyzeSource(name, src, cfg)
 	if err != nil {
 		fatal(err)
+	}
+	if *traceOut != "" {
+		writeFileWith(*traceOut, a.WriteChromeTrace)
+	}
+	if *traceJSONL != "" {
+		writeFileWith(*traceJSONL, a.WriteTraceJSONL)
 	}
 
 	any := false
@@ -108,18 +149,21 @@ func main() {
 			st.Nodes, st.CallSites, st.Functions, st.Recursive, st.Approximate)
 		fmt.Printf("avg nodes/call-site %.2f, avg nodes/function %.2f\n",
 			st.AvgPerCallSite(), st.AvgPerFunction())
-		r := a.Result
-		memoRate := 0.0
-		if lookups := r.MemoHits + r.MemoMisses; lookups > 0 {
-			memoRate = 100 * float64(r.MemoHits) / float64(lookups)
+		m := a.Metrics()
+		fmt.Printf("workers %d, steps %d, peak set %d\n", a.Result.Workers, m.Steps, m.PeakSet)
+		fmt.Printf("memo: %d hits / %d misses (%.1f%% hit rate)\n",
+			m.MemoHits, m.MemoMisses, 100*m.MemoHitRate)
+		fmt.Printf("interning: %d distinct sets, %.1f%% hit rate\n",
+			m.InternDistinct, 100*m.InternHitRate)
+		fmt.Printf("set cardinality: p50 %d, p90 %d, max %d\n",
+			m.Cardinality.P50, m.Cardinality.P90, m.Cardinality.Max)
+		if m.TraceDropped > 0 {
+			fmt.Printf("trace: %d events dropped by ring overflow (raise -trace-buf)\n", m.TraceDropped)
 		}
-		internRate := 0.0
-		if lookups := r.Interning.Hits + r.Interning.Misses; lookups > 0 {
-			internRate = 100 * float64(r.Interning.Hits) / float64(lookups)
-		}
-		fmt.Printf("workers %d, steps %d, peak set %d\n", r.Workers, r.Steps, r.PeakSetLen)
-		fmt.Printf("memo: %d hits / %d misses (%.1f%% hit rate)\n", r.MemoHits, r.MemoMisses, memoRate)
-		fmt.Printf("interning: %d distinct sets, %.1f%% hit rate\n", r.Interning.Distinct, internRate)
+		any = true
+	}
+	if *doMetrics {
+		report.WriteMetrics(os.Stdout, a.Metrics())
 		any = true
 	}
 	if *doRepl {
@@ -194,6 +238,20 @@ func printPts(a *pointsto.Analysis) {
 			continue
 		}
 		fmt.Printf("  (%s, %s, %s)\n", t.Src.Name(), t.Dst.Name(), t.Def)
+	}
+}
+
+// writeFileWith creates path and streams fn's output into it.
+func writeFileWith(path string, fn func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := fn(f); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
 	}
 }
 

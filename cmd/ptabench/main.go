@@ -11,6 +11,10 @@
 //	ptabench -perf      # wall-time/memoization report (serial vs parallel vs
 //	                    # unmemoized); -out writes BENCH_pta.json, -verify
 //	                    # exits nonzero on divergence or a cold memo cache
+//	ptabench -trace F   # trace the suite (one Perfetto process per program)
+//
+// Profiling flags usable with any mode: -cpuprofile, -memprofile,
+// -debug-addr (net/http/pprof).
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/bench"
+	"repro/internal/obsv"
 	"repro/internal/perf"
 	"repro/internal/pta"
 	"repro/internal/report"
@@ -31,17 +36,34 @@ func main() {
 		tableN   = flag.Int("table", 0, "print only the given table (2-6)")
 		livc     = flag.Bool("livc", false, "run the livc function-pointer experiment")
 		ablation = flag.Bool("ablation", false, "run the precision ablations")
-		perf     = flag.Bool("perf", false, "run the performance report (wall time, memoization, parallel speedup)")
+		perfMode = flag.Bool("perf", false, "run the performance report (wall time, memoization, parallel speedup)")
 		workers  = flag.Int("workers", 0, "worker pool size for the parallel perf runs (0 = GOMAXPROCS)")
 		repeats  = flag.Int("repeats", 3, "timing repetitions per variant (best kept)")
-		progs    = flag.String("progs", "", "comma-separated benchmark names for -perf (default: all)")
+		progs    = flag.String("progs", "", "comma-separated benchmark names for -perf/-trace (default: all)")
 		out      = flag.String("out", "", "also write the -perf report as JSON to this file")
 		verify   = flag.Bool("verify", false, "with -perf: exit 1 if any variant diverges or no program hits the memo cache")
+
+		traceOut   = flag.String("trace", "", "trace the suite and write Chrome trace_event JSON to this file")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile at exit to this file")
+		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof on this address")
 	)
 	flag.Parse()
 
+	prof, err := obsv.StartProfiles(*cpuprofile, *memprofile, *debugAddr)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fatal(err)
+		}
+	}()
+
 	switch {
-	case *perf:
+	case *traceOut != "":
+		runTrace(*traceOut, *progs, *workers)
+	case *perfMode:
 		runPerf(*progs, *workers, *repeats, *out, *verify)
 	case *livc:
 		runLivc()
@@ -50,6 +72,34 @@ func main() {
 	default:
 		runTables(*tableN)
 	}
+}
+
+// runTrace analyzes the selected benchmarks with tracing enabled and writes
+// one Chrome trace file with a Perfetto process per program.
+func runTrace(path, progs string, workers int) {
+	var names []string
+	if progs != "" {
+		names = strings.Split(progs, ",")
+	}
+	procs, err := perf.TracePrograms(names, workers)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := obsv.WriteChromeTraceProcs(f, procs...); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	var events int
+	for _, p := range procs {
+		events += len(p.Events)
+	}
+	fmt.Printf("traced %d programs (%d events) to %s\n", len(procs), events, path)
 }
 
 // runPerf times the suite under the serial, parallel and unmemoized
@@ -81,13 +131,24 @@ func runPerf(progs string, workers, repeats int, out string, verify bool) {
 	}
 	if verify {
 		anyMemoHit := false
+		failed := false
 		for _, p := range rep.Programs {
 			if !p.Identical {
-				fatal(fmt.Errorf("verify: %s: serial, parallel and unmemoized results diverge", p.Name))
+				// Explain the divergence before failing: re-run the
+				// variants and show where the fingerprints split and how
+				// the per-function effort differed.
+				failed = true
+				fmt.Fprintf(os.Stderr, "verify: %s: serial, parallel and unmemoized results diverge\n", p.Name)
+				if err := perf.ExplainDivergence(os.Stderr, p.Name, rep.Workers); err != nil {
+					fmt.Fprintf(os.Stderr, "verify: %s: explaining divergence failed: %v\n", p.Name, err)
+				}
 			}
 			if p.MemoHits > 0 {
 				anyMemoHit = true
 			}
+		}
+		if failed {
+			fatal(fmt.Errorf("verify: results diverged (reports above)"))
 		}
 		if !anyMemoHit {
 			fatal(fmt.Errorf("verify: memo cache was cold on every program (hit rate zero)"))

@@ -1,0 +1,88 @@
+package obsv
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Process groups one trace's events under a process id and name for the
+// Chrome exporter, so several analyses (e.g. a benchmark suite) can share
+// one trace file as separate processes.
+type Process struct {
+	Pid    int
+	Name   string
+	Events []*Event
+}
+
+// chromeEvent is one trace_event object of the Chrome/Perfetto JSON format.
+// Timestamps and durations are microseconds.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	S    string            `json:"s,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object form of the trace_event format, which both
+// chrome://tracing and Perfetto accept.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders a completed tracer's events as Chrome
+// trace_event JSON.
+func WriteChromeTrace(w io.Writer, t *Tracer) error {
+	return WriteChromeTraceProcs(w, Process{Pid: 1, Name: "pta", Events: t.Events()})
+}
+
+// WriteChromeTraceProcs renders one or more event groups as Chrome
+// trace_event JSON, one process per group.
+func WriteChromeTraceProcs(w io.Writer, procs ...Process) error {
+	trace := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	for _, p := range procs {
+		trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: p.Pid,
+			Args: map[string]string{"name": p.Name},
+		})
+		tracks := map[Track]bool{}
+		for _, e := range p.Events {
+			if !tracks[e.Track] {
+				tracks[e.Track] = true
+				name := "main"
+				if e.Track != 0 {
+					name = fmt.Sprintf("worker-%d", e.Track)
+				}
+				trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+					Name: "thread_name", Ph: "M", Pid: p.Pid, Tid: int(e.Track),
+					Args: map[string]string{"name": name},
+				})
+			}
+			ce := chromeEvent{
+				Name: e.Name,
+				Cat:  e.Cat.String(),
+				Ts:   float64(e.Start) / 1e3,
+				Pid:  p.Pid,
+				Tid:  int(e.Track),
+			}
+			if e.Detail != "" {
+				ce.Args = map[string]string{"detail": e.Detail}
+			}
+			if e.Instant {
+				ce.Ph, ce.S = "i", "t"
+			} else {
+				ce.Ph = "X"
+				ce.Dur = float64(e.Dur) / 1e3
+			}
+			trace.TraceEvents = append(trace.TraceEvents, ce)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(trace)
+}

@@ -1,0 +1,34 @@
+package obsv
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// jsonlEvent is the line format of the JSONL exporter: a flat,
+// self-describing record per event with nanosecond times.
+type jsonlEvent struct {
+	TS      int64  `json:"ts_ns"`
+	Dur     int64  `json:"dur_ns,omitempty"`
+	Track   int32  `json:"track"`
+	Cat     string `json:"cat"`
+	Name    string `json:"name"`
+	Detail  string `json:"detail,omitempty"`
+	Instant bool   `json:"instant,omitempty"`
+}
+
+// WriteJSONL renders a completed tracer's events as a JSON-lines stream,
+// one event object per line in start-time order.
+func WriteJSONL(w io.Writer, t *Tracer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range t.Events() {
+		le := jsonlEvent{
+			TS: e.Start, Dur: e.Dur, Track: int32(e.Track),
+			Cat: e.Cat.String(), Name: e.Name, Detail: e.Detail, Instant: e.Instant,
+		}
+		if err := enc.Encode(le); err != nil {
+			return err
+		}
+	}
+	return nil
+}

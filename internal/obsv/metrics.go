@@ -1,0 +1,286 @@
+package obsv
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one and returns the new value.
+func (c *Counter) Inc() int64 { return c.v.Add(1) }
+
+// Add adds n and returns the new value.
+func (c *Counter) Add(n int64) int64 { return c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// MaxGauge tracks the maximum value ever observed.
+type MaxGauge struct{ v atomic.Int64 }
+
+// Observe raises the gauge to n if n exceeds the current maximum.
+func (g *MaxGauge) Observe(n int64) {
+	for {
+		cur := g.v.Load()
+		if n <= cur || g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Load returns the maximum observed so far.
+func (g *MaxGauge) Load() int64 { return g.v.Load() }
+
+// histBuckets is the number of power-of-two histogram buckets: bucket i
+// counts observations v with bits.Len64(v) == i, i.e. 2^(i-1) <= v < 2^i
+// (bucket 0 counts v <= 0).
+const histBuckets = 33
+
+// Histogram is a lock-free power-of-two histogram for small nonnegative
+// integer observations (points-to set cardinalities). An observation costs
+// two atomic adds and a CAS-max.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     MaxGauge
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	h.count.Add(1)
+	if v > 0 {
+		h.sum.Add(v)
+	}
+	h.max.Observe(v)
+	b := 0
+	if v > 0 {
+		b = bits.Len64(uint64(v))
+		if b >= histBuckets {
+			b = histBuckets - 1
+		}
+	}
+	h.buckets[b].Add(1)
+}
+
+// HistBucket is one populated histogram bucket in a snapshot.
+type HistBucket struct {
+	// UpperBound is the largest value the bucket can hold (2^i - 1).
+	UpperBound int64 `json:"le"`
+	Count      int64 `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time view of a histogram.
+type HistogramSnapshot struct {
+	Count   int64        `json:"count"`
+	Sum     int64        `json:"sum"`
+	Max     int64        `json:"max"`
+	Mean    float64      `json:"mean"`
+	P50     int64        `json:"p50"`
+	P90     int64        `json:"p90"`
+	P99     int64        `json:"p99"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot captures the histogram. Quantiles are upper-bound estimates from
+// the power-of-two buckets, clamped to the exact maximum.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load(), Max: h.max.Load()}
+	if s.Count == 0 {
+		return s
+	}
+	s.Mean = float64(s.Sum) / float64(s.Count)
+	var counts [histBuckets]int64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+	}
+	upper := func(i int) int64 {
+		if i == 0 {
+			return 0
+		}
+		return (int64(1) << i) - 1
+	}
+	quantile := func(q float64) int64 {
+		rank := int64(q * float64(s.Count))
+		var cum int64
+		for i, c := range counts {
+			cum += c
+			if cum > rank {
+				u := upper(i)
+				if u > s.Max {
+					u = s.Max
+				}
+				return u
+			}
+		}
+		return s.Max
+	}
+	s.P50, s.P90, s.P99 = quantile(0.50), quantile(0.90), quantile(0.99)
+	for i, c := range counts {
+		if c > 0 {
+			s.Buckets = append(s.Buckets, HistBucket{UpperBound: upper(i), Count: c})
+		}
+	}
+	return s
+}
+
+// FuncCost accumulates per-function analysis cost: node evaluations, memo
+// hits, fixed-point iterations beyond the first pass, and inclusive wall
+// time (a parent's evaluation time includes its callees').
+type FuncCost struct {
+	Evals         Counter
+	MemoHits      Counter
+	FixpointIters Counter
+	Wall          Counter // nanoseconds
+}
+
+// AddWall accumulates evaluation wall time.
+func (f *FuncCost) AddWall(d time.Duration) { f.Wall.Add(int64(d)) }
+
+// FuncCostSnapshot is the exported per-function cost record.
+type FuncCostSnapshot struct {
+	Name          string  `json:"name"`
+	Evals         int64   `json:"evals"`
+	MemoHits      int64   `json:"memo_hits"`
+	FixpointIters int64   `json:"fixpoint_iters"`
+	WallMS        float64 `json:"wall_ms"`
+}
+
+// Metrics is the typed metrics registry of one analysis run. The hot-path
+// instruments are plain struct fields updated atomically; the per-function
+// table is behind a mutex (touched only per node evaluation, never per
+// statement).
+type Metrics struct {
+	// Steps counts basic-statement transfer-function evaluations.
+	Steps Counter
+	// MemoHits / MemoMisses count input-keyed summary-cache lookups on
+	// invocation-graph nodes.
+	MemoHits, MemoMisses Counter
+	// SharedHits counts global summary-cache reuses (Options.ShareContexts).
+	SharedHits Counter
+	// NodeEvals counts invocation-graph node body evaluations (memo and
+	// recursion-approximation hits excluded).
+	NodeEvals Counter
+	// MapOps / UnmapOps count map_process / unmap_process operations.
+	MapOps, UnmapOps Counter
+	// FixpointIters counts recursion fixed-point iterations beyond each
+	// node evaluation's first pass.
+	FixpointIters Counter
+	// PendingRestarts counts pending-list generalization restarts of
+	// recursive fixed points (input widened, evaluation restarted).
+	PendingRestarts Counter
+	// PeakSet is the largest points-to set flowing into any statement.
+	// The analysis hot path does not update it directly — Cardinality's
+	// internal maximum covers it — but it remains for observations that
+	// bypass the histogram; Snapshot reports the larger of the two.
+	PeakSet MaxGauge
+	// Cardinality is the distribution of points-to set sizes flowing into
+	// basic statements.
+	Cardinality Histogram
+
+	mu    sync.Mutex
+	funcs map[string]*FuncCost
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{funcs: make(map[string]*FuncCost)}
+}
+
+// Func returns the cost accumulator for the named function, creating it on
+// first use. Safe for concurrent use.
+func (m *Metrics) Func(name string) *FuncCost {
+	m.mu.Lock()
+	fc := m.funcs[name]
+	if fc == nil {
+		fc = &FuncCost{}
+		m.funcs[name] = fc
+	}
+	m.mu.Unlock()
+	return fc
+}
+
+// MetricsSnapshot is the exported, JSON-serializable view of a registry,
+// stored as pta.Result.Metrics. Interning and trace fields are filled by
+// the analysis from the intern table and tracer, which this package does
+// not depend on.
+type MetricsSnapshot struct {
+	Steps           int64 `json:"steps"`
+	MemoHits        int64 `json:"memo_hits"`
+	MemoMisses      int64 `json:"memo_misses"`
+	SharedHits      int64 `json:"shared_hits,omitempty"`
+	NodeEvals       int64 `json:"node_evals"`
+	MapOps          int64 `json:"map_ops"`
+	UnmapOps        int64 `json:"unmap_ops"`
+	FixpointIters   int64 `json:"fixpoint_iters"`
+	PendingRestarts int64 `json:"pending_restarts"`
+	PeakSet         int64 `json:"peak_set"`
+
+	// MemoHitRate is MemoHits / (MemoHits + MemoMisses), 0 when cold.
+	MemoHitRate float64 `json:"memo_hit_rate"`
+
+	// Interning reports hash-consing activity (filled by the analysis).
+	InternDistinct int     `json:"intern_distinct"`
+	InternHits     uint64  `json:"intern_hits"`
+	InternMisses   uint64  `json:"intern_misses"`
+	InternHitRate  float64 `json:"intern_hit_rate"`
+
+	// Cardinality is the points-to set size distribution over statements.
+	Cardinality HistogramSnapshot `json:"set_cardinality"`
+
+	// TraceEmitted / TraceDropped report ring-buffer activity when the run
+	// was traced (dropped_events is the overflow loss).
+	TraceEmitted uint64 `json:"trace_emitted,omitempty"`
+	TraceDropped uint64 `json:"trace_dropped,omitempty"`
+
+	// Funcs is the per-function cost table, most expensive first.
+	Funcs []FuncCostSnapshot `json:"funcs,omitempty"`
+}
+
+// Snapshot captures every instrument of the registry. Call it after the
+// analysis has quiesced; the snapshot is immutable.
+func (m *Metrics) Snapshot() *MetricsSnapshot {
+	s := &MetricsSnapshot{
+		Steps:           m.Steps.Load(),
+		MemoHits:        m.MemoHits.Load(),
+		MemoMisses:      m.MemoMisses.Load(),
+		SharedHits:      m.SharedHits.Load(),
+		NodeEvals:       m.NodeEvals.Load(),
+		MapOps:          m.MapOps.Load(),
+		UnmapOps:        m.UnmapOps.Load(),
+		FixpointIters:   m.FixpointIters.Load(),
+		PendingRestarts: m.PendingRestarts.Load(),
+		PeakSet:         m.PeakSet.Load(),
+		Cardinality:     m.Cardinality.Snapshot(),
+	}
+	if s.Cardinality.Max > s.PeakSet {
+		s.PeakSet = s.Cardinality.Max
+	}
+	if lookups := s.MemoHits + s.MemoMisses; lookups > 0 {
+		s.MemoHitRate = float64(s.MemoHits) / float64(lookups)
+	}
+	m.mu.Lock()
+	for name, fc := range m.funcs {
+		s.Funcs = append(s.Funcs, FuncCostSnapshot{
+			Name:          name,
+			Evals:         fc.Evals.Load(),
+			MemoHits:      fc.MemoHits.Load(),
+			FixpointIters: fc.FixpointIters.Load(),
+			WallMS:        float64(fc.Wall.Load()) / 1e6,
+		})
+	}
+	m.mu.Unlock()
+	sort.Slice(s.Funcs, func(i, j int) bool {
+		a, b := s.Funcs[i], s.Funcs[j]
+		if a.WallMS != b.WallMS {
+			return a.WallMS > b.WallMS
+		}
+		return a.Name < b.Name
+	})
+	return s
+}

@@ -1,0 +1,100 @@
+package obsv
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestHistogramBucketsAndQuantiles checks the power-of-two bucketing and
+// the quantile estimates against a known distribution.
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	var h Histogram
+	// 90 ones and 10 hundreds: p50 lands in the [1,1] bucket, p99 in the
+	// bucket holding 100 (upper bound 127, clamped to the exact max).
+	for i := 0; i < 90; i++ {
+		h.Observe(1)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 || s.Sum != 90+1000 || s.Max != 100 {
+		t.Fatalf("count/sum/max = %d/%d/%d, want 100/1090/100", s.Count, s.Sum, s.Max)
+	}
+	if s.P50 != 1 {
+		t.Errorf("P50 = %d, want 1", s.P50)
+	}
+	if s.P99 != 100 {
+		t.Errorf("P99 = %d, want 100 (bucket upper bound clamped to max)", s.P99)
+	}
+	if len(s.Buckets) != 2 {
+		t.Errorf("got %d populated buckets, want 2: %+v", len(s.Buckets), s.Buckets)
+	}
+}
+
+// TestHistogramZeroAndEmpty covers the v<=0 bucket and the empty snapshot.
+func TestHistogramZeroAndEmpty(t *testing.T) {
+	var empty Histogram
+	if s := empty.Snapshot(); s.Count != 0 || s.P50 != 0 || len(s.Buckets) != 0 {
+		t.Errorf("empty snapshot = %+v", s)
+	}
+	var h Histogram
+	h.Observe(0)
+	s := h.Snapshot()
+	if s.Count != 1 || s.Max != 0 || s.P50 != 0 {
+		t.Errorf("zero-only snapshot = %+v", s)
+	}
+}
+
+// TestMetricsConcurrent updates every instrument from several goroutines
+// (the -race guard for the registry) and checks the totals.
+func TestMetricsConcurrent(t *testing.T) {
+	m := NewMetrics()
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				m.Steps.Inc()
+				m.MemoHits.Add(2)
+				m.PeakSet.Observe(int64(i))
+				m.Cardinality.Observe(int64(i % 37))
+				if i%100 == 0 {
+					m.Func("f").Evals.Inc()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := m.Snapshot()
+	if s.Steps != goroutines*per {
+		t.Errorf("Steps = %d, want %d", s.Steps, goroutines*per)
+	}
+	if s.MemoHits != 2*goroutines*per {
+		t.Errorf("MemoHits = %d, want %d", s.MemoHits, 2*goroutines*per)
+	}
+	if s.PeakSet != per-1 {
+		t.Errorf("PeakSet = %d, want %d", s.PeakSet, per-1)
+	}
+	if s.Cardinality.Count != goroutines*per {
+		t.Errorf("Cardinality.Count = %d, want %d", s.Cardinality.Count, goroutines*per)
+	}
+	if len(s.Funcs) != 1 || s.Funcs[0].Evals != goroutines*per/100 {
+		t.Errorf("Funcs = %+v, want one entry with %d evals", s.Funcs, goroutines*per/100)
+	}
+}
+
+// TestMemoHitRate checks the derived rate in the snapshot.
+func TestMemoHitRate(t *testing.T) {
+	m := NewMetrics()
+	m.MemoHits.Add(3)
+	m.MemoMisses.Add(1)
+	if s := m.Snapshot(); s.MemoHitRate != 0.75 {
+		t.Errorf("MemoHitRate = %v, want 0.75", s.MemoHitRate)
+	}
+	if s := NewMetrics().Snapshot(); s.MemoHitRate != 0 {
+		t.Errorf("cold MemoHitRate = %v, want 0", s.MemoHitRate)
+	}
+}

@@ -1,0 +1,78 @@
+package obsv
+
+import (
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiler manages the standard Go profiling endpoints for a CLI run: a CPU
+// profile written over the run, a heap profile written at the end, and an
+// optional debug HTTP server exposing net/http/pprof. The zero value is
+// inert; use StartProfiles.
+type Profiler struct {
+	cpuFile *os.File
+	memPath string
+}
+
+// StartProfiles starts the requested profiling sinks. Empty strings disable
+// the corresponding sink. cpuPath starts a CPU profile immediately; memPath
+// is written by Stop; debugAddr starts an HTTP server (in a background
+// goroutine, never stopped) serving /debug/pprof.
+//
+// net/http/pprof registers its handlers on http.DefaultServeMux as a side
+// effect of being imported by this package.
+func StartProfiles(cpuPath, memPath, debugAddr string) (*Profiler, error) {
+	p := &Profiler{memPath: memPath}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("start cpu profile: %w", err)
+		}
+		p.cpuFile = f
+	}
+	if debugAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(debugAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "debug server %s: %v\n", debugAddr, err)
+			}
+		}()
+	}
+	return p, nil
+}
+
+// Stop finalizes the profiles: stops the CPU profile and writes the heap
+// profile (after a GC, so it reflects live memory). Safe to call on a nil
+// Profiler.
+func (p *Profiler) Stop() error {
+	if p == nil {
+		return nil
+	}
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpuFile.Close(); err != nil {
+			return err
+		}
+		p.cpuFile = nil
+	}
+	if p.memPath != "" {
+		f, err := os.Create(p.memPath)
+		if err != nil {
+			return err
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return nil
+}

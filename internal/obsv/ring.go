@@ -1,0 +1,83 @@
+package obsv
+
+import (
+	"math/bits"
+	"sort"
+	"sync/atomic"
+)
+
+// Ring is a bounded, lock-free event buffer with overwrite-on-overflow
+// semantics: a writer claims a slot by atomically advancing the cursor and
+// stores its event with an atomic pointer write, so pushes never block and
+// never wait on other writers. Once the cursor passes the capacity, each
+// push overwrites (drops) the oldest surviving event; Dropped reports how
+// many were lost. Multiple goroutines may push concurrently; Events and
+// Dropped are meant for quiescent reads after the writers have finished
+// (they are safe to call concurrently, but may observe a mid-push state in
+// which a claimed slot is not yet filled).
+type Ring struct {
+	slots  []atomic.Pointer[Event]
+	mask   uint64
+	cursor atomic.Uint64
+}
+
+// NewRing returns a ring holding at least capacity events (rounded up to a
+// power of two, minimum 8).
+func NewRing(capacity int) *Ring {
+	if capacity < 8 {
+		capacity = 8
+	}
+	capacity = 1 << bits.Len(uint(capacity-1)) // next power of two
+	return &Ring{slots: make([]atomic.Pointer[Event], capacity), mask: uint64(capacity - 1)}
+}
+
+// Cap returns the ring's capacity in events.
+func (r *Ring) Cap() int { return len(r.slots) }
+
+// Push records an event, overwriting the oldest one when the ring is full.
+func (r *Ring) Push(e *Event) {
+	i := r.cursor.Add(1) - 1
+	r.slots[i&r.mask].Store(e)
+}
+
+// Pushed returns the total number of events ever pushed.
+func (r *Ring) Pushed() uint64 { return r.cursor.Load() }
+
+// Dropped returns the number of events lost to overflow.
+func (r *Ring) Dropped() uint64 {
+	if c := r.cursor.Load(); c > uint64(len(r.slots)) {
+		return c - uint64(len(r.slots))
+	}
+	return 0
+}
+
+// Events returns the surviving events in start-time order.
+func (r *Ring) Events() []*Event {
+	n := r.cursor.Load()
+	if n > uint64(len(r.slots)) {
+		n = uint64(len(r.slots))
+	}
+	out := make([]*Event, 0, n)
+	for i := range r.slots {
+		if e := r.slots[i].Load(); e != nil {
+			out = append(out, e)
+		}
+	}
+	sortEvents(out)
+	return out
+}
+
+// sortEvents orders events by start time, breaking ties by track then end
+// time (longer spans first, so parents precede children).
+func sortEvents(evs []*Event) {
+	sort.SliceStable(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Track != b.Track {
+			return a.Track < b.Track
+		}
+		return a.Dur > b.Dur
+	})
+}

@@ -1,0 +1,148 @@
+package obsv
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestRingOverflowDropsOldest fills a small ring past its capacity and
+// checks the overwrite semantics: the newest events survive, the oldest are
+// dropped, and the dropped_events counter accounts exactly for the loss.
+func TestRingOverflowDropsOldest(t *testing.T) {
+	r := NewRing(8)
+	if r.Cap() != 8 {
+		t.Fatalf("Cap() = %d, want 8", r.Cap())
+	}
+	const total = 20
+	for i := 0; i < total; i++ {
+		r.Push(&Event{Name: fmt.Sprintf("e%d", i), Start: int64(i)})
+	}
+	if got := r.Pushed(); got != total {
+		t.Errorf("Pushed() = %d, want %d", got, total)
+	}
+	if got := r.Dropped(); got != total-8 {
+		t.Errorf("Dropped() = %d, want %d", got, total-8)
+	}
+	evs := r.Events()
+	if len(evs) != 8 {
+		t.Fatalf("Events() kept %d, want 8", len(evs))
+	}
+	// Only the 8 newest (e12..e19) survive, in start order.
+	for i, e := range evs {
+		want := fmt.Sprintf("e%d", total-8+i)
+		if e.Name != want {
+			t.Errorf("event %d = %s, want %s (oldest must be dropped first)", i, e.Name, want)
+		}
+	}
+}
+
+// TestRingNoOverflowKeepsAll checks the no-drop path.
+func TestRingNoOverflowKeepsAll(t *testing.T) {
+	r := NewRing(16)
+	for i := 0; i < 5; i++ {
+		r.Push(&Event{Start: int64(i)})
+	}
+	if r.Dropped() != 0 {
+		t.Errorf("Dropped() = %d, want 0", r.Dropped())
+	}
+	if len(r.Events()) != 5 {
+		t.Errorf("Events() kept %d, want 5", len(r.Events()))
+	}
+}
+
+// TestRingCapacityRounding checks the power-of-two rounding and the
+// minimum capacity.
+func TestRingCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, 8}, {1, 8}, {8, 8}, {9, 16}, {100, 128}, {1 << 14, 1 << 14},
+	} {
+		if got := NewRing(tc.in).Cap(); got != tc.want {
+			t.Errorf("NewRing(%d).Cap() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestRingConcurrentEmission hammers one small ring from 8 goroutines (run
+// under -race in CI): pushes must never block or lose accounting — every
+// emitted event is either retained or counted as dropped.
+func TestRingConcurrentEmission(t *testing.T) {
+	r := NewRing(64)
+	const (
+		goroutines = 8
+		perG       = 500
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				r.Push(&Event{Track: Track(g), Start: int64(i)})
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	const total = goroutines * perG
+	if got := r.Pushed(); got != total {
+		t.Errorf("Pushed() = %d, want %d", got, total)
+	}
+	kept := len(r.Events())
+	if kept != r.Cap() {
+		t.Errorf("kept %d events, want a full ring of %d", kept, r.Cap())
+	}
+	if got := r.Dropped(); got != total-uint64(r.Cap()) {
+		t.Errorf("Dropped() = %d, want %d (kept + dropped = emitted)", got, total-r.Cap())
+	}
+}
+
+// TestTracerConcurrentSpans emits spans from 8 concurrent tracks through
+// the full tracer (shard mapping, Begin/End, instants) — the -race guard
+// for the public emission path.
+func TestTracerConcurrentSpans(t *testing.T) {
+	tr := NewTracer(4, 128)
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tk := tr.NewTrack()
+			for i := 0; i < 200; i++ {
+				sp := tr.Begin(tk, CatNode, "f", "ordinary")
+				tr.Instant(tk, CatFixpoint, "restart", "")
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+
+	const total = goroutines * 200 * 2
+	if got := tr.Emitted(); got != total {
+		t.Errorf("Emitted() = %d, want %d", got, total)
+	}
+	kept := uint64(len(tr.Events()))
+	if kept+tr.Dropped() != total {
+		t.Errorf("kept %d + dropped %d != emitted %d", kept, tr.Dropped(), total)
+	}
+	if tr.Dropped() == 0 {
+		t.Errorf("expected overflow drops with %d events in 4x128 rings", total)
+	}
+}
+
+// TestNilTracerIsInert checks the disabled fast path: every method of a nil
+// tracer is a safe no-op.
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Error("nil tracer reports Enabled")
+	}
+	tk := tr.NewTrack()
+	sp := tr.Begin(tk, CatBasic, "x", "")
+	sp.End()
+	tr.Instant(tk, CatWorker, "y", "")
+	if tr.Events() != nil || tr.Emitted() != 0 || tr.Dropped() != 0 {
+		t.Error("nil tracer recorded events")
+	}
+}

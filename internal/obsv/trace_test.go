@@ -1,0 +1,131 @@
+package obsv
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestChromeTraceFormat checks that the Chrome exporter produces valid
+// trace_event JSON: an object with a traceEvents array whose entries carry
+// the required keys and phases that chrome://tracing and Perfetto accept.
+func TestChromeTraceFormat(t *testing.T) {
+	tr := NewTracer(2, 64)
+	sp := tr.Begin(0, CatNode, "main", "ordinary")
+	inner := tr.Begin(0, CatMap, "map", "callee")
+	inner.End()
+	tr.Instant(0, CatFixpoint, "pending-restart", "")
+	tk := tr.NewTrack()
+	wsp := tr.Begin(tk, CatWorker, "task", "")
+	wsp.End()
+	sp.End()
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Fatal("no traceEvents")
+	}
+	var sawX, sawI, sawMeta bool
+	for _, e := range trace.TraceEvents {
+		ph, _ := e["ph"].(string)
+		switch ph {
+		case "X":
+			sawX = true
+			for _, k := range []string{"name", "ts", "pid", "tid"} {
+				if _, ok := e[k]; !ok {
+					t.Errorf("X event missing %q: %v", k, e)
+				}
+			}
+		case "i":
+			sawI = true
+			if s, _ := e["s"].(string); s == "" {
+				t.Errorf("instant event missing scope: %v", e)
+			}
+		case "M":
+			sawMeta = true
+		default:
+			t.Errorf("unexpected phase %q", ph)
+		}
+	}
+	if !sawX || !sawI || !sawMeta {
+		t.Errorf("want X, i and M events; got X=%v i=%v M=%v", sawX, sawI, sawMeta)
+	}
+	// Worker tracks get their own thread_name metadata.
+	if !strings.Contains(buf.String(), "worker-1") {
+		t.Error("missing worker-1 thread name metadata")
+	}
+}
+
+// TestSpanNesting checks that a parent span's interval contains its
+// children's on the same track — the property trace viewers rely on.
+func TestSpanNesting(t *testing.T) {
+	tr := NewTracer(1, 64)
+	outer := tr.Begin(0, CatNode, "outer", "")
+	in1 := tr.Begin(0, CatMap, "m1", "")
+	in1.End()
+	in2 := tr.Begin(0, CatUnmap, "m2", "")
+	in2.End()
+	outer.End()
+
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	// Start-time order with parent-first tie-breaking puts outer first.
+	if evs[0].Name != "outer" {
+		t.Fatalf("first event = %s, want outer", evs[0].Name)
+	}
+	oEnd := evs[0].Start + evs[0].Dur
+	for _, e := range evs[1:] {
+		if e.Start < evs[0].Start || e.Start+e.Dur > oEnd {
+			t.Errorf("child %s [%d,%d] escapes parent [%d,%d]",
+				e.Name, e.Start, e.Start+e.Dur, evs[0].Start, oEnd)
+		}
+	}
+}
+
+// TestJSONLExport checks the JSONL exporter: one valid JSON object per
+// line, in start-time order.
+func TestJSONLExport(t *testing.T) {
+	tr := NewTracer(1, 64)
+	sp := tr.Begin(0, CatBasic, "stmt", "prog.c:3:1")
+	sp.End()
+	tr.Instant(0, CatWorker, "inline", "")
+
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	var last int64 = -1
+	for _, ln := range lines {
+		var e struct {
+			TS   int64  `json:"ts_ns"`
+			Cat  string `json:"cat"`
+			Name string `json:"name"`
+		}
+		if err := json.Unmarshal([]byte(ln), &e); err != nil {
+			t.Fatalf("line %q: %v", ln, err)
+		}
+		if e.TS < last {
+			t.Errorf("events out of order: %d after %d", e.TS, last)
+		}
+		last = e.TS
+		if e.Cat == "" || e.Name == "" {
+			t.Errorf("line %q missing cat/name", ln)
+		}
+	}
+}

@@ -11,10 +11,13 @@ import (
 	"io"
 	"runtime"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/obsv"
 	"repro/internal/pta"
+	"repro/internal/report"
 	"repro/internal/simple"
 )
 
@@ -42,6 +45,16 @@ type PerfProgram struct {
 
 	// PeakSetLen is the largest points-to set flowing into any statement.
 	PeakSetLen int `json:"peak_set_len"`
+
+	// Engine metrics of the serial run (from Result.Metrics): the
+	// points-to set cardinality distribution over statements and the
+	// invocation-graph evaluation effort.
+	CardP50         int64 `json:"card_p50"`
+	CardP90         int64 `json:"card_p90"`
+	CardMax         int64 `json:"card_max"`
+	NodeEvals       int64 `json:"node_evals"`
+	FixpointIters   int64 `json:"fixpoint_iters"`
+	PendingRestarts int64 `json:"pending_restarts"`
 
 	// SpeedupMemo is the memoization speedup (unmemoized / memoized wall
 	// time, both serial); SpeedupParallel is serial / parallel wall time.
@@ -98,6 +111,14 @@ func RunPerf(names []string, workers, repeats int) (*PerfReport, error) {
 			p.InternHitRate = float64(serial.Interning.Hits) / float64(lookups)
 		}
 		p.PeakSetLen = serial.PeakSetLen
+		if m := serial.Metrics; m != nil {
+			p.CardP50 = m.Cardinality.P50
+			p.CardP90 = m.Cardinality.P90
+			p.CardMax = m.Cardinality.Max
+			p.NodeEvals = m.NodeEvals
+			p.FixpointIters = m.FixpointIters
+			p.PendingRestarts = m.PendingRestarts
+		}
 
 		parallel, wall, err := timeAnalysis(prog, pta.Options{Workers: workers}, repeats)
 		if err != nil {
@@ -143,6 +164,102 @@ func timeAnalysis(prog *simple.Program, opts pta.Options, repeats int) (*pta.Res
 		res = r
 	}
 	return res, best, nil
+}
+
+// TracePrograms analyzes each named benchmark (all when names is empty)
+// once with tracing enabled and returns the per-program event groups, ready
+// for obsv.WriteChromeTraceProcs — the whole suite renders as one Perfetto
+// trace with one process per program.
+func TracePrograms(names []string, workers int) ([]obsv.Process, error) {
+	if len(names) == 0 {
+		names = bench.Names()
+	}
+	var procs []obsv.Process
+	for i, name := range names {
+		prog, err := bench.Load(name)
+		if err != nil {
+			return nil, err
+		}
+		tr := obsv.NewTracer(0, 0)
+		if _, err := pta.Analyze(prog, pta.Options{Workers: workers, Tracer: tr}); err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		procs = append(procs, obsv.Process{Pid: i + 1, Name: name, Events: tr.Events()})
+	}
+	return procs, nil
+}
+
+// ExplainDivergence re-analyzes one benchmark under the serial, parallel and
+// unmemoized configurations and renders a human-readable report of how they
+// differ: the first diverging fingerprint lines and the per-function cost
+// tables of the disagreeing variants. Used by ptabench -verify to turn a
+// bare "results diverge" failure into something debuggable.
+func ExplainDivergence(w io.Writer, name string, workers int) error {
+	prog, err := bench.Load(name)
+	if err != nil {
+		return err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	variants := []struct {
+		label string
+		opts  pta.Options
+	}{
+		{"serial", pta.Options{Workers: 1}},
+		{fmt.Sprintf("parallel(%d)", workers), pta.Options{Workers: workers}},
+		{"nomemo", pta.Options{Workers: 1, NoMemo: true}},
+	}
+	type run struct {
+		label string
+		fp    string
+		res   *pta.Result
+	}
+	runs := make([]run, len(variants))
+	for i, v := range variants {
+		res, err := pta.Analyze(prog, v.opts)
+		if err != nil {
+			return fmt.Errorf("%s %s: %w", name, v.label, err)
+		}
+		runs[i] = run{label: v.label, fp: pta.Fingerprint(res), res: res}
+	}
+	fmt.Fprintf(w, "divergence report for %s:\n", name)
+	base := runs[0]
+	for _, r := range runs[1:] {
+		if r.fp == base.fp {
+			fmt.Fprintf(w, "  %s == %s\n", base.label, r.label)
+			continue
+		}
+		line, a, b := firstDiffLine(base.fp, r.fp)
+		fmt.Fprintf(w, "  %s != %s, first difference at fingerprint line %d:\n", base.label, r.label, line)
+		fmt.Fprintf(w, "    %-12s %s\n", base.label+":", a)
+		fmt.Fprintf(w, "    %-12s %s\n", r.label+":", b)
+		fmt.Fprintf(w, "  per-function cost, %s:\n", base.label)
+		report.WriteCostTable(w, base.res.Metrics.Funcs, 10)
+		fmt.Fprintf(w, "  per-function cost, %s:\n", r.label)
+		report.WriteCostTable(w, r.res.Metrics.Funcs, 10)
+	}
+	return nil
+}
+
+// firstDiffLine returns the 1-based line number and the two lines where the
+// fingerprints first disagree ("<end of output>" when one is a prefix of the
+// other).
+func firstDiffLine(a, b string) (int, string, string) {
+	la, lb := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(la) || i < len(lb); i++ {
+		va, vb := "<end of output>", "<end of output>"
+		if i < len(la) {
+			va = la[i]
+		}
+		if i < len(lb) {
+			vb = lb[i]
+		}
+		if va != vb {
+			return i + 1, va, vb
+		}
+	}
+	return 0, "", ""
 }
 
 // SortBySteps returns the report's program names ordered by descending

@@ -1,24 +1,51 @@
 package pta
 
 import (
+	"repro/internal/obsv"
 	"repro/internal/pta/invgraph"
 	"repro/internal/pta/loc"
 	"repro/internal/pta/ptset"
 	"repro/internal/simple"
 )
 
+// basicKindNames gives low-cardinality span names for basic statements, so
+// trace viewers can aggregate transfer-function time by statement shape.
+var basicKindNames = [...]string{
+	simple.AsgnCopy:    "copy",
+	simple.AsgnAddr:    "addr",
+	simple.AsgnUnary:   "unary",
+	simple.AsgnBinary:  "binary",
+	simple.AsgnMalloc:  "malloc",
+	simple.AsgnCall:    "call",
+	simple.AsgnCallInd: "call-indirect",
+	simple.StmtNop:     "nop",
+}
+
+func basicKindName(k simple.BasicKind) string {
+	if int(k) < len(basicKindNames) {
+		return basicKindNames[k]
+	}
+	return "basic"
+}
+
 // processBasic implements process_basic_stmt of Figure 1, dispatching call
 // statements to the interprocedural machinery.
-func (a *analyzer) processBasic(b *simple.Basic, in ptset.Set, ign *invgraph.Node) ptset.Set {
+func (a *analyzer) processBasic(b *simple.Basic, in ptset.Set, ign *invgraph.Node, tk obsv.Track) ptset.Set {
 	a.step()
-	a.notePeak(in.Len())
+	// The cardinality histogram's internal max doubles as the peak-set
+	// gauge, so the hot path pays for one instrument, not two.
+	a.m.Cardinality.Observe(int64(in.Len()))
 	a.ann.Record(b, in, ign)
+	if a.tracer != nil {
+		sp := a.tracer.Begin(tk, obsv.CatBasic, basicKindName(b.Kind), b.Pos.String())
+		defer sp.End()
+	}
 
 	switch b.Kind {
 	case simple.AsgnCall:
-		return a.processDirectCall(b, in, ign)
+		return a.processDirectCall(b, in, ign, tk)
 	case simple.AsgnCallInd:
-		return a.processIndirectCall(b, in, ign)
+		return a.processIndirectCall(b, in, ign, tk)
 	case simple.StmtNop:
 		return in
 	}

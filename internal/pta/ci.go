@@ -1,6 +1,7 @@
 package pta
 
 import (
+	"repro/internal/obsv"
 	"repro/internal/pta/invgraph"
 	"repro/internal/pta/ptset"
 	"repro/internal/simple"
@@ -18,7 +19,7 @@ type ciSummary struct {
 // processCI analyzes fn against the merge of every input seen so far and
 // returns its (monotonically growing) output summary. Convergence across
 // mutual recursion is driven by the global rounds in run().
-func (a *analyzer) processCI(fn *simple.Function, funcInput ptset.Set) ptset.Set {
+func (a *analyzer) processCI(fn *simple.Function, funcInput ptset.Set, tk obsv.Track) ptset.Set {
 	s := a.ci[fn]
 	if s == nil {
 		s = &ciSummary{
@@ -37,10 +38,17 @@ func (a *analyzer) processCI(fn *simple.Function, funcInput ptset.Set) ptset.Set
 		return s.out // recursive re-entry: current approximation
 	}
 	s.running = true
-	for {
+	a.m.NodeEvals.Inc()
+	fc := a.m.Func(fn.Name())
+	fc.Evals.Inc()
+	for iter := 0; ; iter++ {
 		s.node.StoredInput = s.in
 		s.node.HasInput = true
-		out := a.analyzeBody(s.node)
+		out := a.analyzeBody(s.node, tk)
+		if iter > 0 {
+			a.m.FixpointIters.Inc()
+			fc.FixpointIters.Inc()
+		}
 		if ptset.Subset(out, s.out) {
 			break
 		}
@@ -57,7 +65,7 @@ func (a *analyzer) runCI(mainFn *simple.Function, entry ptset.Set) {
 	const maxRounds = 1000
 	for round := 0; ; round++ {
 		a.ciChanged = false
-		a.mainOut = a.processCI(mainFn, entry)
+		a.mainOut = a.processCI(mainFn, entry, 0)
 		if !a.ciChanged {
 			return
 		}

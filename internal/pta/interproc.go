@@ -5,9 +5,11 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/cc/ast"
 	"repro/internal/cc/types"
+	"repro/internal/obsv"
 	"repro/internal/pta/invgraph"
 	"repro/internal/pta/loc"
 	"repro/internal/pta/ptset"
@@ -437,7 +439,7 @@ func extendSimpleRef(r *simple.Ref, sel simple.Sel) *simple.Ref {
 // Call processing (paper Figures 4 and 5)
 
 // processDirectCall handles f(...) statements.
-func (a *analyzer) processDirectCall(b *simple.Basic, in ptset.Set, ign *invgraph.Node) ptset.Set {
+func (a *analyzer) processDirectCall(b *simple.Basic, in ptset.Set, ign *invgraph.Node, tk obsv.Track) ptset.Set {
 	callee := a.prog.Lookup(b.Callee.Name)
 	if callee == nil {
 		return a.processExternalCall(b, in)
@@ -448,30 +450,37 @@ func (a *analyzer) processDirectCall(b *simple.Basic, in ptset.Set, ign *invgrap
 		// not happen) is expanded dynamically.
 		child = a.g.AddIndirectChild(ign, b, callee)
 	}
-	return a.invoke(child, b, callee, in)
+	return a.invoke(child, b, callee, in, tk)
 }
 
 // invoke maps the input, processes the invocation-graph node and unmaps the
 // result (Figure 3's overall strategy).
-func (a *analyzer) invoke(child *invgraph.Node, b *simple.Basic, callee *simple.Function, in ptset.Set) ptset.Set {
+func (a *analyzer) invoke(child *invgraph.Node, b *simple.Basic, callee *simple.Function, in ptset.Set, tk obsv.Track) ptset.Set {
+	a.m.MapOps.Inc()
+	sp := a.tracer.Begin(tk, obsv.CatMap, "map", callee.Name())
 	funcInput, mi := a.mapProcess(in, b, callee)
+	sp.End()
 	child.MapInfo = mi
-	funcOutput := a.processCallNode(child, funcInput)
+	funcOutput := a.processCallNode(child, funcInput, tk)
 	if funcOutput.IsBottom() {
 		return ptset.NewBottom()
 	}
-	return a.unmapProcess(in, funcOutput, mi, b, callee)
+	a.m.UnmapOps.Inc()
+	sp = a.tracer.Begin(tk, obsv.CatUnmap, "unmap", callee.Name())
+	out := a.unmapProcess(in, funcOutput, mi, b, callee)
+	sp.End()
+	return out
 }
 
 // processCallNode implements process_call of Figure 4: memoized evaluation
 // for ordinary nodes, stored-approximation lookup with pending-list
 // registration for approximate nodes, and the input/output generalizing
 // fixed point for recursive nodes.
-func (a *analyzer) processCallNode(n *invgraph.Node, funcInput ptset.Set) ptset.Set {
+func (a *analyzer) processCallNode(n *invgraph.Node, funcInput ptset.Set, tk obsv.Track) ptset.Set {
 	if a.opts.ContextInsensitive && n.Parent != nil {
 		// The context-insensitive ablation keeps one summary per
 		// function regardless of the invocation path.
-		return a.processCI(n.Fn, funcInput)
+		return a.processCI(n.Fn, funcInput, tk)
 	}
 	if n.Kind == invgraph.Approximate {
 		// The recursive partner is an ancestor whose fixed-point loop is
@@ -481,11 +490,13 @@ func (a *analyzer) processCallNode(n *invgraph.Node, funcInput ptset.Set) ptset.
 		// evaluated in parallel can reach the same partner.
 		rec := n.RecPartner
 		if rec.HasInput && ptset.Subset(funcInput, rec.StoredInput) {
+			a.tracer.Instant(tk, obsv.CatNode, "approx-hit", n.Fn.Name())
 			return rec.StoredOutput
 		}
 		a.recMu.Lock()
 		rec.Pending = append(rec.Pending, funcInput)
 		a.recMu.Unlock()
+		a.tracer.Instant(tk, obsv.CatNode, "approx-pending", n.Fn.Name())
 		return ptset.NewBottom()
 	}
 
@@ -499,10 +510,12 @@ func (a *analyzer) processCallNode(n *invgraph.Node, funcInput ptset.Set) ptset.
 	if !a.opts.NoMemo && a.intern != nil {
 		memoKey = a.intern.Intern(funcInput)
 		if out, ok := n.Memo[memoKey]; ok {
-			a.memoHits.Add(1)
+			a.m.MemoHits.Inc()
+			a.m.Func(n.Fn.Name()).MemoHits.Inc()
+			a.tracer.Instant(tk, obsv.CatNode, "memo-hit", n.Fn.Name())
 			return out.AsSet()
 		}
-		a.memoMisses.Add(1)
+		a.m.MemoMisses.Inc()
 	}
 
 	// Global summary sharing (the paper's §6 future-work optimization): a
@@ -512,7 +525,7 @@ func (a *analyzer) processCallNode(n *invgraph.Node, funcInput ptset.Set) ptset.
 	if a.shared != nil {
 		for _, sum := range a.shared[n.Fn] {
 			if ptset.Equal(sum.in, funcInput) {
-				a.sharedHits++
+				a.m.SharedHits.Inc()
 				n.StoredInput = funcInput
 				n.HasInput = true
 				n.StoredOutput = sum.out
@@ -522,6 +535,14 @@ func (a *analyzer) processCallNode(n *invgraph.Node, funcInput ptset.Set) ptset.
 		}
 	}
 
+	// A real body evaluation: record it on the metrics registry (count,
+	// inclusive wall time, fixed-point effort) and open the node span.
+	a.m.NodeEvals.Inc()
+	fc := a.m.Func(n.Fn.Name())
+	fc.Evals.Inc()
+	evalStart := time.Now()
+	nodeSpan := a.tracer.Begin(tk, obsv.CatNode, n.Fn.Name(), n.Kind.String())
+
 	n.StoredInput = funcInput
 	n.HasInput = true
 	n.StoredOutput = ptset.NewBottom()
@@ -530,9 +551,21 @@ func (a *analyzer) processCallNode(n *invgraph.Node, funcInput ptset.Set) ptset.
 
 	const maxIter = 1000
 	for iter := 0; ; iter++ {
-		out := a.analyzeBody(n)
+		var iterSpan obsv.Span
+		if a.tracer != nil && n.Kind == invgraph.Recursive {
+			iterSpan = a.tracer.Begin(tk, obsv.CatFixpoint, n.Fn.Name(), "iter "+strconv.Itoa(iter))
+		}
+		out := a.analyzeBody(n, tk)
+		iterSpan.End()
+		if iter > 0 {
+			// Extra passes beyond the first are fixed-point effort.
+			a.m.FixpointIters.Inc()
+			fc.FixpointIters.Inc()
+		}
 		if len(n.Pending) > 0 {
 			// Unresolved recursive inputs: generalize and restart.
+			a.m.PendingRestarts.Inc()
+			a.tracer.Instant(tk, obsv.CatFixpoint, "pending-restart", n.Fn.Name())
 			n.StoredInput = ptset.MergeAll(append(n.Pending, n.StoredInput)...)
 			n.Pending = nil
 			n.StoredOutput = ptset.NewBottom()
@@ -562,12 +595,14 @@ func (a *analyzer) processCallNode(n *invgraph.Node, funcInput ptset.Set) ptset.
 	if a.shared != nil {
 		a.shared[n.Fn] = append(a.shared[n.Fn], sharedSummary{in: funcInput, out: n.StoredOutput})
 	}
+	fc.AddWall(time.Since(evalStart))
+	nodeSpan.End()
 	return n.StoredOutput
 }
 
 // analyzeBody runs the intraprocedural rules over a function body with the
 // node's stored input, initializing local pointers to NULL.
-func (a *analyzer) analyzeBody(n *invgraph.Node) ptset.Set {
+func (a *analyzer) analyzeBody(n *invgraph.Node, tk obsv.Track) ptset.Set {
 	in := n.StoredInput.Clone()
 	for _, l := range n.Fn.Locals {
 		a.initNull(in, l)
@@ -575,7 +610,7 @@ func (a *analyzer) analyzeBody(n *invgraph.Node) ptset.Set {
 	if n.Fn.RetVal != nil {
 		a.initNull(in, n.Fn.RetVal)
 	}
-	f := a.processStmt(n.Fn.Body, in, n)
+	f := a.processStmt(n.Fn.Body, in, n, tk)
 	return ptset.MergeAll(append(f.rets, f.out)...)
 }
 
@@ -583,7 +618,7 @@ func (a *analyzer) analyzeBody(n *invgraph.Node) ptset.Set {
 // indirect call is resolved to the functions the pointer can point to, the
 // invocation graph is extended, and each target is analyzed with the
 // pointer definitely bound to it.
-func (a *analyzer) processIndirectCall(b *simple.Basic, in ptset.Set, ign *invgraph.Node) ptset.Set {
+func (a *analyzer) processIndirectCall(b *simple.Basic, in ptset.Set, ign *invgraph.Node, tk obsv.Track) ptset.Set {
 	fpLoc := a.tab.VarLoc(b.FnPtr, nil)
 
 	var targets []*simple.Function
@@ -622,13 +657,13 @@ func (a *analyzer) processIndirectCall(b *simple.Basic, in ptset.Set, ign *invgr
 		children[i] = a.g.AddIndirectChild(ign, b, fn)
 	}
 	outs := make([]ptset.Set, len(targets))
-	a.runParallel(len(targets), func(i int) {
+	a.runParallel(tk, len(targets), func(i int, tk obsv.Track) {
 		fn := targets[i]
 		// While analyzing target fn, the pointer definitely points to it.
 		inF := in.Clone()
 		inF.Kill(fpLoc)
 		inF.Insert(fpLoc, a.tab.FuncLoc(fn.Obj), ptset.D)
-		outs[i] = a.invoke(children[i], b, fn, inF)
+		outs[i] = a.invoke(children[i], b, fn, inF, tk)
 	})
 	callOutput := ptset.NewBottom()
 	for _, out := range outs {

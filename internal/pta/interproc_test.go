@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/obsv"
 	"repro/internal/pta/invgraph"
 	"repro/internal/pta/loc"
 )
@@ -252,12 +253,13 @@ int main() {
 		a := &analyzer{
 			prog: res.Prog, tab: res.Table, g: res.Graph,
 			opts: res.Opts, ann: NewAnnotations(), maxSteps: 1 << 30,
+			m: obsv.NewMetrics(),
 		}
 		res.Graph.Walk(func(n *invgraph.Node) {
 			if !n.HasResult || n.Kind == invgraph.Approximate {
 				return
 			}
-			out := a.analyzeBody(n)
+			out := a.analyzeBody(n, 0)
 			if out.IsBottom() {
 				return
 			}

@@ -1,6 +1,11 @@
 package pta
 
-import "sync"
+import (
+	"strconv"
+	"sync"
+
+	"repro/internal/obsv"
+)
 
 // This file implements the bounded worker pool that evaluates independent
 // invocation subtrees concurrently. Two program points fan out: the targets
@@ -18,17 +23,23 @@ import "sync"
 // under nested fan-out. Panics are captured per task and rethrown in index
 // order after every task has finished, which keeps the stepsExceeded unwind
 // deterministic and never leaks a running goroutine.
-func (a *analyzer) runParallel(n int, task func(i int)) {
+//
+// tk is the caller's trace track; inline tasks inherit it (they share the
+// caller's goroutine), while each spawned goroutine gets a fresh track so
+// its spans render as their own timeline row. Scheduling itself is traced:
+// spawned tasks get a worker span, and tasks that fall back to the caller
+// because the pool is exhausted get an instant marker.
+func (a *analyzer) runParallel(tk obsv.Track, n int, task func(i int, tk obsv.Track)) {
 	if a.workers <= 1 || n <= 1 {
 		for i := 0; i < n; i++ {
-			task(i)
+			task(i, tk)
 		}
 		return
 	}
 	panics := make([]any, n)
-	run := func(i int) {
+	run := func(i int, tk obsv.Track) {
 		defer func() { panics[i] = recover() }()
-		task(i)
+		task(i, tk)
 	}
 	var wg sync.WaitGroup
 	for i := 0; i < n-1; i++ {
@@ -36,16 +47,25 @@ func (a *analyzer) runParallel(n int, task func(i int)) {
 		select {
 		case a.sem <- struct{}{}:
 			wg.Add(1)
+			wtk := a.tracer.NewTrack()
 			go func() {
 				defer wg.Done()
 				defer func() { <-a.sem }()
-				run(i)
+				if a.tracer != nil {
+					sp := a.tracer.Begin(wtk, obsv.CatWorker, "pool-task", strconv.Itoa(i))
+					defer sp.End()
+				}
+				run(i, wtk)
 			}()
 		default:
-			run(i) // pool exhausted: stay on the caller
+			// Pool exhausted: stay on the caller, on the caller's track.
+			if a.tracer != nil {
+				a.tracer.Instant(tk, obsv.CatWorker, "inline-task", strconv.Itoa(i))
+			}
+			run(i, tk)
 		}
 	}
-	run(n - 1) // the caller always contributes
+	run(n-1, tk) // the caller always contributes
 	wg.Wait()
 	for _, p := range panics {
 		if p != nil {
@@ -55,12 +75,12 @@ func (a *analyzer) runParallel(n int, task func(i int)) {
 }
 
 // runBoth evaluates two independent tasks, possibly concurrently.
-func (a *analyzer) runBoth(f, g func()) {
-	a.runParallel(2, func(i int) {
+func (a *analyzer) runBoth(tk obsv.Track, f, g func(tk obsv.Track)) {
+	a.runParallel(tk, 2, func(i int, tk obsv.Track) {
 		if i == 0 {
-			f()
+			f(tk)
 		} else {
-			g()
+			g(tk)
 		}
 	})
 }

@@ -6,10 +6,10 @@ import (
 	"slices"
 	"sort"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/cc/ast"
 	"repro/internal/cc/types"
+	"repro/internal/obsv"
 	"repro/internal/pta/invgraph"
 	"repro/internal/pta/loc"
 	"repro/internal/pta/ptset"
@@ -82,6 +82,14 @@ type Options struct {
 	// ShareContexts and ContextInsensitive variants are order-sensitive
 	// global fixed points and always run serially.
 	Workers int
+
+	// Tracer, when non-nil, receives hierarchical spans for invocation-
+	// graph node evaluations, map/unmap operations, basic-statement
+	// transfers, fixed-point iterations and worker-pool scheduling.
+	// Tracing is purely observational: results are bit-identical with and
+	// without it (enforced by the determinism guard tests), and a nil
+	// tracer costs one pointer check per hook.
+	Tracer *obsv.Tracer
 }
 
 // Result is the outcome of an analysis.
@@ -102,10 +110,20 @@ type Result struct {
 	// pointers, calls to unknown externals with pointer results, …).
 	Diags []string
 
+	// Metrics is the full metrics snapshot of the run: counters (memo,
+	// interning, map/unmap, fixed-point activity), the points-to set
+	// cardinality histogram, and the per-function cost table. Serial and
+	// parallel runs report through this one registry.
+	Metrics *obsv.MetricsSnapshot
+
 	// Steps is the number of basic-statement evaluations performed.
+	//
+	// Deprecated: alias of Metrics.Steps, kept for existing callers.
 	Steps int
 
 	// SharedHits counts summary-cache reuses under Options.ShareContexts.
+	//
+	// Deprecated: alias of Metrics.SharedHits.
 	SharedHits int
 
 	// Workers is the effective worker-pool size the analysis ran with.
@@ -114,13 +132,19 @@ type Result struct {
 	// MemoHits and MemoMisses count input-keyed summary-cache lookups on
 	// invocation-graph nodes: a hit returns the stored output without
 	// re-walking the callee body.
+	//
+	// Deprecated: aliases of Metrics.MemoHits / Metrics.MemoMisses.
 	MemoHits, MemoMisses int
 
 	// PeakSetLen is the largest points-to set observed flowing into any
 	// basic statement.
+	//
+	// Deprecated: alias of Metrics.PeakSet.
 	PeakSetLen int
 
 	// Interning reports hash-consing activity (distinct sets, hit rate).
+	//
+	// Deprecated: alias of the Metrics.Intern* fields.
 	Interning ptset.InternStats
 }
 
@@ -137,6 +161,8 @@ func Analyze(prog *simple.Program, opts Options) (*Result, error) {
 		opts:     opts,
 		ann:      NewAnnotations(),
 		intern:   ptset.NewInterner(),
+		m:        obsv.NewMetrics(),
+		tracer:   opts.Tracer,
 		maxSteps: int64(opts.MaxSteps),
 	}
 	if a.maxSteps == 0 {
@@ -166,13 +192,30 @@ func Analyze(prog *simple.Program, opts Options) (*Result, error) {
 	sort.Strings(a.diags)
 	res.Diags = slices.Compact(a.diags)
 	res.MainOut = a.mainOut
-	res.Steps = int(a.steps.Load())
-	res.SharedHits = a.sharedHits
 	res.Workers = a.workers
-	res.MemoHits = int(a.memoHits.Load())
-	res.MemoMisses = int(a.memoMisses.Load())
-	res.PeakSetLen = int(a.peakSet.Load())
-	res.Interning = a.intern.Stats()
+
+	// Snapshot the metrics registry and fill in the parts it cannot see:
+	// hash-consing activity and trace ring accounting. The deprecated
+	// counter fields are aliases of the snapshot, so every caller — serial
+	// or parallel — reports through the one registry.
+	snap := a.m.Snapshot()
+	ist := a.intern.Stats()
+	snap.InternDistinct = ist.Distinct
+	snap.InternHits, snap.InternMisses = ist.Hits, ist.Misses
+	if lookups := ist.Hits + ist.Misses; lookups > 0 {
+		snap.InternHitRate = float64(ist.Hits) / float64(lookups)
+	}
+	if a.tracer.Enabled() {
+		snap.TraceEmitted = a.tracer.Emitted()
+		snap.TraceDropped = a.tracer.Dropped()
+	}
+	res.Metrics = snap
+	res.Steps = int(snap.Steps)
+	res.SharedHits = int(snap.SharedHits)
+	res.MemoHits = int(snap.MemoHits)
+	res.MemoMisses = int(snap.MemoMisses)
+	res.PeakSetLen = int(snap.PeakSet)
+	res.Interning = ist
 	return res, nil
 }
 
@@ -198,9 +241,16 @@ type analyzer struct {
 	intern   *ptset.Interner
 	diags    []string
 	diagMu   sync.Mutex
-	steps    atomic.Int64
 	maxSteps int64
 	mainOut  ptset.Set
+
+	// m is the metrics registry every counter of the run reports through
+	// (steps, memoization, map/unmap, fixed points, set cardinality,
+	// per-function cost); its instruments are atomic, so serial and
+	// parallel runs share one path. tracer is nil unless span recording
+	// was requested (Options.Tracer).
+	m      *obsv.Metrics
+	tracer *obsv.Tracer
 
 	// Worker pool: workers is the effective parallelism; sem holds the
 	// slots for goroutines beyond the one running the analysis (nil when
@@ -210,11 +260,6 @@ type analyzer struct {
 	sem     chan struct{}
 	recMu   sync.Mutex
 
-	// Memoization and peak-size counters (atomics: workers update them).
-	memoHits   atomic.Int64
-	memoMisses atomic.Int64
-	peakSet    atomic.Int64
-
 	// Context-insensitive variant state.
 	ci        map[*simple.Function]*ciSummary
 	ciChanged bool
@@ -222,9 +267,6 @@ type analyzer struct {
 	// shared caches completed (input, output) summaries per function when
 	// Options.ShareContexts is set.
 	shared map[*simple.Function][]sharedSummary
-
-	// SharedHits counts cache reuses (reported via Result.SharedHits).
-	sharedHits int
 }
 
 // sharedSummary is one cached function summary.
@@ -242,18 +284,8 @@ func (a *analyzer) diagf(format string, args ...any) {
 type stepsExceeded struct{}
 
 func (a *analyzer) step() {
-	if a.steps.Add(1) > a.maxSteps {
+	if a.m.Steps.Inc() > a.maxSteps {
 		panic(stepsExceeded{})
-	}
-}
-
-// notePeak records the size of a set flowing into a statement.
-func (a *analyzer) notePeak(n int) {
-	for {
-		cur := a.peakSet.Load()
-		if int64(n) <= cur || a.peakSet.CompareAndSwap(cur, int64(n)) {
-			return
-		}
 	}
 }
 
@@ -270,12 +302,14 @@ func (a *analyzer) run() (err error) {
 
 	// Initial environment: global pointers are NULL, then the synthesized
 	// global initializers run.
+	sp := a.tracer.Begin(0, obsv.CatPhase, "global-init", "")
 	in := ptset.New()
 	for _, gv := range a.prog.Globals {
 		a.initNull(in, gv)
 	}
-	f := a.processStmt(a.prog.GlobalInit, in, a.g.Root)
+	f := a.processStmt(a.prog.GlobalInit, in, a.g.Root, 0)
 	entry := f.out
+	sp.End()
 
 	// Seed main's pointer parameters (argc/argv) with symbolic targets so
 	// programs that traverse argv have something sound to point at.
@@ -295,11 +329,13 @@ func (a *analyzer) run() (err error) {
 		}
 	}
 
+	sp = a.tracer.Begin(0, obsv.CatPhase, "analysis", "")
 	if a.opts.ContextInsensitive {
 		a.runCI(mainFn, entry)
 	} else {
-		a.mainOut = a.processCallNode(a.g.Root, entry)
+		a.mainOut = a.processCallNode(a.g.Root, entry, 0)
 	}
+	sp.End()
 	return nil
 }
 

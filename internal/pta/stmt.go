@@ -1,6 +1,7 @@
 package pta
 
 import (
+	"repro/internal/obsv"
 	"repro/internal/pta/invgraph"
 	"repro/internal/pta/ptset"
 	"repro/internal/simple"
@@ -26,8 +27,9 @@ func (f *flow) absorbEscapes(g flow) {
 
 // processStmt implements process_stmt of Figure 1 over all SIMPLE
 // statements. A BOTTOM input denotes an unreachable/unknown state during
-// recursion fixed-points and propagates unchanged.
-func (a *analyzer) processStmt(s simple.Stmt, in ptset.Set, ign *invgraph.Node) flow {
+// recursion fixed-points and propagates unchanged. tk is the trace track of
+// the goroutine evaluating this subtree (0 when tracing is disabled).
+func (a *analyzer) processStmt(s simple.Stmt, in ptset.Set, ign *invgraph.Node, tk obsv.Track) flow {
 	if in.IsBottom() {
 		return bottomFlow()
 	}
@@ -36,10 +38,10 @@ func (a *analyzer) processStmt(s simple.Stmt, in ptset.Set, ign *invgraph.Node) 
 		return flow{out: in}
 
 	case *simple.Basic:
-		return flow{out: a.processBasic(s, in, ign)}
+		return flow{out: a.processBasic(s, in, ign, tk)}
 
 	case *simple.Seq:
-		return a.processSeq(s, in, ign)
+		return a.processSeq(s, in, ign, tk)
 
 	case *simple.If:
 		// The branches are independent subtrees over the same (read-only)
@@ -47,12 +49,12 @@ func (a *analyzer) processStmt(s simple.Stmt, in ptset.Set, ign *invgraph.Node) 
 		// can run concurrently; the merge below is in fixed branch order.
 		var thenF, elseF flow
 		if s.Else != nil {
-			a.runBoth(
-				func() { thenF = a.processStmt(s.Then, in, ign) },
-				func() { elseF = a.processStmt(s.Else, in, ign) },
+			a.runBoth(tk,
+				func(tk obsv.Track) { thenF = a.processStmt(s.Then, in, ign, tk) },
+				func(tk obsv.Track) { elseF = a.processStmt(s.Else, in, ign, tk) },
 			)
 		} else {
-			thenF = a.processStmt(s.Then, in, ign)
+			thenF = a.processStmt(s.Then, in, ign, tk)
 			elseF = flow{out: in}
 		}
 		out := flow{out: ptset.Merge(thenF.out, elseF.out)}
@@ -61,16 +63,16 @@ func (a *analyzer) processStmt(s simple.Stmt, in ptset.Set, ign *invgraph.Node) 
 		return out
 
 	case *simple.While:
-		return a.processLoop(nil, s.CondEval, s.Body, nil, false, in, ign)
+		return a.processLoop(nil, s.CondEval, s.Body, nil, false, in, ign, tk)
 
 	case *simple.DoWhile:
-		return a.processLoop(nil, s.CondEval, s.Body, nil, true, in, ign)
+		return a.processLoop(nil, s.CondEval, s.Body, nil, true, in, ign, tk)
 
 	case *simple.For:
-		return a.processLoop(s.Init, s.CondEval, s.Body, s.Post, false, in, ign)
+		return a.processLoop(s.Init, s.CondEval, s.Body, s.Post, false, in, ign, tk)
 
 	case *simple.Switch:
-		return a.processSwitch(s, in, ign)
+		return a.processSwitch(s, in, ign, tk)
 
 	case *simple.Break:
 		return flow{out: ptset.NewBottom(), brks: []ptset.Set{in}}
@@ -86,13 +88,13 @@ func (a *analyzer) processStmt(s simple.Stmt, in ptset.Set, ign *invgraph.Node) 
 	return flow{out: in}
 }
 
-func (a *analyzer) processSeq(s *simple.Seq, in ptset.Set, ign *invgraph.Node) flow {
+func (a *analyzer) processSeq(s *simple.Seq, in ptset.Set, ign *invgraph.Node, tk obsv.Track) flow {
 	f := flow{out: in}
 	if s == nil {
 		return f
 	}
 	for _, c := range s.List {
-		g := a.processStmt(c, f.out, ign)
+		g := a.processStmt(c, f.out, ign, tk)
 		f.out = g.out
 		f.absorbEscapes(g)
 		if f.out.IsBottom() {
@@ -113,10 +115,10 @@ func (a *analyzer) processSeq(s *simple.Seq, in ptset.Set, ign *invgraph.Node) f
 //	do { body; condEval } while (cond)                        (doFirst=true)
 //
 // Break escapes to the loop exit, continue re-enters at post/condEval.
-func (a *analyzer) processLoop(init, condEval, body, post *simple.Seq, doFirst bool, in ptset.Set, ign *invgraph.Node) flow {
+func (a *analyzer) processLoop(init, condEval, body, post *simple.Seq, doFirst bool, in ptset.Set, ign *invgraph.Node, tk obsv.Track) flow {
 	result := flow{}
 	if init != nil {
-		f := a.processSeq(init, in, ign)
+		f := a.processSeq(init, in, ign, tk)
 		in = f.out
 		result.rets = append(result.rets, f.rets...)
 		if in.IsBottom() {
@@ -127,7 +129,7 @@ func (a *analyzer) processLoop(init, condEval, body, post *simple.Seq, doFirst b
 
 	var exits []ptset.Set // sets that can leave the loop
 	evalOnce := func(s ptset.Set) ptset.Set {
-		f := a.processSeq(condEval, s, ign)
+		f := a.processSeq(condEval, s, ign, tk)
 		result.rets = append(result.rets, f.rets...)
 		return f.out
 	}
@@ -145,14 +147,14 @@ func (a *analyzer) processLoop(init, condEval, body, post *simple.Seq, doFirst b
 		}
 		// One trip through the body from the current head set.
 		bodyIn := cur
-		f := a.processSeq(body, bodyIn, ign)
+		f := a.processSeq(body, bodyIn, ign, tk)
 		result.rets = append(result.rets, f.rets...)
 		exits = append(exits, f.brks...)
 
 		// continue joins the normal body exit before post/condEval.
 		backIn := ptset.MergeAll(append(f.conts, f.out)...)
 		if post != nil && !backIn.IsBottom() {
-			pf := a.processSeq(post, backIn, ign)
+			pf := a.processSeq(post, backIn, ign, tk)
 			result.rets = append(result.rets, pf.rets...)
 			backIn = pf.out
 		}
@@ -171,7 +173,7 @@ func (a *analyzer) processLoop(init, condEval, body, post *simple.Seq, doFirst b
 		// The loop exits after the condition test, which follows one body
 		// execution: the exit set is the post-condEval set, approximated
 		// by the head fixed point after at least one iteration.
-		f := a.processSeq(body, cur, ign)
+		f := a.processSeq(body, cur, ign, tk)
 		result.rets = append(result.rets, f.rets...)
 		exits = append(exits, f.brks...)
 		after := ptset.MergeAll(append(f.conts, f.out)...)
@@ -188,7 +190,7 @@ func (a *analyzer) processLoop(init, condEval, body, post *simple.Seq, doFirst b
 	return result
 }
 
-func (a *analyzer) processSwitch(s *simple.Switch, in ptset.Set, ign *invgraph.Node) flow {
+func (a *analyzer) processSwitch(s *simple.Switch, in ptset.Set, ign *invgraph.Node, tk obsv.Track) flow {
 	result := flow{}
 	var exits []ptset.Set
 	hasDefault := false
@@ -198,7 +200,7 @@ func (a *analyzer) processSwitch(s *simple.Switch, in ptset.Set, ign *invgraph.N
 			hasDefault = true
 		}
 		armIn := ptset.Merge(in, fall) // entered via label or fallthrough
-		f := a.processSeq(c.Body, armIn, ign)
+		f := a.processSeq(c.Body, armIn, ign, tk)
 		result.rets = append(result.rets, f.rets...)
 		result.conts = append(result.conts, f.conts...)
 		exits = append(exits, f.brks...) // break leaves the switch

@@ -28,6 +28,7 @@ import (
 	"repro/internal/deptest"
 	"repro/internal/heapconn"
 	"repro/internal/modref"
+	"repro/internal/obsv"
 	"repro/internal/pta"
 	"repro/internal/pta/invgraph"
 	"repro/internal/pta/loc"
@@ -58,6 +59,16 @@ type Config struct {
 	// in parallel: 0 means GOMAXPROCS, 1 forces serial. Results are
 	// bit-identical for every worker count.
 	Workers int
+	// Trace records a structured execution trace (invocation-graph node
+	// evaluations, map/unmap, basic statements, fixed-point iterations,
+	// worker scheduling) retrievable from Analysis.Tracer and exportable
+	// with WriteChromeTrace / WriteTraceJSONL. Tracing never changes
+	// analysis results.
+	Trace bool
+	// TraceBuffer bounds the per-shard trace ring in events (0 means the
+	// default). On overflow the oldest events are dropped, never blocking
+	// the analysis; the drop count is reported in Result.Metrics.
+	TraceBuffer int
 }
 
 func (c *Config) options() (pta.Options, error) {
@@ -81,6 +92,9 @@ func (c *Config) options() (pta.Options, error) {
 	o.ContextInsensitive = c.ContextInsensitive
 	o.ShareContexts = c.ShareContexts
 	o.Workers = c.Workers
+	if c.Trace {
+		o.Tracer = obsv.NewTracer(0, c.TraceBuffer)
+	}
 	return o, nil
 }
 
@@ -104,6 +118,31 @@ type Analysis struct {
 	Result *pta.Result
 	// Program is the simplified (SIMPLE) program.
 	Program *simple.Program
+	// Tracer holds the execution trace when Config.Trace was set, nil
+	// otherwise.
+	Tracer *obsv.Tracer
+}
+
+// Metrics returns the analysis metrics snapshot (never nil).
+func (a *Analysis) Metrics() *obsv.MetricsSnapshot { return a.Result.Metrics }
+
+// WriteChromeTrace exports the execution trace in Chrome trace_event JSON
+// form, loadable in Perfetto (ui.perfetto.dev) or chrome://tracing. The
+// analysis must have been run with Config.Trace.
+func (a *Analysis) WriteChromeTrace(w io.Writer) error {
+	if a.Tracer == nil {
+		return fmt.Errorf("pointsto: analysis was not traced (set Config.Trace)")
+	}
+	return obsv.WriteChromeTrace(w, a.Tracer)
+}
+
+// WriteTraceJSONL exports the execution trace as a JSON-lines stream, one
+// event per line. The analysis must have been run with Config.Trace.
+func (a *Analysis) WriteTraceJSONL(w io.Writer) error {
+	if a.Tracer == nil {
+		return fmt.Errorf("pointsto: analysis was not traced (set Config.Trace)")
+	}
+	return obsv.WriteJSONL(w, a.Tracer)
 }
 
 // AnalyzeSource parses, simplifies and analyzes C source text.
@@ -134,7 +173,7 @@ func AnalyzeProgram(prog *simple.Program, cfg *Config) (*Analysis, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Analysis{Result: res, Program: prog}, nil
+	return &Analysis{Result: res, Program: prog, Tracer: opts.Tracer}, nil
 }
 
 // lookupVar finds a variable: fn=="" searches globals only.
