@@ -20,6 +20,8 @@
 //	-workers N worker pool size (0 = GOMAXPROCS, 1 = serial; results are
 //	           bit-identical for every worker count)
 //	-check     run the memory-safety checker (NULL/uninit deref, UAF, dangling)
+//	-race      run the lockset-based data-race detector over pthread threads
+//	-modref    print per-function MOD/REF accesses with source positions
 //	-fnptr S   function pointer strategy: precise|addr-taken|all
 //	-ci        context-insensitive ablation
 //	-nodef     disable definite relationships
@@ -44,6 +46,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 
 	"repro/internal/alias"
 	"repro/internal/bench"
@@ -52,6 +55,7 @@ import (
 	"repro/internal/heapconn"
 	"repro/internal/modref"
 	"repro/internal/obsv"
+	"repro/internal/pta/invgraph"
 	"repro/internal/pta/loc"
 	"repro/internal/report"
 	"repro/pointsto"
@@ -69,6 +73,8 @@ func main() {
 		doConst   = flag.Bool("const", false, "run constant propagation over the points-to results")
 		doConn    = flag.Bool("conn", false, "run the heap connection analysis")
 		doCheck   = flag.Bool("check", false, "run the memory-safety checker")
+		doRace    = flag.Bool("race", false, "run the data-race detector")
+		doModRef  = flag.Bool("modref", false, "print per-function MOD/REF accesses with positions")
 		doDep     = flag.Bool("dep", false, "run array dependence testing over the loops")
 		fnptr     = flag.String("fnptr", "precise", "function pointer strategy: precise|addr-taken|all")
 		ci        = flag.Bool("ci", false, "context-insensitive ablation")
@@ -145,8 +151,8 @@ func main() {
 	}
 	if *doStats {
 		st := a.InvocationGraphStats()
-		fmt.Printf("ig nodes %d, call sites %d, functions %d, recursive %d, approximate %d\n",
-			st.Nodes, st.CallSites, st.Functions, st.Recursive, st.Approximate)
+		fmt.Printf("ig nodes %d, call sites %d, functions %d, recursive %d, approximate %d, threads %d\n",
+			st.Nodes, st.CallSites, st.Functions, st.Recursive, st.Approximate, st.Threads)
 		fmt.Printf("avg nodes/call-site %.2f, avg nodes/function %.2f\n",
 			st.AvgPerCallSite(), st.AvgPerFunction())
 		m := a.Metrics()
@@ -223,12 +229,56 @@ func main() {
 		report.WriteDiagSummary(os.Stdout, diags)
 		any = true
 	}
+	if *doRace {
+		diags, err := a.Races()
+		if err != nil {
+			fatal(err)
+		}
+		report.WriteRaceDiags(os.Stdout, diags)
+		report.WriteRaceDiagSummary(os.Stdout, diags)
+		any = true
+	}
+	if *doModRef {
+		printModRef(a)
+		any = true
+	}
 	if *doPts || !any {
 		printPts(a)
 	}
 	for _, d := range a.Diagnostics() {
 		fmt.Fprintln(os.Stderr, "note:", d)
 	}
+}
+
+// printModRef renders the MOD/REF summary and positioned access records of
+// the first invocation-graph node of each function, in graph walk order.
+func printModRef(a *pointsto.Analysis) {
+	mr := a.ModRef()
+	seen := make(map[string]bool)
+	a.Result.Graph.Walk(func(n *invgraph.Node) {
+		name := n.Fn.Name()
+		if seen[name] {
+			return
+		}
+		seen[name] = true
+		fmt.Printf("%s:\n", name)
+		fmt.Printf("  MOD: %s\n", locNames(mr.ModOf(n)))
+		fmt.Printf("  REF: %s\n", locNames(mr.RefOf(n)))
+		for _, acc := range mr.Accesses(n) {
+			fmt.Printf("  %s\n", acc)
+		}
+	})
+}
+
+func locNames(ls []*loc.Location) string {
+	if len(ls) == 0 {
+		return "{}"
+	}
+	names := make([]string, len(ls))
+	for i, l := range ls {
+		names[i] = l.Name()
+	}
+	return "{" + strings.Join(names, ", ") + "}"
 }
 
 func printPts(a *pointsto.Analysis) {

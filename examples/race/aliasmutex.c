@@ -1,0 +1,30 @@
+/* Aliased mutex, imprecise: pm may point to m1 or m2, so the thread's
+ * lock acquires only possibly; main holds m1 definitely. The common lock
+ * is merely possible — a possible race (warning). */
+int g;
+int flag;
+pthread_mutex_t m1;
+pthread_mutex_t m2;
+pthread_mutex_t *pm;
+long t;
+
+void *worker(void *arg) {
+    pthread_mutex_lock(pm);
+    g = g + 1;
+    pthread_mutex_unlock(pm);
+    return 0;
+}
+
+int main(void) {
+    if (flag) {
+        pm = &m1;
+    } else {
+        pm = &m2;
+    }
+    pthread_create(&t, 0, worker, 0);
+    pthread_mutex_lock(&m1);
+    g = g + 1;
+    pthread_mutex_unlock(&m1);
+    pthread_join(t, 0);
+    return 0;
+}

@@ -1,0 +1,23 @@
+/* Clean: pm definitely points to m, so locking through the alias and
+ * locking m directly acquire the same definite mutex location. */
+int g;
+pthread_mutex_t m;
+pthread_mutex_t *pm;
+long t;
+
+void *worker(void *arg) {
+    pthread_mutex_lock(pm);
+    g = g + 1;
+    pthread_mutex_unlock(pm);
+    return 0;
+}
+
+int main(void) {
+    pm = &m;
+    pthread_create(&t, 0, worker, 0);
+    pthread_mutex_lock(&m);
+    g = g + 1;
+    pthread_mutex_unlock(&m);
+    pthread_join(t, 0);
+    return 0;
+}

@@ -1,0 +1,29 @@
+/* Function-pointer-selected entry: the thread entry is resolved through
+ * the points-to results (fp -> worker1 or worker2); both candidates update
+ * g unprotected while main does the same. */
+int g;
+int flag;
+long t;
+
+void *worker1(void *arg) {
+    g = g + 1;
+    return 0;
+}
+
+void *worker2(void *arg) {
+    g = g + 2;
+    return 0;
+}
+
+int main(void) {
+    void *(*fp)(void *);
+    if (flag) {
+        fp = worker1;
+    } else {
+        fp = worker2;
+    }
+    pthread_create(&t, 0, fp, 0);
+    g = g + 3;
+    pthread_join(t, 0);
+    return 0;
+}

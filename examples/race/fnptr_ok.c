@@ -1,0 +1,35 @@
+/* Clean: whichever entry the function pointer selects, every update of g
+ * holds the same mutex. */
+int g;
+int flag;
+pthread_mutex_t m;
+long t;
+
+void *worker1(void *arg) {
+    pthread_mutex_lock(&m);
+    g = g + 1;
+    pthread_mutex_unlock(&m);
+    return 0;
+}
+
+void *worker2(void *arg) {
+    pthread_mutex_lock(&m);
+    g = g + 2;
+    pthread_mutex_unlock(&m);
+    return 0;
+}
+
+int main(void) {
+    void *(*fp)(void *);
+    if (flag) {
+        fp = worker1;
+    } else {
+        fp = worker2;
+    }
+    pthread_create(&t, 0, fp, 0);
+    pthread_mutex_lock(&m);
+    g = g + 3;
+    pthread_mutex_unlock(&m);
+    pthread_join(t, 0);
+    return 0;
+}

@@ -1,0 +1,22 @@
+/* Wrong mutex: both sides lock, but different mutexes — the locksets
+ * ({m1} vs {m2}) never intersect, so the g updates still race. */
+int g;
+pthread_mutex_t m1;
+pthread_mutex_t m2;
+long t;
+
+void *worker(void *arg) {
+    pthread_mutex_lock(&m1);
+    g = g + 1;
+    pthread_mutex_unlock(&m1);
+    return 0;
+}
+
+int main(void) {
+    pthread_create(&t, 0, worker, 0);
+    pthread_mutex_lock(&m2);
+    g = g + 1;
+    pthread_mutex_unlock(&m2);
+    pthread_join(t, 0);
+    return 0;
+}

@@ -1,0 +1,26 @@
+/* Clean: both sides lock the same mutex m1 around the g update; the
+ * second mutex guards unrelated state. */
+int g;
+int other;
+pthread_mutex_t m1;
+pthread_mutex_t m2;
+long t;
+
+void *worker(void *arg) {
+    pthread_mutex_lock(&m1);
+    g = g + 1;
+    pthread_mutex_unlock(&m1);
+    return 0;
+}
+
+int main(void) {
+    pthread_create(&t, 0, worker, 0);
+    pthread_mutex_lock(&m1);
+    g = g + 1;
+    pthread_mutex_unlock(&m1);
+    pthread_join(t, 0);
+    pthread_mutex_lock(&m2);
+    other = g;
+    pthread_mutex_unlock(&m2);
+    return other;
+}

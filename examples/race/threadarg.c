@@ -1,0 +1,20 @@
+/* Thread-argument escape: main's local counter is shared by passing its
+ * address to pthread_create; the thread writes through the argument while
+ * main writes the local directly before joining — a race on a stack cell. */
+long t;
+
+void *worker(void *arg) {
+    int *p;
+    p = (int *) arg;
+    *p = 1;
+    return 0;
+}
+
+int main(void) {
+    int counter;
+    counter = 0;
+    pthread_create(&t, 0, worker, &counter);
+    counter = 2;
+    pthread_join(t, 0);
+    return counter;
+}

@@ -1,0 +1,19 @@
+/* Clean: main touches the escaped local only before the spawn and after
+ * the join, when no thread is live. */
+long t;
+
+void *worker(void *arg) {
+    int *p;
+    p = (int *) arg;
+    *p = 1;
+    return 0;
+}
+
+int main(void) {
+    int counter;
+    counter = 0;
+    pthread_create(&t, 0, worker, &counter);
+    pthread_join(t, 0);
+    counter = counter + 2;
+    return counter;
+}

@@ -1,0 +1,16 @@
+/* Unprotected global counter: the spawned thread and main both update g
+ * with no lock while the thread is live — a definite write-write race. */
+int g;
+long t;
+
+void *worker(void *arg) {
+    g = g + 1;
+    return 0;
+}
+
+int main(void) {
+    pthread_create(&t, 0, worker, 0);
+    g = g + 1;
+    pthread_join(t, 0);
+    return 0;
+}

@@ -1,0 +1,21 @@
+/* Clean: both updates of g hold the same mutex, so the locksets'
+ * definite intersection is never empty. */
+int g;
+pthread_mutex_t m;
+long t;
+
+void *worker(void *arg) {
+    pthread_mutex_lock(&m);
+    g = g + 1;
+    pthread_mutex_unlock(&m);
+    return 0;
+}
+
+int main(void) {
+    pthread_create(&t, 0, worker, 0);
+    pthread_mutex_lock(&m);
+    g = g + 1;
+    pthread_mutex_unlock(&m);
+    pthread_join(t, 0);
+    return 0;
+}

@@ -144,6 +144,25 @@ func (p *Parser) declareBuiltins() {
 	decl("sqrt", types.FuncType(types.DoubleType, []*types.Type{types.DoubleType}, false))
 	decl("fabs", types.FuncType(types.DoubleType, []*types.Type{types.DoubleType}, false))
 	decl("atoi", types.FuncType(types.IntType, []*types.Type{charp}, false))
+
+	// The pthread surface the race detector models. pthread_t and
+	// pthread_mutex_t are opaque handles; integers are enough for the
+	// analysis, which only tracks the locations the handles live in.
+	typedef := func(name string, t *types.Type) {
+		p.fileScope.objects[name] = &ast.Object{Name: name, Kind: ast.TypedefName, Type: t, Global: true}
+	}
+	typedef("pthread_t", types.LongType)
+	typedef("pthread_mutex_t", types.IntType)
+	threadFn := types.PointerTo(types.FuncType(voidp, []*types.Type{voidp}, false))
+	decl("pthread_create", types.FuncType(types.IntType,
+		[]*types.Type{types.PointerTo(types.LongType), voidp, threadFn, voidp}, false))
+	decl("pthread_join", types.FuncType(types.IntType, []*types.Type{types.LongType, types.PointerTo(voidp)}, false))
+	decl("pthread_exit", types.FuncType(types.VoidType, []*types.Type{voidp}, false))
+	mutexp := types.PointerTo(types.IntType)
+	decl("pthread_mutex_init", types.FuncType(types.IntType, []*types.Type{mutexp, voidp}, false))
+	decl("pthread_mutex_lock", types.FuncType(types.IntType, []*types.Type{mutexp}, false))
+	decl("pthread_mutex_unlock", types.FuncType(types.IntType, []*types.Type{mutexp}, false))
+	decl("pthread_mutex_destroy", types.FuncType(types.IntType, []*types.Type{mutexp}, false))
 }
 
 // ---------------------------------------------------------------------------

@@ -13,11 +13,14 @@
 package modref
 
 import (
+	"fmt"
 	"sort"
 
+	"repro/internal/cc/token"
 	"repro/internal/pta"
 	"repro/internal/pta/invgraph"
 	"repro/internal/pta/loc"
+	"repro/internal/pta/ptset"
 	"repro/internal/simple"
 )
 
@@ -50,11 +53,33 @@ func (s locSet) sorted() []*loc.Location {
 	return loc.SortLocs(out)
 }
 
-// Result holds per-node MOD/REF sets (in the node's own naming).
+// Access is one recorded read or write of an abstract location at a
+// statement, in the accessing node's own naming: the statement position
+// makes MOD/REF reports clickable, and the D/P certainty of the L-location
+// derivation feeds the race detector's severity split.
+type Access struct {
+	Loc   *loc.Location
+	Def   ptset.Def // certainty that the statement touches exactly Loc
+	Write bool
+	Pos   token.Pos
+	Stmt  *simple.Basic
+}
+
+func (a Access) String() string {
+	op := "ref"
+	if a.Write {
+		op = "mod"
+	}
+	return fmt.Sprintf("%s %s (%s) @ %s", op, a.Loc.Name(), a.Def, a.Pos)
+}
+
+// Result holds per-node MOD/REF sets and access records (in the node's own
+// naming).
 type Result struct {
 	res *pta.Result
 	mod map[*invgraph.Node]locSet
 	ref map[*invgraph.Node]locSet
+	acc map[*invgraph.Node][]Access
 }
 
 // Compute runs the bottom-up MOD/REF propagation over the invocation graph
@@ -65,6 +90,7 @@ func Compute(res *pta.Result) *Result {
 		res: res,
 		mod: make(map[*invgraph.Node]locSet),
 		ref: make(map[*invgraph.Node]locSet),
+		acc: make(map[*invgraph.Node][]Access),
 	}
 	// Collect nodes in post-order so callees are computed before callers
 	// on the first pass; iterate to a fixed point for recursion.
@@ -86,11 +112,83 @@ func Compute(res *pta.Result) *Result {
 			}
 		}
 		if !changed {
-			return r
+			break
 		}
+	}
+	for _, n := range nodes {
+		r.recordAccesses(n)
 	}
 	return r
 }
+
+// nodeInput returns the points-to set flowing into b as seen by node n: the
+// per-context annotation when contexts were recorded (so each invocation's
+// effects are judged under its own input), the global merge otherwise.
+func (r *Result) nodeInput(n *invgraph.Node, b *simple.Basic) (ptset.Set, bool) {
+	if ctxs := r.res.Annots.ContextsAt(b); ctxs != nil {
+		in, ok := ctxs[n]
+		return in, ok
+	}
+	return r.res.Annots.At(b)
+}
+
+// recordAccesses collects the positioned access records of one node's body:
+// writes through the L-locations of assignment targets, reads through every
+// other reference — including the base pointer of each dereference, which is
+// itself loaded. Pure address computations (&x) touch nothing. Callee
+// effects are NOT included: accesses are per-node, and interprocedural
+// clients walk the invocation graph themselves.
+func (r *Result) recordAccesses(n *invgraph.Node) {
+	if n.Kind == invgraph.Approximate {
+		return // the body is analyzed under the recursive partner
+	}
+	var accs []Access
+	add := func(l *loc.Location, d ptset.Def, write bool, pos token.Pos, b *simple.Basic) {
+		if l == nil || l.Kind == loc.Null || l.Kind == loc.Func || l.Kind == loc.Str {
+			return
+		}
+		if !pos.IsValid() {
+			pos = b.Pos
+		}
+		accs = append(accs, Access{Loc: l, Def: d, Write: write, Pos: pos, Stmt: b})
+	}
+	simple.WalkStmts(n.Fn.Body, func(s simple.Stmt) {
+		b, ok := s.(*simple.Basic)
+		if !ok || b.Kind == simple.StmtNop {
+			return
+		}
+		in, haveAnn := r.nodeInput(n, b)
+		if !haveAnn {
+			return
+		}
+		for _, rf := range b.Refs() {
+			if rf.Deref {
+				// Loading through a pointer first reads the pointer cell.
+				base := &simple.Ref{Var: rf.Var, Path: rf.Path, Pos: rf.Pos}
+				for _, bl := range pta.EvalBaseLocs(r.res, base) {
+					add(bl.Loc, bl.Def, false, rf.Pos, b)
+				}
+			}
+			if rf == b.LHS {
+				for _, ld := range pta.EvalLLocs(r.res, rf, in) {
+					add(ld.Loc, ld.Def, true, rf.Pos, b)
+				}
+				continue
+			}
+			if rf == b.Addr && !rf.Deref {
+				continue // &x computes an address, accessing nothing
+			}
+			for _, ld := range pta.EvalLLocs(r.res, rf, in) {
+				add(ld.Loc, ld.Def, false, rf.Pos, b)
+			}
+		}
+	})
+	r.acc[n] = accs
+}
+
+// Accesses returns the node's recorded accesses in lexical order (the order
+// the body walk visits them), in the node's own naming.
+func (r *Result) Accesses(n *invgraph.Node) []Access { return r.acc[n] }
 
 // update recomputes one node's sets; returns whether they grew.
 func (r *Result) update(n *invgraph.Node) bool {
@@ -113,8 +211,10 @@ func (r *Result) update(n *invgraph.Node) bool {
 		switch b.Kind {
 		case simple.AsgnCall, simple.AsgnCallInd:
 			// Union the translated effects of every child for this site.
+			// Thread children are pseudo-roots running concurrently, not
+			// callees: their effects are not the spawner's.
 			for _, c := range n.Children {
-				if c.Site != b {
+				if c.Site != b || c.IsThread {
 					continue
 				}
 				mi, ok := c.MapInfo.(*pta.MapInfo)
@@ -180,7 +280,7 @@ func (r *Result) ModOfCall(parent *invgraph.Node, site *simple.Basic) ([]*loc.Lo
 	out := make(locSet)
 	found := false
 	for _, c := range parent.Children {
-		if c.Site != site {
+		if c.Site != site || c.IsThread {
 			continue
 		}
 		mi, ok := c.MapInfo.(*pta.MapInfo)

@@ -101,16 +101,13 @@ func RunPerf(names []string, workers, repeats int) (*PerfReport, error) {
 			return nil, fmt.Errorf("%s serial: %w", name, err)
 		}
 		p.WallSerialMS = wall
-		p.Steps = serial.Steps
-		p.MemoHits, p.MemoMisses = serial.MemoHits, serial.MemoMisses
-		if lookups := serial.MemoHits + serial.MemoMisses; lookups > 0 {
-			p.MemoHitRate = float64(serial.MemoHits) / float64(lookups)
-		}
-		p.DistinctSets = serial.Interning.Distinct
-		if lookups := serial.Interning.Hits + serial.Interning.Misses; lookups > 0 {
-			p.InternHitRate = float64(serial.Interning.Hits) / float64(lookups)
-		}
-		p.PeakSetLen = serial.PeakSetLen
+		sm := serial.Metrics
+		p.Steps = int(sm.Steps)
+		p.MemoHits, p.MemoMisses = int(sm.MemoHits), int(sm.MemoMisses)
+		p.MemoHitRate = sm.MemoHitRate
+		p.DistinctSets = sm.InternDistinct
+		p.InternHitRate = sm.InternHitRate
+		p.PeakSetLen = int(sm.PeakSet)
 		if m := serial.Metrics; m != nil {
 			p.CardP50 = m.Cardinality.P50
 			p.CardP90 = m.Cardinality.P90

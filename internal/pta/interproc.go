@@ -442,6 +442,9 @@ func extendSimpleRef(r *simple.Ref, sel simple.Sel) *simple.Ref {
 func (a *analyzer) processDirectCall(b *simple.Basic, in ptset.Set, ign *invgraph.Node, tk obsv.Track) ptset.Set {
 	callee := a.prog.Lookup(b.Callee.Name)
 	if callee == nil {
+		if out, ok := a.processPthreadCall(b, in, ign, tk); ok {
+			return out
+		}
 		return a.processExternalCall(b, in)
 	}
 	child := a.g.ChildFor(ign, b)

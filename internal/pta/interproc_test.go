@@ -209,9 +209,9 @@ int main() {
 `
 	resMemo := analyzeSrcOpts(t, src, Options{})
 	resNoMemo := analyzeSrcOpts(t, src, Options{NoMemo: true})
-	if resMemo.Steps >= resNoMemo.Steps {
+	if resMemo.Metrics.Steps >= resNoMemo.Metrics.Steps {
 		t.Errorf("memoized analysis should evaluate fewer statements: %d vs %d",
-			resMemo.Steps, resNoMemo.Steps)
+			resMemo.Metrics.Steps, resNoMemo.Metrics.Steps)
 	}
 }
 
@@ -299,12 +299,12 @@ int main() {
 `
 	plain := analyzeSrcOpts(t, src, Options{})
 	shared := analyzeSrcOpts(t, src, Options{ShareContexts: true})
-	if shared.SharedHits == 0 {
+	if shared.Metrics.SharedHits == 0 {
 		t.Error("expected summary-cache hits for identical invocations")
 	}
-	if shared.Steps >= plain.Steps {
+	if shared.Metrics.Steps >= plain.Metrics.Steps {
 		t.Errorf("sharing should reduce statement evaluations: %d vs %d",
-			shared.Steps, plain.Steps)
+			shared.Metrics.Steps, plain.Metrics.Steps)
 	}
 	// Results from separate analyses intern locations in separate tables,
 	// so compare canonical renders rather than pointer-keyed sets.
@@ -334,6 +334,6 @@ func TestShareContextsSuite(t *testing.T) {
 		if plain.MainOut.String() != shared.MainOut.String() {
 			t.Errorf("%s: sharing changed the result", name)
 		}
-		t.Logf("%s: steps %d -> %d (hits %d)", name, plain.Steps, shared.Steps, shared.SharedHits)
+		t.Logf("%s: steps %d -> %d (hits %d)", name, plain.Metrics.Steps, shared.Metrics.Steps, shared.Metrics.SharedHits)
 	}
 }

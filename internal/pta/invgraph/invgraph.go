@@ -53,6 +53,13 @@ type Node struct {
 	// ancestor (the special back-edge of Figure 2).
 	RecPartner *Node
 
+	// IsThread marks a child spawned by a pthread_create site rather than
+	// called: the subtree is a pseudo-root that runs concurrently with the
+	// spawner's continuation. Thread subtrees are analyzed with the
+	// ordinary map/unmap machinery, but interprocedural clients (MOD/REF,
+	// the race detector) treat them as separate roots, not as callees.
+	IsThread bool
+
 	// Analysis memoization (paper Figure 4). HasInput marks StoredInput
 	// as valid (it is set while the node is being processed); HasResult
 	// marks StoredOutput as a completed summary for StoredInput.
@@ -177,6 +184,34 @@ func (g *Graph) AddIndirectChild(parent *Node, site *simple.Basic, fn *simple.Fu
 	return g.addChild(parent, site, fn)
 }
 
+// AddThreadChild records that the pthread_create call at site can spawn a
+// thread running fn, adding a child node marked IsThread. Like indirect
+// children, thread children are discovered during the analysis (the entry is
+// a function pointer) and deduplicated by (site, fn). Safe for concurrent
+// use by parallel analysis workers.
+func (g *Graph) AddThreadChild(parent *Node, site *simple.Basic, fn *simple.Function) *Node {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c := parent.IndirectChild(site, fn); c != nil {
+		return c
+	}
+	c := g.addChild(parent, site, fn)
+	c.IsThread = true
+	return c
+}
+
+// ThreadNodes returns every IsThread node of the graph in depth-first
+// preorder — the spawned pseudo-roots of the program.
+func (g *Graph) ThreadNodes() []*Node {
+	var out []*Node
+	g.Walk(func(n *Node) {
+		if n.IsThread {
+			out = append(out, n)
+		}
+	})
+	return out
+}
+
 // CallSites returns the call statements (direct and indirect) of fn's body
 // in textual order.
 func CallSites(fn *simple.Function) []*simple.Basic {
@@ -228,6 +263,7 @@ type Stats struct {
 	Functions   int // distinct functions appearing in the graph
 	Recursive   int
 	Approximate int
+	Threads     int // pseudo-roots spawned by pthread_create sites
 }
 
 // AvgPerCallSite returns nodes per call site.
@@ -258,6 +294,9 @@ func (g *Graph) ComputeStats() Stats {
 			st.Recursive++
 		case Approximate:
 			st.Approximate++
+		}
+		if n.IsThread {
+			st.Threads++
 		}
 	})
 	st.Functions = len(fns)
@@ -347,6 +386,10 @@ func (g *Graph) WriteDot(w io.Writer) {
 		children := append([]*Node{}, n.Children...)
 		sort.Slice(children, func(i, j int) bool { return ids[children[i]] < ids[children[j]] })
 		for _, c := range children {
+			if c.IsThread {
+				fmt.Fprintf(w, "  n%d -> n%d [style=bold, label=\"spawn\"];\n", id, ids[c])
+				continue
+			}
 			fmt.Fprintf(w, "  n%d -> n%d;\n", id, ids[c])
 		}
 		if n.RecPartner != nil {

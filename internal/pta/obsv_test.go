@@ -50,8 +50,8 @@ func TestTracingDoesNotChangeResults(t *testing.T) {
 }
 
 // TestMetricsSnapshotConsistency checks the registry invariants on a real
-// analysis: the deprecated Result fields alias the snapshot, map and unmap
-// counts pair up, and the cardinality histogram saw every step.
+// analysis: map and unmap counts pair up, and the cardinality histogram saw
+// every step.
 func TestMetricsSnapshotConsistency(t *testing.T) {
 	for _, fx := range loadFixtures(t) {
 		res := analyze(t, fx.prog, pta.Options{})
@@ -61,10 +61,6 @@ func TestMetricsSnapshotConsistency(t *testing.T) {
 		}
 		if m.Steps == 0 {
 			t.Errorf("%s: no steps recorded", fx.name)
-		}
-		if int64(res.Steps) != m.Steps || int64(res.MemoHits) != m.MemoHits ||
-			int64(res.MemoMisses) != m.MemoMisses || int64(res.PeakSetLen) != m.PeakSet {
-			t.Errorf("%s: deprecated Result fields do not alias the snapshot", fx.name)
 		}
 		// Every map has a matching unmap except invocations whose callee
 		// result was bottom (unreached returns); unmaps never exceed maps.

@@ -110,42 +110,15 @@ type Result struct {
 	// pointers, calls to unknown externals with pointer results, …).
 	Diags []string
 
-	// Metrics is the full metrics snapshot of the run: counters (memo,
-	// interning, map/unmap, fixed-point activity), the points-to set
-	// cardinality histogram, and the per-function cost table. Serial and
-	// parallel runs report through this one registry.
+	// Metrics is the full metrics snapshot of the run: counters (steps,
+	// memo and shared-summary hits, interning, map/unmap, fixed-point
+	// activity), the points-to set cardinality histogram, and the
+	// per-function cost table. Serial and parallel runs report through
+	// this one registry.
 	Metrics *obsv.MetricsSnapshot
-
-	// Steps is the number of basic-statement evaluations performed.
-	//
-	// Deprecated: alias of Metrics.Steps, kept for existing callers.
-	Steps int
-
-	// SharedHits counts summary-cache reuses under Options.ShareContexts.
-	//
-	// Deprecated: alias of Metrics.SharedHits.
-	SharedHits int
 
 	// Workers is the effective worker-pool size the analysis ran with.
 	Workers int
-
-	// MemoHits and MemoMisses count input-keyed summary-cache lookups on
-	// invocation-graph nodes: a hit returns the stored output without
-	// re-walking the callee body.
-	//
-	// Deprecated: aliases of Metrics.MemoHits / Metrics.MemoMisses.
-	MemoHits, MemoMisses int
-
-	// PeakSetLen is the largest points-to set observed flowing into any
-	// basic statement.
-	//
-	// Deprecated: alias of Metrics.PeakSet.
-	PeakSetLen int
-
-	// Interning reports hash-consing activity (distinct sets, hit rate).
-	//
-	// Deprecated: alias of the Metrics.Intern* fields.
-	Interning ptset.InternStats
 }
 
 // Analyze runs the points-to analysis on a SIMPLE program.
@@ -195,9 +168,8 @@ func Analyze(prog *simple.Program, opts Options) (*Result, error) {
 	res.Workers = a.workers
 
 	// Snapshot the metrics registry and fill in the parts it cannot see:
-	// hash-consing activity and trace ring accounting. The deprecated
-	// counter fields are aliases of the snapshot, so every caller — serial
-	// or parallel — reports through the one registry.
+	// hash-consing activity and trace ring accounting. Every caller —
+	// serial or parallel — reports through the one registry.
 	snap := a.m.Snapshot()
 	ist := a.intern.Stats()
 	snap.InternDistinct = ist.Distinct
@@ -210,12 +182,6 @@ func Analyze(prog *simple.Program, opts Options) (*Result, error) {
 		snap.TraceDropped = a.tracer.Dropped()
 	}
 	res.Metrics = snap
-	res.Steps = int(snap.Steps)
-	res.SharedHits = int(snap.SharedHits)
-	res.MemoHits = int(snap.MemoHits)
-	res.MemoMisses = int(snap.MemoMisses)
-	res.PeakSetLen = int(snap.PeakSet)
-	res.Interning = ist
 	return res, nil
 }
 

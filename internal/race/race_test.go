@@ -1,0 +1,306 @@
+package race_test
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/cc/parser"
+	"repro/internal/modref"
+	"repro/internal/obsv"
+	"repro/internal/pta"
+	"repro/internal/race"
+	"repro/internal/simplify"
+	"repro/pointsto"
+)
+
+func analyzeFile(t *testing.T, path string) *pointsto.Analysis {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := pointsto.AnalyzeSource(filepath.Base(path), string(data), nil)
+	if err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	return a
+}
+
+func render(diags []race.Diag) []string {
+	out := make([]string, len(diags))
+	for i, d := range diags {
+		out[i] = d.String()
+	}
+	return out
+}
+
+func counts(diags []race.Diag) (errs, warns int) {
+	for _, d := range diags {
+		if d.Sev == race.Error {
+			errs++
+		} else {
+			warns++
+		}
+	}
+	return errs, warns
+}
+
+// TestFixtures runs the detector over every examples/race fixture pair: each
+// seeded-race variant must report (errors for definite races, warnings for
+// possible ones), and each _ok twin must be completely clean.
+func TestFixtures(t *testing.T) {
+	cases := []struct {
+		file        string
+		errs, warns int
+	}{
+		{"unprotected.c", 3, 0},
+		{"unprotected_ok.c", 0, 0},
+		{"mutex.c", 3, 0},
+		{"mutex_ok.c", 0, 0},
+		{"aliasmutex.c", 0, 3},
+		{"aliasmutex_ok.c", 0, 0},
+		{"threadarg.c", 1, 0},
+		{"threadarg_ok.c", 0, 0},
+		{"fnptr.c", 6, 0},
+		{"fnptr_ok.c", 0, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.file, func(t *testing.T) {
+			a := analyzeFile(t, filepath.Join("..", "..", "examples", "race", tc.file))
+			diags, err := a.Races()
+			if err != nil {
+				t.Fatal(err)
+			}
+			errs, warns := counts(diags)
+			if errs != tc.errs || warns != tc.warns {
+				t.Fatalf("got %d errors, %d warnings, want %d errors, %d warnings:\n%s",
+					errs, warns, tc.errs, tc.warns, strings.Join(render(diags), "\n"))
+			}
+		})
+	}
+}
+
+// TestGoldenMessages pins the full diagnostic text of the simplest fixture,
+// so message drift is deliberate.
+func TestGoldenMessages(t *testing.T) {
+	a := analyzeFile(t, filepath.Join("..", "..", "examples", "race", "threadarg.c"))
+	diags, err := a.Races()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"threadarg.c:9:5: error: data-race: write of counter in thread worker " +
+			"(spawned at threadarg.c:16:19) races with write of counter at " +
+			"threadarg.c:17:5 in main (no common lock held)",
+	}
+	if got := render(diags); !reflect.DeepEqual(got, want) {
+		t.Fatalf("got:\n%s\nwant:\n%s", strings.Join(got, "\n"), strings.Join(want, "\n"))
+	}
+}
+
+// TestMultiSpawnSelfRace: a spawn site inside a loop creates several
+// instances of the same entry, so the thread's unprotected write races with
+// itself in another instance; the lock-protected twin is clean.
+func TestMultiSpawnSelfRace(t *testing.T) {
+	raced := `
+int g;
+long t;
+void *worker(void *arg) {
+    g = g + 1;
+    return 0;
+}
+int main(void) {
+    int i;
+    i = 0;
+    while (i < 4) {
+        pthread_create(&t, 0, worker, 0);
+        i = i + 1;
+    }
+    return 0;
+}
+`
+	diags := analyzeSrc(t, "multispawn.c", raced)
+	if errs, _ := counts(diags); errs == 0 {
+		t.Fatalf("expected self-race errors for loop-spawned thread, got:\n%s",
+			strings.Join(render(diags), "\n"))
+	}
+	found := false
+	for _, d := range diags {
+		if strings.Contains(d.Msg, "races with itself in another instance") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected a self-race diagnostic, got:\n%s", strings.Join(render(diags), "\n"))
+	}
+
+	locked := `
+int g;
+pthread_mutex_t m;
+long t;
+void *worker(void *arg) {
+    pthread_mutex_lock(&m);
+    g = g + 1;
+    pthread_mutex_unlock(&m);
+    return 0;
+}
+int main(void) {
+    int i;
+    i = 0;
+    while (i < 4) {
+        pthread_create(&t, 0, worker, 0);
+        i = i + 1;
+    }
+    return 0;
+}
+`
+	if diags := analyzeSrc(t, "multispawn_ok.c", locked); len(diags) != 0 {
+		t.Fatalf("locked loop-spawned thread should be clean, got:\n%s",
+			strings.Join(render(diags), "\n"))
+	}
+}
+
+func analyzeSrc(t *testing.T, name, src string) []race.Diag {
+	t.Helper()
+	a, err := pointsto.AnalyzeSource(name, src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := a.Races()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+// TestDeterminism: race verdicts and the points-to fingerprint are
+// bit-identical across worker counts, traced and untraced.
+func TestDeterminism(t *testing.T) {
+	files := []string{"unprotected.c", "mutex.c", "aliasmutex.c", "threadarg.c", "fnptr.c"}
+	for _, file := range files {
+		t.Run(file, func(t *testing.T) {
+			path := filepath.Join("..", "..", "examples", "race", file)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tu, err := parser.Parse(file, string(data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := simplify.Simplify(tu)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var baseDiags []string
+			var baseFP string
+			for _, workers := range []int{1, 2, 8} {
+				for _, traced := range []bool{false, true} {
+					opts := pta.Options{Workers: workers, RecordContexts: true}
+					if traced {
+						opts.Tracer = obsv.NewTracer(0, 0)
+					}
+					res, err := pta.Analyze(prog, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					diags, err := race.Run(res, modref.Compute(res))
+					if err != nil {
+						t.Fatal(err)
+					}
+					got := render(diags)
+					fp := pta.Fingerprint(res)
+					if baseFP == "" {
+						baseDiags, baseFP = got, fp
+						continue
+					}
+					if fp != baseFP {
+						t.Errorf("workers=%d traced=%v: fingerprint differs from workers=1", workers, traced)
+					}
+					if !reflect.DeepEqual(got, baseDiags) {
+						t.Errorf("workers=%d traced=%v: diagnostics differ:\ngot:  %s\nbase: %s",
+							workers, traced, strings.Join(got, "\n"), strings.Join(baseDiags, "\n"))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestNoThreadsNoDiags is the differential guard: any program without a
+// pthread_create must yield zero race diagnostics — over the checker
+// fixtures and the whole benchmark suite.
+func TestNoThreadsNoDiags(t *testing.T) {
+	checkDir := filepath.Join("..", "..", "examples", "check")
+	entries, err := os.ReadDir(checkDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".c") {
+			continue
+		}
+		a := analyzeFile(t, filepath.Join(checkDir, e.Name()))
+		diags, err := a.Races()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(diags) != 0 {
+			t.Errorf("%s: thread-free program produced race diagnostics:\n%s",
+				e.Name(), strings.Join(render(diags), "\n"))
+		}
+	}
+	for _, name := range bench.Names() {
+		src, err := bench.Source(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := pointsto.AnalyzeSource(name+".c", src, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		diags, err := a.Races()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(diags) != 0 {
+			t.Errorf("bench %s: thread-free program produced race diagnostics:\n%s",
+				name, strings.Join(render(diags), "\n"))
+		}
+	}
+}
+
+// TestRunGuards: Run rejects results without per-context annotations or with
+// shared contexts, matching package check.
+func TestRunGuards(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("..", "..", "examples", "race", "unprotected.c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tu, err := parser.Parse("unprotected.c", string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := simplify.Simplify(tu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := pta.Analyze(prog, pta.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := race.Run(plain, modref.Compute(plain)); err == nil {
+		t.Error("Run accepted a result without recorded contexts")
+	}
+	shared, err := pta.Analyze(prog, pta.Options{Workers: 1, ShareContexts: true, RecordContexts: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := race.Run(shared, modref.Compute(shared)); err == nil {
+		t.Error("Run accepted a result analyzed with ShareContexts")
+	}
+}

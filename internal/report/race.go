@@ -1,0 +1,39 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/race"
+)
+
+// WriteRaceDiags renders race diagnostics in the conventional
+// file:line:col: severity: data-race: message form, one per line.
+// Diagnostics arrive already sorted by position from race.Run.
+func WriteRaceDiags(w io.Writer, diags []race.Diag) {
+	for _, d := range diags {
+		fmt.Fprintln(w, d.String())
+	}
+}
+
+// RaceDiagCounts tallies race diagnostics by severity.
+func RaceDiagCounts(diags []race.Diag) (errors, warnings int) {
+	for _, d := range diags {
+		if d.Sev == race.Error {
+			errors++
+		} else {
+			warnings++
+		}
+	}
+	return errors, warnings
+}
+
+// WriteRaceDiagSummary writes the one-line closing summary of a race run.
+func WriteRaceDiagSummary(w io.Writer, diags []race.Diag) {
+	errs, warns := RaceDiagCounts(diags)
+	if errs == 0 && warns == 0 {
+		fmt.Fprintln(w, "no races found")
+		return
+	}
+	fmt.Fprintf(w, "%s, %s\n", plural(errs, "error"), plural(warns, "warning"))
+}

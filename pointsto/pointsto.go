@@ -33,6 +33,7 @@ import (
 	"repro/internal/pta/invgraph"
 	"repro/internal/pta/loc"
 	"repro/internal/pta/ptset"
+	"repro/internal/race"
 	"repro/internal/simple"
 	"repro/internal/simplify"
 	"repro/internal/xform"
@@ -318,6 +319,27 @@ func (a *Analysis) Check() ([]check.Diag, error) {
 		}
 	}
 	return check.Run(res)
+}
+
+// Races runs the context-sensitive lockset-based data-race detector over
+// the program: pthread_create entries become concurrent thread roots, and
+// accesses to thread-shared locations are checked for lockset-disjoint
+// conflicting pairs. Like Check, the detector needs per-context annotations,
+// so an analysis run without them (or with ShareContexts) is re-run
+// internally with the required options; the re-run does not disturb Result.
+func (a *Analysis) Races() ([]race.Diag, error) {
+	res := a.Result
+	if !res.Annots.ContextsEnabled() || res.Opts.ShareContexts {
+		opts := res.Opts
+		opts.ShareContexts = false
+		opts.RecordContexts = true
+		var err error
+		res, err = pta.Analyze(a.Program, opts)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return race.Run(res, modref.Compute(res))
 }
 
 // Diagnostics returns non-fatal analysis diagnostics.
