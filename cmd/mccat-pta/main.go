@@ -21,6 +21,8 @@
 //	           bit-identical for every worker count)
 //	-check     run the memory-safety checker (NULL/uninit deref, UAF, dangling)
 //	-race      run the lockset-based data-race detector over pthread threads
+//	-taint     run the context-sensitive taint analysis (sources -> sinks)
+//	-exit-code exit 1 when -check/-race/-taint report any error-level diagnostic
 //	-modref    print per-function MOD/REF accesses with source positions
 //	-fnptr S   function pointer strategy: precise|addr-taken|all
 //	-ci        context-insensitive ablation
@@ -50,6 +52,7 @@ import (
 
 	"repro/internal/alias"
 	"repro/internal/bench"
+	"repro/internal/check"
 	"repro/internal/constprop"
 	"repro/internal/deptest"
 	"repro/internal/heapconn"
@@ -57,39 +60,70 @@ import (
 	"repro/internal/obsv"
 	"repro/internal/pta/invgraph"
 	"repro/internal/pta/loc"
+	"repro/internal/race"
 	"repro/internal/report"
 	"repro/pointsto"
 )
 
 func main() {
-	var (
-		benchName = flag.String("bench", "", "analyze the named builtin benchmark instead of a file")
-		doPts     = flag.Bool("pts", false, "print the points-to set at main's exit")
-		doSimple  = flag.Bool("simple", false, "print the SIMPLE IR")
-		doDot     = flag.Bool("dot", false, "print the invocation graph as DOT")
-		doRepl    = flag.Bool("replace", false, "print pointer replacement opportunities")
-		doAlias   = flag.Bool("alias", false, "print implied alias pairs")
-		doStats   = flag.Bool("stats", false, "print invocation graph statistics")
-		doConst   = flag.Bool("const", false, "run constant propagation over the points-to results")
-		doConn    = flag.Bool("conn", false, "run the heap connection analysis")
-		doCheck   = flag.Bool("check", false, "run the memory-safety checker")
-		doRace    = flag.Bool("race", false, "run the data-race detector")
-		doModRef  = flag.Bool("modref", false, "print per-function MOD/REF accesses with positions")
-		doDep     = flag.Bool("dep", false, "run array dependence testing over the loops")
-		fnptr     = flag.String("fnptr", "precise", "function pointer strategy: precise|addr-taken|all")
-		ci        = flag.Bool("ci", false, "context-insensitive ablation")
-		nodef     = flag.Bool("nodef", false, "disable definite relationships")
-		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-		doMetrics  = flag.Bool("metrics", false, "print the full metrics report")
-		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON execution trace to this file")
-		traceJSONL = flag.String("trace-jsonl", "", "write a JSON-lines execution trace to this file")
-		traceBuf   = flag.Int("trace-buf", 0, "per-shard trace ring capacity in events (0 = default)")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile at exit to this file")
-		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof on this address")
+// fatalErr unwinds run() to its top-level recover with exit code 1.
+type fatalErr struct{ err error }
+
+func fatal(err error) {
+	panic(fatalErr{err})
+}
+
+// run is the driver body, separated from main so tests can exercise the CLI
+// end to end with captured output and exit codes.
+func run(argv []string, stdout, stderr io.Writer) (code int) {
+	defer func() {
+		if r := recover(); r != nil {
+			fe, ok := r.(fatalErr)
+			if !ok {
+				panic(r)
+			}
+			fmt.Fprintln(stderr, "mccat-pta:", fe.err)
+			code = 1
+		}
+	}()
+
+	fs := flag.NewFlagSet("mccat-pta", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		benchName = fs.String("bench", "", "analyze the named builtin benchmark instead of a file")
+		doPts     = fs.Bool("pts", false, "print the points-to set at main's exit")
+		doSimple  = fs.Bool("simple", false, "print the SIMPLE IR")
+		doDot     = fs.Bool("dot", false, "print the invocation graph as DOT")
+		doRepl    = fs.Bool("replace", false, "print pointer replacement opportunities")
+		doAlias   = fs.Bool("alias", false, "print implied alias pairs")
+		doStats   = fs.Bool("stats", false, "print invocation graph statistics")
+		doConst   = fs.Bool("const", false, "run constant propagation over the points-to results")
+		doConn    = fs.Bool("conn", false, "run the heap connection analysis")
+		doCheck   = fs.Bool("check", false, "run the memory-safety checker")
+		doRace    = fs.Bool("race", false, "run the data-race detector")
+		doTaint   = fs.Bool("taint", false, "run the context-sensitive taint analysis")
+		exitCode  = fs.Bool("exit-code", false, "exit 1 when any checker reports an error-level diagnostic")
+		doModRef  = fs.Bool("modref", false, "print per-function MOD/REF accesses with positions")
+		doDep     = fs.Bool("dep", false, "run array dependence testing over the loops")
+		fnptr     = fs.String("fnptr", "precise", "function pointer strategy: precise|addr-taken|all")
+		ci        = fs.Bool("ci", false, "context-insensitive ablation")
+		nodef     = fs.Bool("nodef", false, "disable definite relationships")
+		workers   = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
+
+		doMetrics  = fs.Bool("metrics", false, "print the full metrics report")
+		traceOut   = fs.String("trace", "", "write a Chrome trace_event JSON execution trace to this file")
+		traceJSONL = fs.String("trace-jsonl", "", "write a JSON-lines execution trace to this file")
+		traceBuf   = fs.Int("trace-buf", 0, "per-shard trace ring capacity in events (0 = default)")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile at exit to this file")
+		debugAddr  = fs.String("debug-addr", "", "serve net/http/pprof on this address")
 	)
-	flag.Parse()
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
 
 	var name, src string
 	switch {
@@ -99,16 +133,16 @@ func main() {
 			fatal(err)
 		}
 		name, src = *benchName+".c", s
-	case flag.NArg() == 1:
-		data, err := os.ReadFile(flag.Arg(0))
+	case fs.NArg() == 1:
+		data, err := os.ReadFile(fs.Arg(0))
 		if err != nil {
 			fatal(err)
 		}
-		name, src = flag.Arg(0), string(data)
+		name, src = fs.Arg(0), string(data)
 	default:
-		fmt.Fprintln(os.Stderr, "usage: mccat-pta [flags] file.c | -bench name")
-		flag.PrintDefaults()
-		os.Exit(2)
+		fmt.Fprintln(stderr, "usage: mccat-pta [flags] file.c | -bench name")
+		fs.PrintDefaults()
+		return 2
 	}
 
 	prof, err := obsv.StartProfiles(*cpuprofile, *memprofile, *debugAddr)
@@ -116,8 +150,9 @@ func main() {
 		fatal(err)
 	}
 	defer func() {
-		if err := prof.Stop(); err != nil {
-			fatal(err)
+		if err := prof.Stop(); err != nil && code == 0 {
+			fmt.Fprintln(stderr, "mccat-pta:", err)
+			code = 1
 		}
 	}()
 
@@ -141,64 +176,65 @@ func main() {
 	}
 
 	any := false
+	hadErrors := false
 	if *doSimple {
-		a.WriteSimple(os.Stdout)
+		a.WriteSimple(stdout)
 		any = true
 	}
 	if *doDot {
-		a.WriteInvocationGraph(os.Stdout)
+		a.WriteInvocationGraph(stdout)
 		any = true
 	}
 	if *doStats {
 		st := a.InvocationGraphStats()
-		fmt.Printf("ig nodes %d, call sites %d, functions %d, recursive %d, approximate %d, threads %d\n",
+		fmt.Fprintf(stdout, "ig nodes %d, call sites %d, functions %d, recursive %d, approximate %d, threads %d\n",
 			st.Nodes, st.CallSites, st.Functions, st.Recursive, st.Approximate, st.Threads)
-		fmt.Printf("avg nodes/call-site %.2f, avg nodes/function %.2f\n",
+		fmt.Fprintf(stdout, "avg nodes/call-site %.2f, avg nodes/function %.2f\n",
 			st.AvgPerCallSite(), st.AvgPerFunction())
 		m := a.Metrics()
-		fmt.Printf("workers %d, steps %d, peak set %d\n", a.Result.Workers, m.Steps, m.PeakSet)
-		fmt.Printf("memo: %d hits / %d misses (%.1f%% hit rate)\n",
+		fmt.Fprintf(stdout, "workers %d, steps %d, peak set %d\n", a.Result.Workers, m.Steps, m.PeakSet)
+		fmt.Fprintf(stdout, "memo: %d hits / %d misses (%.1f%% hit rate)\n",
 			m.MemoHits, m.MemoMisses, 100*m.MemoHitRate)
-		fmt.Printf("interning: %d distinct sets, %.1f%% hit rate\n",
+		fmt.Fprintf(stdout, "interning: %d distinct sets, %.1f%% hit rate\n",
 			m.InternDistinct, 100*m.InternHitRate)
-		fmt.Printf("set cardinality: p50 %d, p90 %d, max %d\n",
+		fmt.Fprintf(stdout, "set cardinality: p50 %d, p90 %d, max %d\n",
 			m.Cardinality.P50, m.Cardinality.P90, m.Cardinality.Max)
 		if m.TraceDropped > 0 {
-			fmt.Printf("trace: %d events dropped by ring overflow (raise -trace-buf)\n", m.TraceDropped)
+			fmt.Fprintf(stdout, "trace: %d events dropped by ring overflow (raise -trace-buf)\n", m.TraceDropped)
 		}
 		any = true
 	}
 	if *doMetrics {
-		report.WriteMetrics(os.Stdout, a.Metrics())
+		report.WriteMetrics(stdout, a.Metrics())
 		any = true
 	}
 	if *doRepl {
 		for _, r := range a.Replacements() {
-			fmt.Println(r)
+			fmt.Fprintln(stdout, r)
 		}
 		any = true
 	}
 	if *doAlias {
-		fmt.Println(alias.Format(a.AliasPairs(2)))
+		fmt.Fprintln(stdout, alias.Format(a.AliasPairs(2)))
 		any = true
 	}
 	if *doConst {
 		cp := constprop.RunWithMod(a.Result, modref.Compute(a.Result))
-		fmt.Printf("constant statements: %d\n", len(cp.Constants))
+		fmt.Fprintf(stdout, "constant statements: %d\n", len(cp.Constants))
 		for _, f := range cp.Constants {
-			fmt.Println(" ", f)
+			fmt.Fprintln(stdout, " ", f)
 		}
 		any = true
 	}
 	if *doDep {
 		dp := deptest.Run(a.Result)
-		fmt.Println(dp.Summary())
+		fmt.Fprintln(stdout, dp.Summary())
 		for _, l := range dp.SortedLoops() {
 			if len(l.Pairs) == 0 {
 				continue
 			}
 			disj, sub, dep, unk := l.Counts()
-			fmt.Printf("  %s %s (trip %d, admissible %v): disjoint %d, indep-subscript %d, dependent %d, unknown %d\n",
+			fmt.Fprintf(stdout, "  %s %s (trip %d, admissible %v): disjoint %d, indep-subscript %d, dependent %d, unknown %d\n",
 				l.Fn.Name(), l.Loop.Pos, l.Trip, l.Admissible, disj, sub, dep, unk)
 		}
 		any = true
@@ -215,7 +251,7 @@ func main() {
 			if len(fr.HeapPtrs) == 0 {
 				continue
 			}
-			fmt.Printf("%s: %d heap pointers, %d connected pairs (naive %d), %d provably disjoint\n",
+			fmt.Fprintf(stdout, "%s: %d heap pointers, %d connected pairs (naive %d), %d provably disjoint\n",
 				n, len(fr.HeapPtrs), fr.Exit.Len(), fr.NaivePairs, fr.DisjointPairs())
 		}
 		any = true
@@ -225,8 +261,13 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		report.WriteDiags(os.Stdout, diags)
-		report.WriteDiagSummary(os.Stdout, diags)
+		report.WriteDiags(stdout, diags)
+		report.WriteDiagSummary(stdout, diags)
+		for _, d := range diags {
+			if d.Sev == check.Error {
+				hadErrors = true
+			}
+		}
 		any = true
 	}
 	if *doRace {
@@ -234,25 +275,46 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		report.WriteRaceDiags(os.Stdout, diags)
-		report.WriteRaceDiagSummary(os.Stdout, diags)
+		report.WriteRaceDiags(stdout, diags)
+		report.WriteRaceDiagSummary(stdout, diags)
+		for _, d := range diags {
+			if d.Sev == race.Error {
+				hadErrors = true
+			}
+		}
+		any = true
+	}
+	if *doTaint {
+		diags, err := a.Taint()
+		if err != nil {
+			fatal(err)
+		}
+		report.WriteTaintDiags(stdout, diags)
+		report.WriteTaintDiagSummary(stdout, diags)
+		if errs, _ := report.TaintDiagCounts(diags); errs > 0 {
+			hadErrors = true
+		}
 		any = true
 	}
 	if *doModRef {
-		printModRef(a)
+		printModRef(stdout, a)
 		any = true
 	}
 	if *doPts || !any {
-		printPts(a)
+		printPts(stdout, a)
 	}
 	for _, d := range a.Diagnostics() {
-		fmt.Fprintln(os.Stderr, "note:", d)
+		fmt.Fprintln(stderr, "note:", d)
 	}
+	if *exitCode && hadErrors {
+		return 1
+	}
+	return 0
 }
 
 // printModRef renders the MOD/REF summary and positioned access records of
 // the first invocation-graph node of each function, in graph walk order.
-func printModRef(a *pointsto.Analysis) {
+func printModRef(w io.Writer, a *pointsto.Analysis) {
 	mr := a.ModRef()
 	seen := make(map[string]bool)
 	a.Result.Graph.Walk(func(n *invgraph.Node) {
@@ -261,11 +323,11 @@ func printModRef(a *pointsto.Analysis) {
 			return
 		}
 		seen[name] = true
-		fmt.Printf("%s:\n", name)
-		fmt.Printf("  MOD: %s\n", locNames(mr.ModOf(n)))
-		fmt.Printf("  REF: %s\n", locNames(mr.RefOf(n)))
+		fmt.Fprintf(w, "%s:\n", name)
+		fmt.Fprintf(w, "  MOD: %s\n", locNames(mr.ModOf(n)))
+		fmt.Fprintf(w, "  REF: %s\n", locNames(mr.RefOf(n)))
 		for _, acc := range mr.Accesses(n) {
-			fmt.Printf("  %s\n", acc)
+			fmt.Fprintf(w, "  %s\n", acc)
 		}
 	})
 }
@@ -281,13 +343,13 @@ func locNames(ls []*loc.Location) string {
 	return "{" + strings.Join(names, ", ") + "}"
 }
 
-func printPts(a *pointsto.Analysis) {
-	fmt.Println("points-to set at exit of main (NULL targets omitted):")
+func printPts(w io.Writer, a *pointsto.Analysis) {
+	fmt.Fprintln(w, "points-to set at exit of main (NULL targets omitted):")
 	for _, t := range a.Result.MainOut.Triples() {
 		if t.Dst.Kind == loc.Null {
 			continue
 		}
-		fmt.Printf("  (%s, %s, %s)\n", t.Src.Name(), t.Dst.Name(), t.Def)
+		fmt.Fprintf(w, "  (%s, %s, %s)\n", t.Src.Name(), t.Dst.Name(), t.Def)
 	}
 }
 
@@ -303,9 +365,4 @@ func writeFileWith(path string, fn func(io.Writer) error) {
 	if err := f.Close(); err != nil {
 		fatal(err)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "mccat-pta:", err)
-	os.Exit(1)
 }

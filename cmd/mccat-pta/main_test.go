@@ -1,0 +1,75 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr strings.Builder
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+// TestTaintExitCode drives the CLI end to end: a seeded fixture with
+// -exit-code exits 1 and prints the diagnostic, its clean twin exits 0.
+func TestTaintExitCode(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples", "taint")
+
+	code, out, stderr := runCLI(t, "-taint", "-exit-code", filepath.Join(dir, "direct.c"))
+	if code != 1 {
+		t.Fatalf("direct.c: exit code = %d, want 1 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(out, "tainted-exec") || !strings.Contains(out, "1 error, 0 warnings") {
+		t.Errorf("direct.c output missing diagnostic or summary:\n%s", out)
+	}
+
+	code, out, _ = runCLI(t, "-taint", "-exit-code", filepath.Join(dir, "direct_ok.c"))
+	if code != 0 {
+		t.Fatalf("direct_ok.c: exit code = %d, want 0", code)
+	}
+	if !strings.Contains(out, "no taint flows found") {
+		t.Errorf("direct_ok.c output missing clean summary:\n%s", out)
+	}
+
+	// Warnings alone must not flip the exit code.
+	code, out, _ = runCLI(t, "-taint", "-exit-code", filepath.Join(dir, "ctx.c"))
+	if code != 0 {
+		t.Fatalf("ctx.c: exit code = %d, want 0 (warnings only):\n%s", code, out)
+	}
+
+	// Without -exit-code even errors exit 0.
+	code, _, _ = runCLI(t, "-taint", filepath.Join(dir, "direct.c"))
+	if code != 0 {
+		t.Fatalf("direct.c without -exit-code: exit code = %d, want 0", code)
+	}
+}
+
+// TestExitCodeCoversCheck: -exit-code also reacts to the memory-safety
+// checker's error-level diagnostics.
+func TestExitCodeCoversCheck(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples", "check")
+	code, _, _ := runCLI(t, "-check", "-exit-code", filepath.Join(dir, "nullderef.c"))
+	if code != 1 {
+		t.Fatalf("nullderef.c: exit code = %d, want 1", code)
+	}
+	code, _, _ = runCLI(t, "-check", "-exit-code", filepath.Join(dir, "nullderef_ok.c"))
+	if code != 0 {
+		t.Fatalf("nullderef_ok.c: exit code = %d, want 0", code)
+	}
+}
+
+// TestUsageExitCode: no input file is a usage error (2), and a missing file
+// is a runtime failure (1).
+func TestUsageExitCode(t *testing.T) {
+	code, _, stderr := runCLI(t)
+	if code != 2 || !strings.Contains(stderr, "usage:") {
+		t.Fatalf("no args: code=%d stderr=%q, want 2 with usage", code, stderr)
+	}
+	code, _, _ = runCLI(t, "-taint", "no-such-file.c")
+	if code != 1 {
+		t.Fatalf("missing file: code=%d, want 1", code)
+	}
+}

@@ -1,0 +1,14 @@
+/* Context-sensitivity demo: runit() executes a trusted literal from the
+ * first call and attacker-controlled environment data from the second. The
+ * per-context verdicts stay separate, so the shared sink reports a warning
+ * (bad in some but not all contexts), not an error. */
+void runit(char *c) {
+    system(c);
+}
+int main(void) {
+    char *e;
+    runit("echo ok");
+    e = getenv("CMD");
+    runit(e);
+    return 0;
+}

@@ -1,0 +1,10 @@
+/* Clean twin of ctx.c: both calling contexts hand runit() trusted
+ * literals. */
+void runit(char *c) {
+    system(c);
+}
+int main(void) {
+    runit("echo ok");
+    runit("echo done");
+    return 0;
+}

@@ -1,0 +1,9 @@
+/* Command-line injection: an argv string flows straight into system().
+ * The argv character data is seeded definitely tainted, so the flow is
+ * definite in the only context and reports as an error. */
+int main(int argc, char **argv) {
+    char *cmd;
+    cmd = argv[1];
+    system(cmd);
+    return 0;
+}

@@ -1,0 +1,8 @@
+/* Clean twin of direct.c: the command is a program literal, so nothing
+ * attacker-controlled reaches system(). */
+int main(int argc, char **argv) {
+    char *cmd;
+    cmd = "echo ok";
+    system(cmd);
+    return 0;
+}

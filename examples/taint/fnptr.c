@@ -1,0 +1,12 @@
+/* Taint across a function-pointer call: the points-to analysis resolves fp
+ * to run(), and the tainted argv string crosses the indirect call site into
+ * run's system() sink. */
+void run(char *c) {
+    system(c);
+}
+int main(int argc, char **argv) {
+    void (*fp)(char *);
+    fp = &run;
+    fp(argv[1]);
+    return 0;
+}

@@ -1,0 +1,12 @@
+/* Clean twin of fnptr.c: the function pointer resolves to note(), which only
+ * prints its argument as %s data — no sink receives the tainted string as a
+ * command or format. */
+void note(char *c) {
+    printf("%s\n", c);
+}
+int main(int argc, char **argv) {
+    void (*fp)(char *);
+    fp = &note;
+    fp(argv[1]);
+    return 0;
+}

@@ -1,0 +1,8 @@
+/* User-controlled format string: fgets() definitely taints the buffer that
+ * printf() then interprets as its format. */
+int main(void) {
+    char buf[16];
+    fgets(buf, 16, 0);
+    printf(buf);
+    return 0;
+}

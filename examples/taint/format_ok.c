@@ -1,0 +1,8 @@
+/* Clean twin of format.c: the format is a literal and the tainted buffer is
+ * only %s data, which printf does not interpret. */
+int main(void) {
+    char buf[16];
+    fgets(buf, 16, 0);
+    printf("%s\n", buf);
+    return 0;
+}

@@ -1,0 +1,14 @@
+/* Taint through heap storage and an alias: read() fills a stack buffer,
+ * strcpy() moves the bytes into malloc'd storage through p, and the alias q
+ * hands the same storage to system(). */
+int main(void) {
+    char *p;
+    char *q;
+    char buf[8];
+    p = (char *) malloc(8);
+    q = p;
+    read(0, buf, 8);
+    strcpy(p, buf);
+    system(q);
+    return 0;
+}

@@ -1,0 +1,11 @@
+/* Clean twin of heap.c: the heap storage is filled from a literal, so the
+ * aliased system() call executes trusted data. */
+int main(void) {
+    char *p;
+    char *q;
+    p = (char *) malloc(8);
+    q = p;
+    strcpy(p, "echo ok");
+    system(q);
+    return 0;
+}

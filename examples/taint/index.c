@@ -1,0 +1,11 @@
+/* Attacker-controlled array subscript: the index is computed from bytes
+ * read() put into the buffer. */
+int main(void) {
+    char buf[4];
+    int a[10];
+    int i;
+    read(0, buf, 4);
+    i = buf[0];
+    a[i] = 1;
+    return a[0];
+}

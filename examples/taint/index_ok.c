@@ -1,0 +1,11 @@
+/* Clean twin of index.c: the subscript is a program constant; the tainted
+ * buffer is never used as an index. */
+int main(void) {
+    char buf[4];
+    int a[10];
+    int i;
+    read(0, buf, 4);
+    i = 3;
+    a[i] = 1;
+    return a[0];
+}

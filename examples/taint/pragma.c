@@ -1,0 +1,14 @@
+/* quote() passes its argument through unchanged; without a sanitizer pragma
+ * the taint pass walks the body and the environment string reaches
+ * system(). */
+char *quote(char *s) {
+    return s;
+}
+int main(void) {
+    char *e;
+    char *c;
+    e = getenv("CMD");
+    c = quote(e);
+    system(c);
+    return 0;
+}

@@ -1,0 +1,15 @@
+/* taint:sanitizes quote */
+/* Clean twin of pragma.c: the pragma above declares quote() a sanitizer, so
+ * the taint pass trusts it to neutralize its argument instead of walking the
+ * body. */
+char *quote(char *s) {
+    return s;
+}
+int main(void) {
+    char *e;
+    char *c;
+    e = getenv("CMD");
+    c = quote(e);
+    system(c);
+    return 0;
+}

@@ -1,0 +1,8 @@
+/* Unsanitized input reaches system(): read() definitely taints the buffer
+ * and nothing clears it before the sink. */
+int main(void) {
+    char buf[8];
+    read(0, buf, 8);
+    system(buf);
+    return 0;
+}

@@ -1,0 +1,9 @@
+/* Clean twin of sanitize.c: the recognized sanitizer strongly kills the
+ * buffer's taint before the sink. */
+int main(void) {
+    char buf[8];
+    read(0, buf, 8);
+    sanitize(buf);
+    system(buf);
+    return 0;
+}

@@ -144,6 +144,24 @@ func (p *Parser) declareBuiltins() {
 	decl("sqrt", types.FuncType(types.DoubleType, []*types.Type{types.DoubleType}, false))
 	decl("fabs", types.FuncType(types.DoubleType, []*types.Type{types.DoubleType}, false))
 	decl("atoi", types.FuncType(types.IntType, []*types.Type{charp}, false))
+	decl("strcat", types.FuncType(charp, []*types.Type{charp, charp}, false))
+	decl("strncpy", types.FuncType(charp, []*types.Type{charp, charp, types.LongType}, false))
+	decl("memmove", types.FuncType(voidp, []*types.Type{voidp, voidp, types.LongType}, false))
+
+	// The input/exec surface the taint client models: sources that hand the
+	// program attacker-controlled bytes, sinks that hand program data to the
+	// shell, and a generic sanitizer the default taint table recognizes.
+	decl("getenv", types.FuncType(charp, []*types.Type{charp}, false))
+	decl("gets", types.FuncType(charp, []*types.Type{charp}, false))
+	decl("fgets", types.FuncType(charp, []*types.Type{charp, types.IntType, voidp}, false))
+	decl("read", types.FuncType(types.LongType, []*types.Type{types.IntType, voidp, types.LongType}, false))
+	decl("recv", types.FuncType(types.LongType, []*types.Type{types.IntType, voidp, types.LongType, types.IntType}, false))
+	decl("system", types.FuncType(types.IntType, []*types.Type{charp}, false))
+	decl("popen", types.FuncType(voidp, []*types.Type{charp, charp}, false))
+	decl("execl", types.FuncType(types.IntType, []*types.Type{charp}, true))
+	decl("execv", types.FuncType(types.IntType, []*types.Type{charp, types.PointerTo(charp)}, false))
+	decl("execvp", types.FuncType(types.IntType, []*types.Type{charp, types.PointerTo(charp)}, false))
+	decl("sanitize", types.FuncType(types.VoidType, []*types.Type{charp}, false))
 
 	// The pthread surface the race detector models. pthread_t and
 	// pthread_mutex_t are opaque handles; integers are enough for the

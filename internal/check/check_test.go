@@ -2,7 +2,6 @@ package check_test
 
 import (
 	"fmt"
-	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -12,29 +11,9 @@ import (
 	"repro/internal/check"
 	"repro/internal/pta"
 	"repro/internal/simplify"
+	"repro/internal/testutil"
 	"repro/pointsto"
 )
-
-func analyzeFile(t *testing.T, path string) *pointsto.Analysis {
-	t.Helper()
-	data, err := os.ReadFile(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	a, err := pointsto.AnalyzeSource(filepath.Base(path), string(data), nil)
-	if err != nil {
-		t.Fatalf("%s: %v", path, err)
-	}
-	return a
-}
-
-func render(diags []check.Diag) []string {
-	out := make([]string, len(diags))
-	for i, d := range diags {
-		out[i] = d.String()
-	}
-	return out
-}
 
 // TestFixtures is the golden test over examples/check: one positive fixture
 // per checker, each with a clean negative twin.
@@ -70,12 +49,12 @@ func TestFixtures(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.file, func(t *testing.T) {
-			a := analyzeFile(t, filepath.Join("..", "..", "examples", "check", tc.file))
+			a := testutil.AnalyzeFile(t, filepath.Join(testutil.FixtureDir("check"), tc.file))
 			diags, err := a.Check()
 			if err != nil {
 				t.Fatal(err)
 			}
-			got := render(diags)
+			got := testutil.Render(diags)
 			if len(got) != len(tc.want) {
 				t.Fatalf("got %d diagnostics, want %d:\ngot:  %s\nwant: %s",
 					len(got), len(tc.want), strings.Join(got, "\n      "), strings.Join(tc.want, "\n      "))
@@ -110,7 +89,7 @@ int main(void) {
 		t.Fatal(err)
 	}
 	if len(diags) != 1 || diags[0].Sev != check.Error || diags[0].Kind != check.NullDeref {
-		t.Fatalf("want one null-deref error, got %v", render(diags))
+		t.Fatalf("want one null-deref error, got %v", testutil.Render(diags))
 	}
 	if diags[0].Ctx != "main -> deref" {
 		t.Errorf("context path = %q, want %q", diags[0].Ctx, "main -> deref")
@@ -163,7 +142,7 @@ int main(void) {
 		t.Fatal(err)
 	}
 	if len(diags) != 1 || diags[0].Kind != check.NullDeref || diags[0].Sev != check.Error {
-		t.Fatalf("want one null-deref error, got %v", render(diags))
+		t.Fatalf("want one null-deref error, got %v", testutil.Render(diags))
 	}
 }
 

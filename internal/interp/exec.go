@@ -254,6 +254,7 @@ func (ip *Interp) execBasic(b *simple.Basic) error {
 		if err != nil {
 			return err
 		}
+		v.Taint = v.Taint || x.Taint
 		return ip.assign(b.LHS, v)
 
 	case simple.AsgnBinary:
@@ -269,6 +270,7 @@ func (ip *Interp) execBasic(b *simple.Basic) error {
 		if err != nil {
 			return err
 		}
+		v.Taint = v.Taint || x.Taint || y.Taint
 		return ip.assign(b.LHS, v)
 
 	case simple.AsgnMalloc:
@@ -418,7 +420,10 @@ func (ip *Interp) assign(lhs *simple.Ref, v Value) error {
 	if err != nil {
 		return err
 	}
-	// Coerce by destination type so int/float conversions behave.
+	// Coerce by destination type so int/float conversions behave. The taint
+	// bit survives coercion: a narrowed or converted tainted value is still
+	// attacker-derived.
+	tn := v.Taint
 	if t := ip.typeOfCell(addr); t != nil {
 		switch {
 		case t.IsFloat() && v.Kind == KInt:
@@ -429,6 +434,7 @@ func (ip *Interp) assign(lhs *simple.Ref, v Value) error {
 			v = intVal(int64(int8(v.I)))
 		}
 	}
+	v.Taint = tn
 	return ip.store(addr, v)
 }
 
@@ -772,34 +778,65 @@ func (ip *Interp) call(fn *simple.Function, args []Value) (Value, error) {
 
 // readCString reads a NUL-terminated string through a pointer or literal.
 func (ip *Interp) readCString(v Value) (string, error) {
+	s, _, err := ip.readCStringT(v)
+	return s, err
+}
+
+// readCStringT is readCString plus the accumulated taint of the characters
+// read: a string is tainted if the holding value is, or if any character cell
+// before the terminator carries the taint bit.
+func (ip *Interp) readCStringT(v Value) (string, bool, error) {
 	switch v.Kind {
 	case KStr:
 		if v.Off <= len(v.S) {
-			return v.S[v.Off:], nil
+			return v.S[v.Off:], v.Taint, nil
 		}
-		return "", &runtimeError{"string literal offset out of range"}
+		return "", false, &runtimeError{"string literal offset out of range"}
 	case KPtr:
 		var sb strings.Builder
+		taint := v.Taint
 		p := v.P
 		for i := 0; i < 1<<16; i++ {
 			cv, err := ip.load(p)
 			if err != nil {
-				return "", err
+				return "", false, err
 			}
 			c := cv.asInt()
 			if c == 0 {
-				return sb.String(), nil
+				return sb.String(), taint, nil
 			}
+			taint = taint || cv.Taint
 			sb.WriteByte(byte(c))
 			var aerr error
 			p, aerr = ptrAdd(p, 1)
 			if aerr != nil {
-				return "", aerr
+				return "", false, aerr
 			}
 		}
-		return "", &runtimeError{"unterminated C string"}
+		return "", false, &runtimeError{"unterminated C string"}
 	}
-	return "", &runtimeError{"not a string value"}
+	return "", false, &runtimeError{"not a string value"}
+}
+
+// dataTaint reports whether a value or the string data it points to is
+// tainted — the dynamic analogue of the static checker's data-taint join.
+func (ip *Interp) dataTaint(v Value) bool {
+	if v.Taint {
+		return true
+	}
+	switch v.Kind {
+	case KStr, KPtr:
+		_, t, err := ip.readCStringT(v)
+		return err == nil && t
+	}
+	return false
+}
+
+// sink fires the dynamic-taint hook.
+func (ip *Interp) sink(kind string) {
+	if ip.OnTaintSink != nil {
+		ip.OnTaintSink(kind)
+	}
 }
 
 func (ip *Interp) builtin(name string, args []Value, pos token.Pos) (Value, error) {
@@ -817,9 +854,21 @@ func (ip *Interp) builtin(name string, args []Value, pos token.Pos) (Value, erro
 		if len(args) <= start {
 			return intVal(0), nil
 		}
-		format, err := ip.readCString(args[start])
+		format, ftaint, err := ip.readCStringT(args[start])
 		if err != nil {
 			return Value{}, err
+		}
+		if ftaint {
+			ip.sink("tainted-format")
+		}
+		dataTaint := false
+		for _, a := range args[start+1:] {
+			if ip.dataTaint(a) {
+				dataTaint = true
+			}
+		}
+		if name == "sprintf" && dataTaint {
+			ip.sink("tainted-copy")
 		}
 		out, err := ip.formatC(format, args[start+1:])
 		if err != nil {
@@ -827,7 +876,7 @@ func (ip *Interp) builtin(name string, args []Value, pos token.Pos) (Value, erro
 		}
 		if name == "printf" {
 			ip.Out.WriteString(out)
-		} else if err := ip.writeCString(dst, out); err != nil {
+		} else if err := ip.writeCStringT(dst, out, ftaint || dataTaint); err != nil {
 			return Value{}, err
 		}
 		return intVal(int64(len(out))), nil
@@ -868,19 +917,24 @@ func (ip *Interp) builtin(name string, args []Value, pos token.Pos) (Value, erro
 		if len(args) < 2 {
 			return Value{}, ip.errf(pos, "%s: missing arguments", name)
 		}
-		src, err := ip.readCString(args[1])
+		src, staint, err := ip.readCStringT(args[1])
 		if err != nil {
 			return Value{}, err
 		}
+		if staint {
+			ip.sink("tainted-copy")
+		}
 		dst := args[0]
+		taint := staint
 		if name == "strcat" {
-			old, err := ip.readCString(dst)
+			old, otaint, err := ip.readCStringT(dst)
 			if err != nil {
 				return Value{}, err
 			}
 			src = old + src
+			taint = taint || otaint
 		}
-		if err := ip.writeCString(dst, src); err != nil {
+		if err := ip.writeCStringT(dst, src, taint); err != nil {
 			return Value{}, err
 		}
 		return dst, nil
@@ -949,7 +1003,96 @@ func (ip *Interp) builtin(name string, args []Value, pos token.Pos) (Value, erro
 	case "exit":
 		return Value{}, &exitError{code: args[0].asInt()}
 
-	case "memset", "memcpy", "memmove", "scanf", "calloc", "realloc":
+	// --- dynamic-taint oracle: sources ---
+
+	case "getenv":
+		// Model: every environment variable exists and is attacker-controlled.
+		return Value{Kind: KStr, S: "T", Taint: true}, nil
+
+	case "gets", "fgets":
+		if len(args) < 1 {
+			return Value{}, ip.errf(pos, "%s: missing arguments", name)
+		}
+		if err := ip.writeCStringT(args[0], "in", true); err != nil {
+			return Value{}, err
+		}
+		return args[0], nil
+
+	case "read", "recv":
+		if len(args) < 2 {
+			return Value{}, ip.errf(pos, "%s: missing arguments", name)
+		}
+		if err := ip.writeCStringT(args[1], "in", true); err != nil {
+			return Value{}, err
+		}
+		return intVal(2), nil
+
+	case "scanf", "fscanf", "sscanf":
+		// Model: every %-conversion stores one tainted datum through the
+		// corresponding pointer argument.
+		skip := 1
+		if name != "scanf" {
+			skip = 2
+		}
+		for _, a := range args[skip:] {
+			if a.Kind != KPtr || a.P.isNil() {
+				continue
+			}
+			tv := intVal(1)
+			tv.Taint = true
+			if err := ip.store(a.P, tv); err != nil {
+				return Value{}, err
+			}
+		}
+		return intVal(int64(len(args) - skip)), nil
+
+	// --- dynamic-taint oracle: sinks ---
+
+	case "system", "popen":
+		if len(args) >= 1 && ip.dataTaint(args[0]) {
+			ip.sink("tainted-exec")
+		}
+		if name == "popen" {
+			return nilPtr(), nil
+		}
+		return intVal(0), nil
+
+	case "execl", "execv", "execvp":
+		for _, a := range args {
+			if ip.dataTaint(a) {
+				ip.sink("tainted-exec")
+				break
+			}
+		}
+		return intVal(0), nil
+
+	// --- dynamic-taint oracle: sanitizer ---
+
+	case "sanitize":
+		// Clears the taint bit of the pointed-to C string in place.
+		if len(args) >= 1 && args[0].Kind == KPtr && !args[0].P.isNil() {
+			p := args[0].P
+			for i := 0; i < 1<<16; i++ {
+				cv, err := ip.load(p)
+				if err != nil {
+					return Value{}, err
+				}
+				if cv.asInt() == 0 {
+					break
+				}
+				cv.Taint = false
+				if err := ip.store(p, cv); err != nil {
+					return Value{}, err
+				}
+				p, err = ptrAdd(p, 1)
+				if err != nil {
+					return Value{}, err
+				}
+			}
+		}
+		return intVal(0), nil
+
+	case "memset", "memcpy", "memmove", "calloc", "realloc":
 		// calloc/realloc are rewritten to AsgnMalloc by the simplifier;
 		// the rest are unused by the suite but accepted as no-ops.
 		return intVal(0), nil
@@ -963,12 +1106,20 @@ type exitError struct{ code int64 }
 func (e *exitError) Error() string { return fmt.Sprintf("exit(%d)", e.code) }
 
 func (ip *Interp) writeCString(dst Value, s string) error {
+	return ip.writeCStringT(dst, s, false)
+}
+
+// writeCStringT writes a NUL-terminated string whose character cells carry
+// the given taint bit (the terminator stays clean).
+func (ip *Interp) writeCStringT(dst Value, s string, taint bool) error {
 	if dst.Kind != KPtr {
 		return &runtimeError{"write through non-pointer string destination"}
 	}
 	p := dst.P
 	for i := 0; i < len(s); i++ {
-		if err := ip.store(p, intVal(int64(s[i]))); err != nil {
+		cv := intVal(int64(s[i]))
+		cv.Taint = taint
+		if err := ip.store(p, cv); err != nil {
 			return err
 		}
 		var err error

@@ -81,6 +81,11 @@ type Value struct {
 	Fn   *ast.Object
 	S    string // KStr: literal contents
 	Off  int    // KStr: offset within the literal
+
+	// Taint is the shadow taint bit of the dynamic-taint oracle: set on
+	// values produced by taint sources (getenv, read, argv, ...) and carried
+	// through copies, arithmetic, loads and stores.
+	Taint bool
 }
 
 func intVal(i int64) Value     { return Value{Kind: KInt, I: i} }
@@ -157,6 +162,18 @@ type Interp struct {
 	// graph alongside the concrete stack.
 	OnCall   func(b *simple.Basic, callee *simple.Function) error
 	OnReturn func()
+
+	// Args, when non-empty, synthesizes main's argc/argv: each string
+	// becomes a NUL-terminated heap buffer whose characters carry the taint
+	// bit (command-line input is attacker-controlled). With Args empty,
+	// main's parameters are left unbound as before.
+	Args []string
+
+	// OnTaintSink, when non-nil, is invoked whenever tainted data reaches a
+	// modeled sink during execution: a system/exec* argument, a strcpy/
+	// strcat/sprintf source, a printf/sprintf format string, or an array
+	// subscript. kind matches the static taint checker's diagnostic kinds.
+	OnTaintSink func(kind string)
 }
 
 // New prepares an interpreter for prog.
@@ -184,11 +201,41 @@ func (ip *Interp) Run() (int64, error) {
 		}
 	}
 	ip.stack = ip.stack[:0]
-	v, err := ip.call(mainFn, nil)
+	v, err := ip.call(mainFn, ip.mainArgs(mainFn))
 	if err != nil {
 		return 0, err
 	}
 	return v.asInt(), nil
+}
+
+// mainArgs builds concrete argc/argv values from ip.Args: a heap vector of
+// pointers to heap strings whose characters are tainted.
+func (ip *Interp) mainArgs(mainFn *simple.Function) []Value {
+	if len(ip.Args) == 0 || len(mainFn.Params) == 0 {
+		return nil
+	}
+	args := []Value{intVal(int64(len(ip.Args)))}
+	if len(mainFn.Params) < 2 {
+		return args
+	}
+	vec := ip.heapN
+	ip.heapN++
+	ip.heap[vec] = make(map[string]cellEntry)
+	for i, s := range ip.Args {
+		str := ip.heapN
+		ip.heapN++
+		ip.heap[str] = make(map[string]cellEntry)
+		for j := 0; j < len(s); j++ {
+			v := intVal(int64(s[j]))
+			v.Taint = true
+			ip.store(Pointer{HeapID: str, Path: []CSel{{Idx: j, IsIdx: true}}}, v)
+		}
+		ip.store(Pointer{HeapID: str, Path: []CSel{{Idx: len(s), IsIdx: true}}}, intVal(0))
+		ip.store(Pointer{HeapID: vec, Path: []CSel{{Idx: i, IsIdx: true}}},
+			Value{Kind: KPtr, P: Pointer{HeapID: str, Path: []CSel{{Idx: 0, IsIdx: true}}}})
+	}
+	args = append(args, Value{Kind: KPtr, P: Pointer{HeapID: vec, Path: []CSel{{Idx: 0, IsIdx: true}}}})
+	return args
 }
 
 type ctrl int
@@ -367,6 +414,9 @@ func (ip *Interp) evalSels(sels []simple.Sel, pos token.Pos) ([]CSel, error) {
 			if err != nil {
 				return nil, err
 			}
+			if v.Taint && ip.OnTaintSink != nil {
+				ip.OnTaintSink("tainted-index")
+			}
 			out = append(out, CSel{Idx: int(v.asInt()), IsIdx: true})
 		}
 	}
@@ -488,7 +538,9 @@ func (ip *Interp) evalRef(r *simple.Ref) (Value, error) {
 			if off == len(pv.S) {
 				return intVal(0), nil
 			}
-			return intVal(int64(pv.S[off])), nil
+			cv := intVal(int64(pv.S[off]))
+			cv.Taint = pv.Taint
+			return cv, nil
 		}
 	}
 	addr, err := ip.addrOfRef(r)

@@ -238,6 +238,14 @@ type MetricsSnapshot struct {
 	TraceEmitted uint64 `json:"trace_emitted,omitempty"`
 	TraceDropped uint64 `json:"trace_dropped,omitempty"`
 
+	// Taint counters, filled by the taint client when it runs over this
+	// result (internal/taint mutates the snapshot in place).
+	TaintSources    int64 `json:"taint_sources,omitempty"`
+	TaintSinks      int64 `json:"taint_sinks,omitempty"`
+	TaintSanitizers int64 `json:"taint_sanitizers,omitempty"`
+	TaintErrors     int64 `json:"taint_errors,omitempty"`
+	TaintWarnings   int64 `json:"taint_warnings,omitempty"`
+
 	// Funcs is the per-function cost table, most expensive first.
 	Funcs []FuncCostSnapshot `json:"funcs,omitempty"`
 }

@@ -1,0 +1,155 @@
+package oracle
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/cc/parser"
+	"repro/internal/interp"
+	"repro/internal/pta"
+	"repro/internal/simple"
+	"repro/internal/simplify"
+	"repro/internal/taint"
+)
+
+// TestTaintOracle validates the static taint checker against the dynamic
+// taint oracle: the interpreter carries a shadow taint bit on every value
+// and fires a sink hook whenever tainted data concretely reaches a modeled
+// sink. Every definite (error-level) static diagnostic must be witnessed —
+// when its flagged statement executes, the hook must fire at that statement
+// with the same kind. Clean _ok fixtures must have zero error diagnostics.
+func TestTaintOracle(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples", "taint")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".c") {
+			files = append(files, e.Name())
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		t.Fatal("no taint fixtures found")
+	}
+	for _, file := range files {
+		t.Run(file, func(t *testing.T) {
+			data, err := os.ReadFile(filepath.Join(dir, file))
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := string(data)
+			tu, err := parser.Parse(file, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := simplify.Simplify(tu)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := pta.Analyze(prog, pta.Options{RecordContexts: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := taint.DefaultConfig()
+			cfg.AddSanitizers(taint.PragmaSanitizers(src)...)
+			diags, err := taint.Run(res, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if strings.HasSuffix(file, "_ok.c") {
+				for _, d := range diags {
+					if d.Sev == taint.Error {
+						t.Errorf("clean twin reports an error: %s", d)
+					}
+				}
+				return
+			}
+
+			// pending[stmt][kind] = true until a sink event witnesses it.
+			pending := make(map[*simple.Basic]map[string]bool)
+			total := 0
+			for _, d := range diags {
+				if d.Sev != taint.Error {
+					continue
+				}
+				if d.Stmt == nil {
+					t.Errorf("error diagnostic without a statement: %s", d)
+					continue
+				}
+				if pending[d.Stmt] == nil {
+					pending[d.Stmt] = make(map[string]bool)
+				}
+				pending[d.Stmt][string(d.Kind)] = true
+				total++
+			}
+			if len(diags) == 0 {
+				t.Fatalf("seeded fixture %s produced no diagnostics", file)
+			}
+			if total == 0 {
+				return // warning-only fixture (ctx.c): nothing definite to witness
+			}
+
+			ip := interp.New(prog)
+			ip.MaxSteps = 500_000
+			ip.Args = []string{"prog", "payload"}
+			var cur *simple.Basic
+			ip.Trace = func(b *simple.Basic, depth int) error {
+				cur = b
+				return nil
+			}
+			ip.OnTaintSink = func(kind string) {
+				if cur == nil {
+					return
+				}
+				if kinds, ok := pending[cur]; ok {
+					delete(kinds, kind)
+				}
+			}
+			if _, err := ip.Run(); err != nil {
+				if _, ok := interp.ExitCode(err); !ok {
+					t.Fatalf("execution failed: %v", err)
+				}
+			}
+			for stmt, kinds := range pending {
+				for kind := range kinds {
+					t.Errorf("definite %s diagnostic at %s never witnessed at execution", kind, stmt.Pos)
+				}
+			}
+		})
+	}
+}
+
+// TestTaintOracleArgvOptIn: with no Args configured, the interpreter leaves
+// main's parameters unbound exactly as before — the argv synthesis must not
+// perturb the existing soundness oracle's memory model.
+func TestTaintOracleArgvOptIn(t *testing.T) {
+	tu, err := parser.Parse("noargs.c", `
+int main(int argc, char **argv) {
+    if (argc > 5) {
+        system(argv[1]);
+    }
+    return 7;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := simplify.Simplify(tu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := interp.New(prog)
+	code, err := ip.Run()
+	if err != nil {
+		t.Fatalf("run without Args: %v", err)
+	}
+	if code != 7 {
+		t.Fatalf("exit code = %d, want 7", code)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/pta"
 	"repro/internal/report"
 	"repro/internal/simple"
+	"repro/internal/taint"
 )
 
 // PerfProgram is the performance record of one benchmark program: wall
@@ -64,6 +65,11 @@ type PerfProgram struct {
 	// Identical reports that the serial, parallel and unmemoized analyses
 	// produced byte-identical canonical results.
 	Identical bool `json:"identical"`
+
+	// Taint-analysis diagnostic counts from a separate per-context run
+	// (the timing runs above skip RecordContexts).
+	TaintErrors   int `json:"taint_errors"`
+	TaintWarnings int `json:"taint_warnings"`
 }
 
 // PerfReport is the machine-readable performance report (BENCH_pta.json).
@@ -137,6 +143,16 @@ func RunPerf(names []string, workers, repeats int) (*PerfReport, error) {
 		}
 		fp := pta.Fingerprint(serial)
 		p.Identical = fp == pta.Fingerprint(parallel) && fp == pta.Fingerprint(nomemo)
+
+		ctxRes, err := pta.Analyze(prog, pta.Options{Workers: workers, RecordContexts: true})
+		if err != nil {
+			return nil, fmt.Errorf("%s contexts: %w", name, err)
+		}
+		tdiags, err := taint.Run(ctxRes, nil)
+		if err != nil {
+			return nil, fmt.Errorf("%s taint: %w", name, err)
+		}
+		p.TaintErrors, p.TaintWarnings = report.TaintDiagCounts(tdiags)
 
 		rep.Programs = append(rep.Programs, p)
 	}
@@ -281,11 +297,12 @@ func (r *PerfReport) WriteJSON(w io.Writer) error {
 // WriteTable renders the report as an aligned text table.
 func (r *PerfReport) WriteTable(w io.Writer) {
 	fmt.Fprintf(w, "points-to analysis performance (workers=%d, best of %d runs)\n\n", r.Workers, r.Repeats)
-	fmt.Fprintf(w, "%-11s %9s %9s %9s %9s %7s %7s %6s %8s %5s\n",
-		"program", "serial", "parallel", "nomemo", "steps", "memo%", "intern%", "peak", "distinct", "ok")
+	fmt.Fprintf(w, "%-11s %9s %9s %9s %9s %7s %7s %6s %8s %7s %5s\n",
+		"program", "serial", "parallel", "nomemo", "steps", "memo%", "intern%", "peak", "distinct", "taint", "ok")
 	for _, p := range r.Programs {
-		fmt.Fprintf(w, "%-11s %7.2fms %7.2fms %7.2fms %9d %6.1f%% %6.1f%% %6d %8d %5v\n",
+		fmt.Fprintf(w, "%-11s %7.2fms %7.2fms %7.2fms %9d %6.1f%% %6.1f%% %6d %8d %7s %5v\n",
 			p.Name, p.WallSerialMS, p.WallParallelMS, p.WallNoMemoMS, p.Steps,
-			100*p.MemoHitRate, 100*p.InternHitRate, p.PeakSetLen, p.DistinctSets, p.Identical)
+			100*p.MemoHitRate, 100*p.InternHitRate, p.PeakSetLen, p.DistinctSets,
+			fmt.Sprintf("%dE/%dW", p.TaintErrors, p.TaintWarnings), p.Identical)
 	}
 }

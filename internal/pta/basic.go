@@ -102,6 +102,7 @@ var externalReturnsArg = map[string]int{
 	"memcpy":  0,
 	"memmove": 0,
 	"memset":  0,
+	"fgets":   0,
 }
 
 // ExternalReturnsArg reports whether the named external library function is

@@ -73,6 +73,14 @@ func (mi *MapInfo) CalleeNames(res *Result, l *loc.Location) []*loc.Location {
 	return mi.calleeNamesOf(a, l, true)
 }
 
+// MultiSym reports whether the callee-side location is (an extension of) a
+// symbolic name standing for several invisible caller locations; taint and
+// other follow-on analyses must weaken relationships through it to possible.
+func (mi *MapInfo) MultiSym(res *Result, l *loc.Location) bool {
+	a := &analyzer{prog: res.Prog, tab: res.Table, opts: res.Opts}
+	return mi.isMultiSym(a, l)
+}
+
 // Invisibles exposes the symbolic-name map information for reporting and
 // follow-on analyses: symbolic root name -> caller location names.
 func (mi *MapInfo) Invisibles() map[string][]string {

@@ -14,29 +14,9 @@ import (
 	"repro/internal/pta"
 	"repro/internal/race"
 	"repro/internal/simplify"
+	"repro/internal/testutil"
 	"repro/pointsto"
 )
-
-func analyzeFile(t *testing.T, path string) *pointsto.Analysis {
-	t.Helper()
-	data, err := os.ReadFile(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	a, err := pointsto.AnalyzeSource(filepath.Base(path), string(data), nil)
-	if err != nil {
-		t.Fatalf("%s: %v", path, err)
-	}
-	return a
-}
-
-func render(diags []race.Diag) []string {
-	out := make([]string, len(diags))
-	for i, d := range diags {
-		out[i] = d.String()
-	}
-	return out
-}
 
 func counts(diags []race.Diag) (errs, warns int) {
 	for _, d := range diags {
@@ -70,7 +50,7 @@ func TestFixtures(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.file, func(t *testing.T) {
-			a := analyzeFile(t, filepath.Join("..", "..", "examples", "race", tc.file))
+			a := testutil.AnalyzeFile(t, filepath.Join(testutil.FixtureDir("race"), tc.file))
 			diags, err := a.Races()
 			if err != nil {
 				t.Fatal(err)
@@ -78,7 +58,7 @@ func TestFixtures(t *testing.T) {
 			errs, warns := counts(diags)
 			if errs != tc.errs || warns != tc.warns {
 				t.Fatalf("got %d errors, %d warnings, want %d errors, %d warnings:\n%s",
-					errs, warns, tc.errs, tc.warns, strings.Join(render(diags), "\n"))
+					errs, warns, tc.errs, tc.warns, strings.Join(testutil.Render(diags), "\n"))
 			}
 		})
 	}
@@ -87,7 +67,7 @@ func TestFixtures(t *testing.T) {
 // TestGoldenMessages pins the full diagnostic text of the simplest fixture,
 // so message drift is deliberate.
 func TestGoldenMessages(t *testing.T) {
-	a := analyzeFile(t, filepath.Join("..", "..", "examples", "race", "threadarg.c"))
+	a := testutil.AnalyzeFile(t, filepath.Join(testutil.FixtureDir("race"), "threadarg.c"))
 	diags, err := a.Races()
 	if err != nil {
 		t.Fatal(err)
@@ -97,7 +77,7 @@ func TestGoldenMessages(t *testing.T) {
 			"(spawned at threadarg.c:16:19) races with write of counter at " +
 			"threadarg.c:17:5 in main (no common lock held)",
 	}
-	if got := render(diags); !reflect.DeepEqual(got, want) {
+	if got := testutil.Render(diags); !reflect.DeepEqual(got, want) {
 		t.Fatalf("got:\n%s\nwant:\n%s", strings.Join(got, "\n"), strings.Join(want, "\n"))
 	}
 }
@@ -126,7 +106,7 @@ int main(void) {
 	diags := analyzeSrc(t, "multispawn.c", raced)
 	if errs, _ := counts(diags); errs == 0 {
 		t.Fatalf("expected self-race errors for loop-spawned thread, got:\n%s",
-			strings.Join(render(diags), "\n"))
+			strings.Join(testutil.Render(diags), "\n"))
 	}
 	found := false
 	for _, d := range diags {
@@ -135,7 +115,7 @@ int main(void) {
 		}
 	}
 	if !found {
-		t.Fatalf("expected a self-race diagnostic, got:\n%s", strings.Join(render(diags), "\n"))
+		t.Fatalf("expected a self-race diagnostic, got:\n%s", strings.Join(testutil.Render(diags), "\n"))
 	}
 
 	locked := `
@@ -160,7 +140,7 @@ int main(void) {
 `
 	if diags := analyzeSrc(t, "multispawn_ok.c", locked); len(diags) != 0 {
 		t.Fatalf("locked loop-spawned thread should be clean, got:\n%s",
-			strings.Join(render(diags), "\n"))
+			strings.Join(testutil.Render(diags), "\n"))
 	}
 }
 
@@ -212,7 +192,7 @@ func TestDeterminism(t *testing.T) {
 					if err != nil {
 						t.Fatal(err)
 					}
-					got := render(diags)
+					got := testutil.Render(diags)
 					fp := pta.Fingerprint(res)
 					if baseFP == "" {
 						baseDiags, baseFP = got, fp
@@ -244,14 +224,14 @@ func TestNoThreadsNoDiags(t *testing.T) {
 		if !strings.HasSuffix(e.Name(), ".c") {
 			continue
 		}
-		a := analyzeFile(t, filepath.Join(checkDir, e.Name()))
+		a := testutil.AnalyzeFile(t, filepath.Join(checkDir, e.Name()))
 		diags, err := a.Races()
 		if err != nil {
 			t.Fatal(err)
 		}
 		if len(diags) != 0 {
 			t.Errorf("%s: thread-free program produced race diagnostics:\n%s",
-				e.Name(), strings.Join(render(diags), "\n"))
+				e.Name(), strings.Join(testutil.Render(diags), "\n"))
 		}
 	}
 	for _, name := range bench.Names() {
@@ -269,7 +249,7 @@ func TestNoThreadsNoDiags(t *testing.T) {
 		}
 		if len(diags) != 0 {
 			t.Errorf("bench %s: thread-free program produced race diagnostics:\n%s",
-				name, strings.Join(render(diags), "\n"))
+				name, strings.Join(testutil.Render(diags), "\n"))
 		}
 	}
 }

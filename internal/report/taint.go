@@ -1,0 +1,39 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/taint"
+)
+
+// WriteTaintDiags renders taint diagnostics in the conventional
+// file:line:col: severity: message form, one per line. Diagnostics arrive
+// already sorted by position from taint.Run.
+func WriteTaintDiags(w io.Writer, diags []taint.Diag) {
+	for _, d := range diags {
+		fmt.Fprintln(w, d.String())
+	}
+}
+
+// TaintDiagCounts tallies taint diagnostics by severity.
+func TaintDiagCounts(diags []taint.Diag) (errors, warnings int) {
+	for _, d := range diags {
+		if d.Sev == taint.Error {
+			errors++
+		} else {
+			warnings++
+		}
+	}
+	return errors, warnings
+}
+
+// WriteTaintDiagSummary writes a one-line closing summary.
+func WriteTaintDiagSummary(w io.Writer, diags []taint.Diag) {
+	errs, warns := TaintDiagCounts(diags)
+	if errs == 0 && warns == 0 {
+		fmt.Fprintln(w, "no taint flows found")
+		return
+	}
+	fmt.Fprintf(w, "%s, %s\n", plural(errs, "error"), plural(warns, "warning"))
+}

@@ -1,0 +1,107 @@
+package taint_test
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/cc/parser"
+	"repro/internal/pta"
+	"repro/internal/simplify"
+	"repro/internal/taint"
+	"repro/internal/testutil"
+)
+
+// genTaintProgram builds a small C program from fuzz knobs: which source
+// feeds the flow, which sink consumes it, whether a sanitizer intervenes,
+// whether the flow crosses a function-pointer call, and whether the sink
+// sits inside a loop.
+func genTaintProgram(src, sink uint8, sanitized, viaFnPtr, inLoop bool) string {
+	var b strings.Builder
+	b.WriteString("void use(char *c) {\n")
+	stmt := ""
+	switch sink % 4 {
+	case 0:
+		stmt = "system(c);"
+	case 1:
+		stmt = "printf(c);"
+	case 2:
+		stmt = "execl(c);"
+	default:
+		stmt = "strcat(c, c);"
+	}
+	if inLoop {
+		fmt.Fprintf(&b, "    int i;\n    i = 0;\n    while (i < 3) {\n        %s\n        i = i + 1;\n    }\n", stmt)
+	} else {
+		fmt.Fprintf(&b, "    %s\n", stmt)
+	}
+	b.WriteString("}\n")
+	b.WriteString("int main(int argc, char **argv) {\n")
+	b.WriteString("    char buf[16];\n    char *c;\n    void (*fp)(char *);\n")
+	switch src % 4 {
+	case 0:
+		b.WriteString("    c = argv[1];\n")
+	case 1:
+		b.WriteString("    c = getenv(\"X\");\n")
+	case 2:
+		b.WriteString("    read(0, buf, 16);\n    c = buf;\n")
+	default:
+		b.WriteString("    fgets(buf, 16, 0);\n    c = buf;\n")
+	}
+	if sanitized {
+		b.WriteString("    sanitize(c);\n")
+	}
+	if viaFnPtr {
+		b.WriteString("    fp = &use;\n    fp(c);\n")
+	} else {
+		b.WriteString("    use(c);\n")
+	}
+	b.WriteString("    return 0;\n}\n")
+	return b.String()
+}
+
+// FuzzTaintParallelEquivalence: for every generated source/sink/sanitizer
+// shape, the rendered taint diagnostics must be byte-identical between the
+// sequential, parallel and unmemoized analyses.
+func FuzzTaintParallelEquivalence(f *testing.F) {
+	f.Add(uint8(0), uint8(0), false, false, false)
+	f.Add(uint8(1), uint8(1), false, true, false)
+	f.Add(uint8(2), uint8(2), true, false, true)
+	f.Add(uint8(3), uint8(3), false, true, true)
+	f.Fuzz(func(t *testing.T, src, sink uint8, sanitized, viaFnPtr, inLoop bool) {
+		source := genTaintProgram(src, sink, sanitized, viaFnPtr, inLoop)
+		tu, err := parser.Parse("fuzz.c", source)
+		if err != nil {
+			t.Fatalf("parse: %v\n%s", err, source)
+		}
+		prog, err := simplify.Simplify(tu)
+		if err != nil {
+			t.Fatalf("simplify: %v\n%s", err, source)
+		}
+		var base []string
+		for i, opts := range []pta.Options{
+			{Workers: 1, RecordContexts: true},
+			{Workers: 4, RecordContexts: true},
+			{Workers: 4, NoMemo: true, RecordContexts: true},
+		} {
+			res, err := pta.Analyze(prog, opts)
+			if err != nil {
+				t.Fatalf("analyze: %v\n%s", err, source)
+			}
+			diags, err := taint.Run(res, nil)
+			if err != nil {
+				t.Fatalf("taint: %v\n%s", err, source)
+			}
+			got := testutil.Render(diags)
+			if i == 0 {
+				base = got
+				continue
+			}
+			if !reflect.DeepEqual(got, base) {
+				t.Fatalf("variant %d diagnostics differ:\ngot:  %s\nbase: %s\nprogram:\n%s",
+					i, strings.Join(got, "\n"), strings.Join(base, "\n"), source)
+			}
+		}
+	})
+}

@@ -1,0 +1,54 @@
+package taint
+
+import "strings"
+
+// pragmaKey introduces a sanitizer pragma inside a comment:
+//
+//	// taint:sanitizes quote
+//	/* taint:sanitizes quote escape_html */
+//
+// Every identifier after the key on the same line names a function the taint
+// pass trusts to kill the taint of its arguments' pointees.
+const pragmaKey = "taint:sanitizes"
+
+// PragmaSanitizers scans C source text for sanitizer pragmas and returns the
+// function names they declare, in order of appearance, deduplicated.
+func PragmaSanitizers(src string) []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, line := range strings.Split(src, "\n") {
+		rest := line
+		for {
+			idx := strings.Index(rest, pragmaKey)
+			if idx < 0 {
+				break
+			}
+			rest = rest[idx+len(pragmaKey):]
+			for _, f := range strings.Fields(rest) {
+				name := trimIdent(f)
+				if name == "" {
+					break // "*/" or other non-identifier ends the list
+				}
+				if !seen[name] {
+					seen[name] = true
+					out = append(out, name)
+				}
+				if name != f {
+					break // trailing junk ("quote*/") ends the list after it
+				}
+			}
+		}
+	}
+	return out
+}
+
+// trimIdent returns the leading C identifier of s, or "".
+func trimIdent(s string) string {
+	for i, r := range s {
+		if r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || i > 0 && r >= '0' && r <= '9' {
+			continue
+		}
+		return s[:i]
+	}
+	return s
+}

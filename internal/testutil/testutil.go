@@ -1,0 +1,105 @@
+// Package testutil is the shared golden-fixture harness for the analysis
+// clients (check, race, taint): fixture discovery over an examples/
+// subdirectory, source-to-Analysis helpers, diagnostic rendering, and golden
+// file comparison with the conventional -update flag.
+package testutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/pointsto"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// FixtureDir resolves an examples/ subdirectory relative to the repo root,
+// which for a test binary is two levels above the package directory.
+func FixtureDir(parts ...string) string {
+	return filepath.Join(append([]string{"..", "..", "examples"}, parts...)...)
+}
+
+// Fixtures lists the .c files of a fixture directory, sorted by name.
+func Fixtures(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("fixture dir %s: %v", dir, err)
+	}
+	var out []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".c") {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AnalyzeFile parses and analyzes one C file through the public API.
+func AnalyzeFile(t *testing.T, path string) *pointsto.Analysis {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := pointsto.AnalyzeSource(filepath.Base(path), string(data), nil)
+	if err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	return a
+}
+
+// AnalyzeSrc analyzes in-memory source through the public API.
+func AnalyzeSrc(t *testing.T, name, src string) *pointsto.Analysis {
+	t.Helper()
+	a, err := pointsto.AnalyzeSource(name, src, nil)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return a
+}
+
+// Render stringifies a diagnostic slice, one line per entry.
+func Render[D fmt.Stringer](diags []D) []string {
+	out := make([]string, len(diags))
+	for i, d := range diags {
+		out[i] = d.String()
+	}
+	return out
+}
+
+// Golden compares got against the golden file at path; with -update the file
+// is rewritten instead. A missing golden file fails unless -update is given.
+// An empty got is stored as an empty file.
+func Golden(t *testing.T, path string, got string) {
+	t.Helper()
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatalf("update golden %s: %v", path, err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden %s: %v (run with -update to create)", path, err)
+	}
+	if got != string(want) {
+		t.Errorf("%s mismatch:\n--- got ---\n%s--- want ---\n%s", filepath.Base(path), got, want)
+	}
+}
+
+// GoldenLines is Golden over a line slice, normalizing the trailing newline.
+func GoldenLines(t *testing.T, path string, lines []string) {
+	t.Helper()
+	got := ""
+	if len(lines) > 0 {
+		got = strings.Join(lines, "\n") + "\n"
+	}
+	Golden(t, path, got)
+}

@@ -36,6 +36,7 @@ import (
 	"repro/internal/race"
 	"repro/internal/simple"
 	"repro/internal/simplify"
+	"repro/internal/taint"
 	"repro/internal/xform"
 )
 
@@ -122,6 +123,9 @@ type Analysis struct {
 	// Tracer holds the execution trace when Config.Trace was set, nil
 	// otherwise.
 	Tracer *obsv.Tracer
+	// Source is the C source text when the analysis came in through
+	// AnalyzeSource, "" otherwise. Taint() scans it for sanitizer pragmas.
+	Source string
 }
 
 // Metrics returns the analysis metrics snapshot (never nil).
@@ -152,7 +156,12 @@ func AnalyzeSource(filename, src string, cfg *Config) (*Analysis, error) {
 	if err != nil {
 		return nil, err
 	}
-	return AnalyzeUnit(tu, cfg)
+	a, err := AnalyzeUnit(tu, cfg)
+	if err != nil {
+		return nil, err
+	}
+	a.Source = src
+	return a, nil
 }
 
 // AnalyzeUnit analyzes an already-parsed translation unit.
@@ -307,16 +316,9 @@ func (a *Analysis) Dependences() *deptest.Result {
 // hits skip the per-context re-analysis) the points-to analysis is re-run
 // internally with the required options; the re-run does not disturb Result.
 func (a *Analysis) Check() ([]check.Diag, error) {
-	res := a.Result
-	if !res.Annots.ContextsEnabled() || res.Opts.ShareContexts {
-		opts := res.Opts
-		opts.ShareContexts = false
-		opts.RecordContexts = true
-		var err error
-		res, err = pta.Analyze(a.Program, opts)
-		if err != nil {
-			return nil, err
-		}
+	res, err := a.contextResult()
+	if err != nil {
+		return nil, err
 	}
 	return check.Run(res)
 }
@@ -328,6 +330,39 @@ func (a *Analysis) Check() ([]check.Diag, error) {
 // so an analysis run without them (or with ShareContexts) is re-run
 // internally with the required options; the re-run does not disturb Result.
 func (a *Analysis) Races() ([]race.Diag, error) {
+	res, err := a.contextResult()
+	if err != nil {
+		return nil, err
+	}
+	return race.Run(res, modref.Compute(res))
+}
+
+// Taint runs the context-sensitive taint-propagation client with the default
+// source/sink/sanitizer tables, extended with any "taint:sanitizes" pragmas
+// found in the source text. Like Check and Races, the client needs
+// per-context annotations, so an analysis run without them (or with
+// ShareContexts) is re-run internally; the re-run does not disturb Result.
+func (a *Analysis) Taint() ([]taint.Diag, error) {
+	cfg := taint.DefaultConfig()
+	if a.Source != "" {
+		cfg.AddSanitizers(taint.PragmaSanitizers(a.Source)...)
+	}
+	return a.TaintWith(cfg)
+}
+
+// TaintWith is Taint with caller-supplied source/sink/sanitizer tables (nil
+// means the defaults, without pragma scanning).
+func (a *Analysis) TaintWith(cfg *taint.Config) ([]taint.Diag, error) {
+	res, err := a.contextResult()
+	if err != nil {
+		return nil, err
+	}
+	return taint.Run(res, cfg)
+}
+
+// contextResult returns a Result carrying per-context annotations, re-running
+// the analysis when this one was run without them.
+func (a *Analysis) contextResult() (*pta.Result, error) {
 	res := a.Result
 	if !res.Annots.ContextsEnabled() || res.Opts.ShareContexts {
 		opts := res.Opts
@@ -339,7 +374,7 @@ func (a *Analysis) Races() ([]race.Diag, error) {
 			return nil, err
 		}
 	}
-	return race.Run(res, modref.Compute(res))
+	return res, nil
 }
 
 // Diagnostics returns non-fatal analysis diagnostics.
