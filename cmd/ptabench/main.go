@@ -11,6 +11,11 @@
 //	ptabench -perf      # wall-time/memoization report (serial vs parallel vs
 //	                    # unmemoized); -out writes BENCH_pta.json, -verify
 //	                    # exits nonzero on divergence or a cold memo cache
+//	ptabench -scale     # wall-time trajectory at workers 1/2/4/8 over a
+//	                    # generated program (-scale-preset) or a C file
+//	                    # (-scale-file) or builtins (-progs); -out writes
+//	                    # BENCH_scale.json, -verify exits nonzero if any
+//	                    # worker count diverges from the serial result
 //	ptabench -trace F   # trace the suite (one Perfetto process per program)
 //
 // Profiling flags usable with any mode: -cpuprofile, -memprofile,
@@ -20,6 +25,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -28,27 +34,60 @@ import (
 	"repro/internal/obsv"
 	"repro/internal/perf"
 	"repro/internal/pta"
+	"repro/internal/ptagen"
 	"repro/internal/report"
 )
 
 func main() {
-	var (
-		tableN   = flag.Int("table", 0, "print only the given table (2-6)")
-		livc     = flag.Bool("livc", false, "run the livc function-pointer experiment")
-		ablation = flag.Bool("ablation", false, "run the precision ablations")
-		perfMode = flag.Bool("perf", false, "run the performance report (wall time, memoization, parallel speedup)")
-		workers  = flag.Int("workers", 0, "worker pool size for the parallel perf runs (0 = GOMAXPROCS)")
-		repeats  = flag.Int("repeats", 3, "timing repetitions per variant (best kept)")
-		progs    = flag.String("progs", "", "comma-separated benchmark names for -perf/-trace (default: all)")
-		out      = flag.String("out", "", "also write the -perf report as JSON to this file")
-		verify   = flag.Bool("verify", false, "with -perf: exit 1 if any variant diverges or no program hits the memo cache")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-		traceOut   = flag.String("trace", "", "trace the suite and write Chrome trace_event JSON to this file")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile at exit to this file")
-		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof on this address")
+// fatalErr carries an error up to run's recover, which turns it into an
+// exit code — keeping the deep helper call chains free of error plumbing
+// while staying testable (run never calls os.Exit itself).
+type fatalErr struct{ err error }
+
+func fatal(err error) {
+	panic(fatalErr{err})
+}
+
+func run(argv []string, stdout, stderr io.Writer) (code int) {
+	defer func() {
+		if r := recover(); r != nil {
+			fe, ok := r.(fatalErr)
+			if !ok {
+				panic(r)
+			}
+			fmt.Fprintln(stderr, "ptabench:", fe.err)
+			code = 1
+		}
+	}()
+
+	fs := flag.NewFlagSet("ptabench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		tableN   = fs.Int("table", 0, "print only the given table (2-6)")
+		livc     = fs.Bool("livc", false, "run the livc function-pointer experiment")
+		ablation = fs.Bool("ablation", false, "run the precision ablations")
+		perfMode = fs.Bool("perf", false, "run the performance report (wall time, memoization, parallel speedup)")
+		workers  = fs.Int("workers", 0, "worker pool size for -perf, or the largest worker count for -scale (0 = GOMAXPROCS / 8)")
+		repeats  = fs.Int("repeats", 3, "timing repetitions per variant (best kept)")
+		progs    = fs.String("progs", "", "comma-separated benchmark names for -perf/-scale/-trace (default: all / generated)")
+		out      = fs.String("out", "", "also write the -perf/-scale report as JSON to this file")
+		verify   = fs.Bool("verify", false, "exit 1 on any result divergence (and, with -perf, on a cold memo cache)")
+
+		scaleMode   = fs.Bool("scale", false, "run the worker-scaling report")
+		scaleFile   = fs.String("scale-file", "", "with -scale: measure this C file (e.g. ptagen output)")
+		scalePreset = fs.String("scale-preset", "large", "with -scale: ptagen preset to generate when no -scale-file/-progs is given")
+
+		traceOut   = fs.String("trace", "", "trace the suite and write Chrome trace_event JSON to this file")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile at exit to this file")
+		debugAddr  = fs.String("debug-addr", "", "serve net/http/pprof on this address")
 	)
-	flag.Parse()
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
 
 	prof, err := obsv.StartProfiles(*cpuprofile, *memprofile, *debugAddr)
 	if err != nil {
@@ -56,27 +95,31 @@ func main() {
 	}
 	defer func() {
 		if err := prof.Stop(); err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "ptabench:", err)
+			code = 1
 		}
 	}()
 
 	switch {
 	case *traceOut != "":
-		runTrace(*traceOut, *progs, *workers)
+		runTrace(stdout, *traceOut, *progs, *workers)
+	case *scaleMode:
+		runScale(stdout, stderr, *progs, *scaleFile, *scalePreset, *workers, *repeats, *out, *verify)
 	case *perfMode:
-		runPerf(*progs, *workers, *repeats, *out, *verify)
+		runPerf(stdout, stderr, *progs, *workers, *repeats, *out, *verify)
 	case *livc:
-		runLivc()
+		runLivc(stdout)
 	case *ablation:
-		runAblation()
+		runAblation(stdout)
 	default:
-		runTables(*tableN)
+		runTables(stdout, *tableN)
 	}
+	return 0
 }
 
 // runTrace analyzes the selected benchmarks with tracing enabled and writes
 // one Chrome trace file with a Perfetto process per program.
-func runTrace(path, progs string, workers int) {
+func runTrace(w io.Writer, path, progs string, workers int) {
 	var names []string
 	if progs != "" {
 		names = strings.Split(progs, ",")
@@ -99,14 +142,14 @@ func runTrace(path, progs string, workers int) {
 	for _, p := range procs {
 		events += len(p.Events)
 	}
-	fmt.Printf("traced %d programs (%d events) to %s\n", len(procs), events, path)
+	fmt.Fprintf(w, "traced %d programs (%d events) to %s\n", len(procs), events, path)
 }
 
 // runPerf times the suite under the serial, parallel and unmemoized
 // configurations and renders the report (optionally as JSON). With verify
 // it enforces the two smoke invariants: every program's variants agree
 // byte-for-byte, and the input-keyed memo cache is not universally cold.
-func runPerf(progs string, workers, repeats int, out string, verify bool) {
+func runPerf(stdout, stderr io.Writer, progs string, workers, repeats int, out string, verify bool) {
 	var names []string
 	if progs != "" {
 		names = strings.Split(progs, ",")
@@ -115,19 +158,9 @@ func runPerf(progs string, workers, repeats int, out string, verify bool) {
 	if err != nil {
 		fatal(err)
 	}
-	rep.WriteTable(os.Stdout)
+	rep.WriteTable(stdout)
 	if out != "" {
-		f, err := os.Create(out)
-		if err != nil {
-			fatal(err)
-		}
-		if err := rep.WriteJSON(f); err != nil {
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(os.Stdout, "\nwrote %s\n", out)
+		writeJSONFile(stdout, out, rep.WriteJSON)
 	}
 	if verify {
 		anyMemoHit := false
@@ -138,9 +171,9 @@ func runPerf(progs string, workers, repeats int, out string, verify bool) {
 				// variants and show where the fingerprints split and how
 				// the per-function effort differed.
 				failed = true
-				fmt.Fprintf(os.Stderr, "verify: %s: serial, parallel and unmemoized results diverge\n", p.Name)
-				if err := perf.ExplainDivergence(os.Stderr, p.Name, rep.Workers); err != nil {
-					fmt.Fprintf(os.Stderr, "verify: %s: explaining divergence failed: %v\n", p.Name, err)
+				fmt.Fprintf(stderr, "verify: %s: serial, parallel and unmemoized results diverge\n", p.Name)
+				if err := perf.ExplainDivergence(stderr, p.Name, rep.Workers); err != nil {
+					fmt.Fprintf(stderr, "verify: %s: explaining divergence failed: %v\n", p.Name, err)
 				}
 			}
 			if p.MemoHits > 0 {
@@ -153,8 +186,95 @@ func runPerf(progs string, workers, repeats int, out string, verify bool) {
 		if !anyMemoHit {
 			fatal(fmt.Errorf("verify: memo cache was cold on every program (hit rate zero)"))
 		}
-		fmt.Println("verify: all variants byte-identical, memo cache warm")
+		fmt.Fprintln(stdout, "verify: all variants byte-identical, memo cache warm")
 	}
+}
+
+// runScale measures the worker-scaling trajectory. Target selection, in
+// priority order: an explicit C file (-scale-file), named builtins (-progs),
+// or a ptagen-generated program (-scale-preset). The worker set is the
+// powers of two up to -workers (default 8), with the serial baseline always
+// included.
+func runScale(stdout, stderr io.Writer, progs, file, preset string, maxWorkers, repeats int, out string, verify bool) {
+	var targets []perf.ScaleTarget
+	switch {
+	case file != "":
+		t, err := perf.ScaleTargetFromFile(file)
+		if err != nil {
+			fatal(err)
+		}
+		targets = append(targets, t)
+	case progs != "":
+		for _, name := range strings.Split(progs, ",") {
+			t, err := perf.ScaleTargetFromBench(name)
+			if err != nil {
+				fatal(err)
+			}
+			targets = append(targets, t)
+		}
+	default:
+		cfg, ok := ptagen.Presets[preset]
+		if !ok {
+			fatal(fmt.Errorf("unknown -scale-preset %q (want small|mid|large|xlarge)", preset))
+		}
+		t, err := perf.ScaleTargetFromGen(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		targets = append(targets, t)
+	}
+
+	rep, err := perf.RunScale(targets, workerSet(maxWorkers), repeats)
+	if err != nil {
+		fatal(err)
+	}
+	rep.WriteTable(stdout)
+	if out != "" {
+		writeJSONFile(stdout, out, rep.WriteJSON)
+	}
+	if verify {
+		failed := false
+		for _, p := range rep.Programs {
+			for _, pt := range p.Points {
+				if !pt.Identical {
+					failed = true
+					fmt.Fprintf(stderr, "verify: %s: workers=%d result diverges from serial\n", p.Name, pt.Workers)
+				}
+			}
+		}
+		if failed {
+			fatal(fmt.Errorf("verify: results diverged across worker counts"))
+		}
+		fmt.Fprintln(stdout, "verify: results byte-identical at every worker count")
+	}
+}
+
+// workerSet expands a maximum worker count into the measured set: powers of
+// two up to max, plus max itself when it is not a power of two.
+func workerSet(max int) []int {
+	if max <= 0 {
+		max = 8
+	}
+	var set []int
+	for w := 1; w < max; w *= 2 {
+		set = append(set, w)
+	}
+	return append(set, max)
+}
+
+// writeJSONFile writes a report through enc and notes the path on stdout.
+func writeJSONFile(stdout io.Writer, path string, enc func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := enc(f); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(stdout, "\nwrote %s\n", path)
 }
 
 func analyzeSuite(opts pta.Options) []*report.BenchStats {
@@ -175,9 +295,8 @@ func analyzeSuite(opts pta.Options) []*report.BenchStats {
 	return all
 }
 
-func runTables(n int) {
+func runTables(w io.Writer, n int) {
 	all := analyzeSuite(pta.Options{})
-	w := os.Stdout
 	switch n {
 	case 0:
 		report.WriteAll(w, all)
@@ -196,30 +315,30 @@ func runTables(n int) {
 	}
 }
 
-func runLivc() {
+func runLivc(w io.Writer) {
 	prog, err := bench.Load("livc")
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("livc: %d functions, %d address-taken, 3 indirect call sites\n",
+	fmt.Fprintf(w, "livc: %d functions, %d address-taken, 3 indirect call sites\n",
 		len(prog.Functions), baseline.AddrTakenCount(prog))
 	sizes, err := baseline.CompareFnPtrStrategies(prog)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Println("\nInvocation graph sizes by function-pointer strategy (paper: 203 / 589 / 619):")
-	fmt.Printf("  %-22s %6d nodes (R=%d A=%d)\n", "precise (points-to):",
+	fmt.Fprintln(w, "\nInvocation graph sizes by function-pointer strategy (paper: 203 / 589 / 619):")
+	fmt.Fprintf(w, "  %-22s %6d nodes (R=%d A=%d)\n", "precise (points-to):",
 		sizes.Precise.Nodes, sizes.Precise.Recursive, sizes.Precise.Approximate)
-	fmt.Printf("  %-22s %6d nodes (R=%d A=%d)\n", "address-taken:",
+	fmt.Fprintf(w, "  %-22s %6d nodes (R=%d A=%d)\n", "address-taken:",
 		sizes.AddrTaken.Nodes, sizes.AddrTaken.Recursive, sizes.AddrTaken.Approximate)
-	fmt.Printf("  %-22s %6d nodes (R=%d A=%d)\n", "all functions:",
+	fmt.Fprintf(w, "  %-22s %6d nodes (R=%d A=%d)\n", "all functions:",
 		sizes.AllFuncs.Nodes, sizes.AllFuncs.Recursive, sizes.AllFuncs.Approximate)
 }
 
-func runAblation() {
-	fmt.Println("Ablations: average points-to pairs per indirect reference (Table 3 Avg)")
-	fmt.Println("and definite resolutions (1D column), per configuration.")
-	fmt.Println()
+func runAblation(w io.Writer) {
+	fmt.Fprintln(w, "Ablations: average points-to pairs per indirect reference (Table 3 Avg)")
+	fmt.Fprintln(w, "and definite resolutions (1D column), per configuration.")
+	fmt.Fprintln(w)
 	configs := []struct {
 		name string
 		opts pta.Options
@@ -249,36 +368,31 @@ func runAblation() {
 			})
 		}
 	}
-	fmt.Printf("%-11s", "Benchmark")
+	fmt.Fprintf(w, "%-11s", "Benchmark")
 	for _, c := range configs {
-		fmt.Printf("  %-22s", c.name)
+		fmt.Fprintf(w, "  %-22s", c.name)
 	}
-	fmt.Println()
-	fmt.Printf("%-11s", "")
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-11s", "")
 	for range configs {
-		fmt.Printf("  %-22s", "avg / 1D / replace")
+		fmt.Fprintf(w, "  %-22s", "avg / 1D / replace")
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 	for _, n := range names {
-		fmt.Printf("%-11s", n)
+		fmt.Fprintf(w, "%-11s", n)
 		for _, r := range results[n] {
-			fmt.Printf("  %-22s", fmt.Sprintf("%.2f / %d / %d", r.avg, r.oneD, r.rep))
+			fmt.Fprintf(w, "  %-22s", fmt.Sprintf("%.2f / %d / %d", r.avg, r.oneD, r.rep))
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 
-	fmt.Println("\nFlow-insensitive (Andersen-style) baseline: avg targets per indirect ref")
+	fmt.Fprintln(w, "\nFlow-insensitive (Andersen-style) baseline: avg targets per indirect ref")
 	for _, n := range names {
 		prog, err := bench.Load(n)
 		if err != nil {
 			fatal(err)
 		}
 		and := baseline.Andersen(prog)
-		fmt.Printf("  %-11s %.2f (in %d passes)\n", n, and.AvgTargetsPerIndirectRef(), and.Iterations)
+		fmt.Fprintf(w, "  %-11s %.2f (in %d passes)\n", n, and.AvgTargetsPerIndirectRef(), and.Iterations)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "ptabench:", err)
-	os.Exit(1)
 }

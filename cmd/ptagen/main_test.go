@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return stdout.String(), stderr.String(), code
+}
+
+func TestRunDeterministicStdout(t *testing.T) {
+	a, _, code := runCLI(t, "-preset", "small", "-seed", "3")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	b, _, _ := runCLI(t, "-preset", "small", "-seed", "3")
+	if a != b {
+		t.Fatal("two runs with identical flags produced different output")
+	}
+	if !strings.Contains(a, "int main(") {
+		t.Fatal("output has no main")
+	}
+}
+
+func TestRunWritesFileAndMeta(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "gen.c")
+	stdout, stderrS, code := runCLI(t, "-preset", "small", "-o", path, "-meta")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderrS)
+	}
+	if stdout != "" {
+		t.Errorf("-o should leave stdout empty, got %d bytes", len(stdout))
+	}
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(src) == 0 {
+		t.Fatal("wrote empty file")
+	}
+	var m struct {
+		Name  string `json:"name"`
+		Stmts int    `json:"source_stmts"`
+	}
+	if err := json.Unmarshal([]byte(stderrS), &m); err != nil {
+		t.Fatalf("-meta stderr is not JSON: %v\n%s", err, stderrS)
+	}
+	if m.Name == "" || m.Stmts == 0 {
+		t.Fatalf("meta incomplete: %+v", m)
+	}
+}
+
+func TestRunFlagOverridesPreset(t *testing.T) {
+	base, _, _ := runCLI(t, "-preset", "small")
+	wider, _, code := runCLI(t, "-preset", "small", "-width", "5")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if base == wider {
+		t.Fatal("-width override had no effect on output")
+	}
+}
+
+func TestRunBadArgs(t *testing.T) {
+	if _, _, code := runCLI(t, "-preset", "nope"); code != 2 {
+		t.Errorf("unknown preset: exit %d, want 2", code)
+	}
+	if _, _, code := runCLI(t, "stray.c"); code != 2 {
+		t.Errorf("stray positional arg: exit %d, want 2", code)
+	}
+	if _, _, code := runCLI(t, "-no-such-flag"); code != 2 {
+		t.Errorf("unknown flag: exit %d, want 2", code)
+	}
+}

@@ -7,6 +7,7 @@
 package baseline
 
 import (
+	"repro/internal/cc/ast"
 	"repro/internal/pta"
 	"repro/internal/pta/invgraph"
 	"repro/internal/pta/loc"
@@ -95,6 +96,10 @@ func (r *AndersenResult) apply(b *simple.Basic) {
 // nothing to the may-point-to solution (the context-sensitive analysis
 // binds their results to NULL, which reported results exclude).
 func (r *AndersenResult) applyExternal(b *simple.Basic) {
+	if b.Callee.Name == pta.PthreadCreate {
+		r.applyPthreadCreate(b)
+		return
+	}
 	if b.LHS == nil {
 		return
 	}
@@ -110,6 +115,53 @@ func (r *AndersenResult) applyExternal(b *simple.Basic) {
 		rls = []pta.BaseLoc{{Loc: r.Table.StrLoc(), Def: ptset.P}}
 	}
 	r.insertAll(pta.EvalLLocs(r.shell, b.LHS, r.Sol), rls)
+}
+
+// applyPthreadCreate models pthread_create(&t, attr, fn, arg) the same way
+// the context-sensitive analysis does (pta's processPthreadCreate), minus
+// contexts: every function the entry argument can denote is treated as
+// called with arg as its single actual. A direct function name resolves
+// immediately; a function-pointer expression resolves through the current
+// solution each pass, like an ordinary indirect call site.
+func (r *AndersenResult) applyPthreadCreate(b *simple.Basic) {
+	if len(b.Args) < 4 {
+		return
+	}
+	ref, ok := b.Args[2].(*simple.Ref)
+	if !ok {
+		return
+	}
+	var entries []*simple.Function
+	if ref.Var.Kind == ast.FuncObj {
+		if fn := r.Prog.Lookup(ref.Var.Name); fn != nil {
+			entries = append(entries, fn)
+		}
+	} else {
+		for _, bl := range pta.EvalRLocsOfRef(r.shell, ref, r.Sol) {
+			if bl.Loc.Kind != loc.Func {
+				continue
+			}
+			if fn := r.Prog.Lookup(bl.Loc.Obj.Name); fn != nil {
+				entries = append(entries, fn)
+			}
+		}
+	}
+	for _, fn := range entries {
+		if len(fn.Params) == 0 {
+			continue
+		}
+		formal := fn.Params[0]
+		if formal.Type == nil || !formal.Type.HasPointers() {
+			continue
+		}
+		fl := []pta.BaseLoc{{Loc: r.Table.VarLoc(formal, nil), Def: ptset.D}}
+		switch a := b.Args[3].(type) {
+		case *simple.Ref:
+			r.insertAll(fl, pta.EvalRLocsOfRef(r.shell, a, r.Sol))
+		case *simple.ConstString:
+			r.insertAll(fl, []pta.BaseLoc{{Loc: r.Table.StrLoc(), Def: ptset.P}})
+		}
+	}
 }
 
 // applyCall unions actual targets into formals and retval targets into the

@@ -174,6 +174,14 @@ type Metrics struct {
 	// PendingRestarts counts pending-list generalization restarts of
 	// recursive fixed points (input widened, evaluation restarted).
 	PendingRestarts Counter
+	// SchedTasks counts tasks submitted to the work-stealing scheduler
+	// (fan-out branches of indirect calls, if/else splits, thread spawns).
+	SchedTasks Counter
+	// SchedSteals counts tasks a worker stole from another worker's deque.
+	SchedSteals Counter
+	// SchedParks counts times a worker or joiner went idle because no task
+	// was runnable anywhere (parked on the scheduler's condition variable).
+	SchedParks Counter
 	// PeakSet is the largest points-to set flowing into any statement.
 	// The analysis hot path does not update it directly — Cardinality's
 	// internal maximum covers it — but it remains for observations that
@@ -224,11 +232,23 @@ type MetricsSnapshot struct {
 	// MemoHitRate is MemoHits / (MemoHits + MemoMisses), 0 when cold.
 	MemoHitRate float64 `json:"memo_hit_rate"`
 
+	// Work-stealing scheduler activity (zero in serial runs).
+	SchedTasks  int64 `json:"sched_tasks,omitempty"`
+	SchedSteals int64 `json:"sched_steals,omitempty"`
+	SchedParks  int64 `json:"sched_parks,omitempty"`
+
 	// Interning reports hash-consing activity (filled by the analysis).
 	InternDistinct int     `json:"intern_distinct"`
 	InternHits     uint64  `json:"intern_hits"`
 	InternMisses   uint64  `json:"intern_misses"`
 	InternHitRate  float64 `json:"intern_hit_rate"`
+
+	// Shard contention (filled by the analysis from the intern and location
+	// tables): shard counts and lock acquisitions that had to wait.
+	InternShards    int    `json:"intern_shards,omitempty"`
+	InternContended uint64 `json:"intern_contended,omitempty"`
+	LocShards       int    `json:"loc_shards,omitempty"`
+	LocContended    uint64 `json:"loc_contended,omitempty"`
 
 	// Cardinality is the points-to set size distribution over statements.
 	Cardinality HistogramSnapshot `json:"set_cardinality"`
@@ -263,6 +283,9 @@ func (m *Metrics) Snapshot() *MetricsSnapshot {
 		UnmapOps:        m.UnmapOps.Load(),
 		FixpointIters:   m.FixpointIters.Load(),
 		PendingRestarts: m.PendingRestarts.Load(),
+		SchedTasks:      m.SchedTasks.Load(),
+		SchedSteals:     m.SchedSteals.Load(),
+		SchedParks:      m.SchedParks.Load(),
 		PeakSet:         m.PeakSet.Load(),
 		Cardinality:     m.Cardinality.Snapshot(),
 	}

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cc/ast"
 	"repro/internal/cc/types"
@@ -124,20 +125,54 @@ func (l *Location) initSortKey() {
 // ---------------------------------------------------------------------------
 // Table
 
+// DefaultTableShards is the shard count of NewTable. Like the points-to set
+// interner, the location table is touched by every worker on nearly every
+// statement; a single table mutex serializes the parallel analysis, so the
+// key maps are split into independently locked shards selected by a hash of
+// the deterministic key string.
+const DefaultTableShards = 16
+
+// locShard is one independently locked slice of the table's key maps.
+type locShard struct {
+	mu    sync.RWMutex
+	vars  map[varKey]*Location
+	syms  map[symKey]*Location
+	funcs map[*ast.Object]*Location
+
+	contended atomic.Uint64 // lock acquisitions that had to wait
+	_         [24]byte      // keep neighbouring shards off one cache line
+}
+
+func (s *locShard) lock() {
+	if !s.mu.TryLock() {
+		s.contended.Add(1)
+		s.mu.Lock()
+	}
+}
+
+func (s *locShard) rlock() {
+	if !s.mu.TryRLock() {
+		s.contended.Add(1)
+		s.mu.RLock()
+	}
+}
+
 // Table interns all locations of one program analysis. It is safe for
 // concurrent use: the parallel analysis workers intern locations through a
 // shared table, and interning is idempotent (one canonical *Location per
-// key, so pointer equality remains identity).
+// key, so pointer equality remains identity). The key maps are sharded by a
+// hash of the key so concurrent workers interning unrelated locations do not
+// serialize on one mutex; shard choice is invisible to clients.
 type Table struct {
-	mu     sync.RWMutex
-	vars   map[varKey]*Location
-	syms   map[symKey]*Location
-	funcs  map[*ast.Object]*Location
+	shards []*locShard
+	mask   uint64
 	heap   *Location
 	null   *Location
 	str    *Location
 	freed  *Location
-	owners map[*ast.Object]*simple.Function // local/param -> function
+
+	ownerMu sync.RWMutex
+	owners  map[*ast.Object]*simple.Function // local/param -> function
 }
 
 type varKey struct {
@@ -151,14 +186,29 @@ type symKey struct {
 	path string
 }
 
-// NewTable returns an empty location table, registering ownership of locals
-// and parameters for the given program.
-func NewTable(prog *simple.Program) *Table {
+// NewTable returns an empty location table with DefaultTableShards shards,
+// registering ownership of locals and parameters for the given program.
+func NewTable(prog *simple.Program) *Table { return NewTableSharded(prog, DefaultTableShards) }
+
+// NewTableSharded returns an empty location table with the given shard
+// count, rounded up to a power of two (minimum 1). The 1-shard table is the
+// pre-sharding behavior: one mutex guarding every map.
+func NewTableSharded(prog *simple.Program, shards int) *Table {
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
 	t := &Table{
-		vars:   make(map[varKey]*Location),
-		syms:   make(map[symKey]*Location),
-		funcs:  make(map[*ast.Object]*Location),
+		shards: make([]*locShard, n),
+		mask:   uint64(n - 1),
 		owners: make(map[*ast.Object]*simple.Function),
+	}
+	for i := range t.shards {
+		t.shards[i] = &locShard{
+			vars:  make(map[varKey]*Location),
+			syms:  make(map[symKey]*Location),
+			funcs: make(map[*ast.Object]*Location),
+		}
 	}
 	t.heap = &Location{Kind: Heap, name: "heap", multi: true}
 	t.null = &Location{Kind: Null, name: "NULL"}
@@ -184,12 +234,61 @@ func NewTable(prog *simple.Program) *Table {
 	return t
 }
 
+// hashKey is FNV-1a over a key string, folded so the masked low bits mix in
+// the high half. Shard choice must be deterministic but has no semantic
+// weight: two objects sharing a name land in one shard, which only affects
+// load distribution.
+func hashKey(parts ...string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, p := range parts {
+		for i := 0; i < len(p); i++ {
+			h ^= uint64(p[i])
+			h *= prime64
+		}
+		h ^= 0xff
+		h *= prime64
+	}
+	return h ^ h>>32
+}
+
+func (t *Table) shard(h uint64) *locShard { return t.shards[h&t.mask] }
+
+// TableStats reports sharding activity of the table.
+type TableStats struct {
+	Shards    int    // shard count
+	Locations int    // distinct interned locations (vars + syms + funcs)
+	Contended uint64 // shard-lock acquisitions that had to wait
+}
+
+// Stats returns a snapshot of the table's shard counters.
+func (t *Table) Stats() TableStats {
+	st := TableStats{Shards: len(t.shards)}
+	for _, sh := range t.shards {
+		sh.mu.RLock()
+		st.Locations += len(sh.vars) + len(sh.syms) + len(sh.funcs)
+		sh.mu.RUnlock()
+		st.Contended += sh.contended.Load()
+	}
+	return st
+}
+
 // RegisterLocal records that obj is a local of fn (used for temporaries
 // added after table construction).
 func (t *Table) RegisterLocal(obj *ast.Object, fn *simple.Function) {
-	t.mu.Lock()
+	t.ownerMu.Lock()
 	t.owners[obj] = fn
-	t.mu.Unlock()
+	t.ownerMu.Unlock()
+}
+
+func (t *Table) ownerOf(obj *ast.Object) *simple.Function {
+	t.ownerMu.RLock()
+	fn := t.owners[obj]
+	t.ownerMu.RUnlock()
+	return fn
 }
 
 // HeapLoc returns the single heap location.
@@ -211,20 +310,21 @@ func (t *Table) FreedLoc() *Location { return t.freed }
 // FuncLoc returns the location standing for a function (the target of
 // function pointers).
 func (t *Table) FuncLoc(obj *ast.Object) *Location {
-	t.mu.RLock()
-	l, ok := t.funcs[obj]
-	t.mu.RUnlock()
+	sh := t.shard(hashKey(obj.Name))
+	sh.rlock()
+	l, ok := sh.funcs[obj]
+	sh.mu.RUnlock()
 	if ok {
 		return l
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if l, ok := t.funcs[obj]; ok {
+	sh.lock()
+	defer sh.mu.Unlock()
+	if l, ok := sh.funcs[obj]; ok {
 		return l
 	}
 	l = &Location{Kind: Func, Obj: obj, name: obj.Name, typ: obj.Type}
 	l.initSortKey()
-	t.funcs[obj] = l
+	sh.funcs[obj] = l
 	return l
 }
 
@@ -239,21 +339,22 @@ func pathString(path []Elem) string {
 // VarLoc returns the location for a variable plus selector path.
 func (t *Table) VarLoc(obj *ast.Object, path []Elem) *Location {
 	key := varKey{obj: obj, path: pathString(path)}
-	t.mu.RLock()
-	l, ok := t.vars[key]
-	t.mu.RUnlock()
+	sh := t.shard(hashKey(obj.Name, key.path))
+	sh.rlock()
+	l, ok := sh.vars[key]
+	sh.mu.RUnlock()
 	if ok {
 		return l
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if l, ok := t.vars[key]; ok {
+	sh.lock()
+	defer sh.mu.Unlock()
+	if l, ok := sh.vars[key]; ok {
 		return l
 	}
 	l = &Location{
 		Kind: Var,
 		Obj:  obj,
-		Fn:   t.owners[obj],
+		Fn:   t.ownerOf(obj),
 		Path: append([]Elem{}, path...),
 		name: obj.Name + key.path,
 		typ:  typeAt(obj.Type, path),
@@ -268,7 +369,7 @@ func (t *Table) VarLoc(obj *ast.Object, path []Elem) *Location {
 		}
 	}
 	l.initSortKey()
-	t.vars[key] = l
+	sh.vars[key] = l
 	return l
 }
 
@@ -276,15 +377,20 @@ func (t *Table) VarLoc(obj *ast.Object, path []Elem) *Location {
 // scoped to fn.
 func (t *Table) SymLoc(fn *simple.Function, sym string, path []Elem, typ *types.Type) *Location {
 	key := symKey{fn: fn, sym: sym, path: pathString(path)}
-	t.mu.RLock()
-	l, ok := t.syms[key]
-	t.mu.RUnlock()
+	fnName := ""
+	if fn != nil {
+		fnName = fn.Name()
+	}
+	sh := t.shard(hashKey(fnName, sym, key.path))
+	sh.rlock()
+	l, ok := sh.syms[key]
+	sh.mu.RUnlock()
 	if ok {
 		return l
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if l, ok := t.syms[key]; ok {
+	sh.lock()
+	defer sh.mu.Unlock()
+	if l, ok := sh.syms[key]; ok {
 		return l
 	}
 	l = &Location{
@@ -305,7 +411,7 @@ func (t *Table) SymLoc(fn *simple.Function, sym string, path []Elem, typ *types.
 		}
 	}
 	l.initSortKey()
-	t.syms[key] = l
+	sh.syms[key] = l
 	return l
 }
 
@@ -385,12 +491,14 @@ func typeAt(t *types.Type, path []Elem) *types.Type {
 // fn (Table 2 counts them among the function's abstract stack variables).
 func (t *Table) SymCount(fn *simple.Function) int {
 	names := make(map[string]bool)
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	for k := range t.syms {
-		if k.fn == fn && k.path == "" {
-			names[k.sym] = true
+	for _, sh := range t.shards {
+		sh.mu.RLock()
+		for k := range sh.syms {
+			if k.fn == fn && k.path == "" {
+				names[k.sym] = true
+			}
 		}
+		sh.mu.RUnlock()
 	}
 	return len(names)
 }

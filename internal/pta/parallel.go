@@ -1,77 +1,34 @@
 package pta
 
 import (
-	"strconv"
-	"sync"
-
 	"repro/internal/obsv"
 )
 
-// This file implements the bounded worker pool that evaluates independent
-// invocation subtrees concurrently. Two program points fan out: the targets
-// of an indirect call site (disjoint children of one invocation-graph node)
-// and the branches of an if statement (disjoint statement subtrees fed the
-// same read-only input set). Everything the subtrees share — the location
-// table, the intern table, the invocation graph, annotations, recursion
-// pending lists, diagnostics — is internally synchronized; all merges of
-// subtree results happen in deterministic index order, so the analysis is
-// bit-identical for every worker count.
+// Two program points fan out into independent invocation subtrees: the
+// targets of an indirect call site (disjoint children of one invocation-
+// graph node, plus pthread entry points) and the branches of an if
+// statement (disjoint statement subtrees fed the same read-only input set).
+// Everything the subtrees share — the location table, the intern table, the
+// invocation graph, annotations, recursion pending lists, diagnostics — is
+// internally synchronized; all merges of subtree results happen in
+// deterministic index order, so the analysis is bit-identical for every
+// worker count. The scheduling itself is the work-stealing fork-join in
+// schedule.go.
 
-// runParallel evaluates task(0..n-1) using up to a.workers goroutines
-// (including the calling one). Tasks beyond the available pool slots run
-// inline on the caller, so the pool is work-conserving and never deadlocks
-// under nested fan-out. Panics are captured per task and rethrown in index
-// order after every task has finished, which keeps the stepsExceeded unwind
-// deterministic and never leaks a running goroutine.
-//
-// tk is the caller's trace track; inline tasks inherit it (they share the
-// caller's goroutine), while each spawned goroutine gets a fresh track so
-// its spans render as their own timeline row. Scheduling itself is traced:
-// spawned tasks get a worker span, and tasks that fall back to the caller
-// because the pool is exhausted get an instant marker.
+// runParallel evaluates task(0..n-1), concurrently when the analysis has a
+// scheduler (Options.Workers > 1). The calling worker always contributes;
+// unfinished branches are stealable by idle workers, and the call returns
+// only when every branch has finished, with panics rethrown in index order
+// (which keeps the stepsExceeded unwind deterministic and never leaks a
+// running goroutine).
 func (a *analyzer) runParallel(tk obsv.Track, n int, task func(i int, tk obsv.Track)) {
-	if a.workers <= 1 || n <= 1 {
+	if a.sched == nil || n <= 1 {
 		for i := 0; i < n; i++ {
 			task(i, tk)
 		}
 		return
 	}
-	panics := make([]any, n)
-	run := func(i int, tk obsv.Track) {
-		defer func() { panics[i] = recover() }()
-		task(i, tk)
-	}
-	var wg sync.WaitGroup
-	for i := 0; i < n-1; i++ {
-		i := i
-		select {
-		case a.sem <- struct{}{}:
-			wg.Add(1)
-			wtk := a.tracer.NewTrack()
-			go func() {
-				defer wg.Done()
-				defer func() { <-a.sem }()
-				if a.tracer != nil {
-					sp := a.tracer.Begin(wtk, obsv.CatWorker, "pool-task", strconv.Itoa(i))
-					defer sp.End()
-				}
-				run(i, wtk)
-			}()
-		default:
-			// Pool exhausted: stay on the caller, on the caller's track.
-			if a.tracer != nil {
-				a.tracer.Instant(tk, obsv.CatWorker, "inline-task", strconv.Itoa(i))
-			}
-			run(i, tk)
-		}
-	}
-	run(n-1, tk) // the caller always contributes
-	wg.Wait()
-	for _, p := range panics {
-		if p != nil {
-			panic(p)
-		}
-	}
+	a.sched.forkJoin(tk, n, task)
 }
 
 // runBoth evaluates two independent tasks, possibly concurrently.

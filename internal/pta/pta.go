@@ -149,8 +149,8 @@ func Analyze(prog *simple.Program, opts Options) (*Result, error) {
 	}
 	a.workers = effectiveWorkers(opts)
 	if a.workers > 1 {
-		// Slots for extra goroutines beyond the caller's own.
-		a.sem = make(chan struct{}, a.workers-1)
+		a.sched = newScheduler(a.workers, a.tracer, a.m)
+		defer a.sched.stop()
 	}
 	res := &Result{Prog: prog, Table: a.tab, Graph: g, Opts: opts, Annots: a.ann}
 
@@ -177,6 +177,9 @@ func Analyze(prog *simple.Program, opts Options) (*Result, error) {
 	if lookups := ist.Hits + ist.Misses; lookups > 0 {
 		snap.InternHitRate = float64(ist.Hits) / float64(lookups)
 	}
+	snap.InternShards, snap.InternContended = ist.Shards, ist.Contended
+	tst := a.tab.Stats()
+	snap.LocShards, snap.LocContended = tst.Shards, tst.Contended
 	if a.tracer.Enabled() {
 		snap.TraceEmitted = a.tracer.Emitted()
 		snap.TraceDropped = a.tracer.Dropped()
@@ -218,12 +221,12 @@ type analyzer struct {
 	m      *obsv.Metrics
 	tracer *obsv.Tracer
 
-	// Worker pool: workers is the effective parallelism; sem holds the
-	// slots for goroutines beyond the one running the analysis (nil when
-	// serial). recMu serializes appends to recursion pending lists, which
-	// sibling subtrees may share through an ancestor.
+	// Work-stealing scheduler: workers is the effective parallelism; sched
+	// is nil when serial (see schedule.go). recMu serializes appends to
+	// recursion pending lists, which sibling subtrees may share through an
+	// ancestor.
 	workers int
-	sem     chan struct{}
+	sched   *wsScheduler
 	recMu   sync.Mutex
 
 	// Context-insensitive variant state.

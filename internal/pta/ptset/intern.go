@@ -36,23 +36,68 @@ func (i *Interned) Hash() uint64 { return i.hash }
 
 func (i *Interned) String() string { return i.set.String() }
 
+// DefaultInternShards is the shard count of NewInterner. Sharding exists
+// because the intern table is the one structure every analysis worker hits
+// on every statement: a single table mutex serializes the whole worker pool
+// (BENCH_pta.json's flat speedup curve). Shard counts are powers of two so
+// shard selection is a mask of the structural hash.
+const DefaultInternShards = 64
+
+// internShard is one independently locked slice of the intern table.
+type internShard struct {
+	mu      sync.RWMutex
+	buckets map[uint64][]*Interned
+
+	contended atomic.Uint64 // lock acquisitions that had to wait
+	_         [24]byte      // keep neighbouring shards off one cache line
+}
+
+// lock acquires the shard's write lock, counting contended acquisitions.
+func (s *internShard) lock() {
+	if !s.mu.TryLock() {
+		s.contended.Add(1)
+		s.mu.Lock()
+	}
+}
+
+// rlock acquires the shard's read lock, counting contended acquisitions.
+func (s *internShard) rlock() {
+	if !s.mu.TryRLock() {
+		s.contended.Add(1)
+		s.mu.RLock()
+	}
+}
+
 // Interner is a global intern table for points-to sets, safe for concurrent
 // use by the analysis worker pool. One Interner is shared by every goroutine
 // of an analysis run; sets from different Interners never compare equal by
-// pointer.
+// pointer. The table is sharded by structural hash so concurrent workers
+// interning unrelated sets do not serialize on one mutex.
 type Interner struct {
-	mu      sync.RWMutex
-	buckets map[uint64][]*Interned
-	bottom  *Interned
-	empty   *Interned
+	shards []*internShard
+	mask   uint64
+	bottom *Interned
+	empty  *Interned
 
 	hits   atomic.Uint64 // Intern calls answered by an existing node
 	misses atomic.Uint64 // Intern calls that created a new node
 }
 
-// NewInterner returns an empty intern table.
-func NewInterner() *Interner {
-	it := &Interner{buckets: make(map[uint64][]*Interned)}
+// NewInterner returns an empty intern table with DefaultInternShards shards.
+func NewInterner() *Interner { return NewInternerSharded(DefaultInternShards) }
+
+// NewInternerSharded returns an empty intern table with the given shard
+// count, rounded up to a power of two (minimum 1). The 1-shard table is the
+// pre-sharding behavior: one mutex guarding everything.
+func NewInternerSharded(shards int) *Interner {
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	it := &Interner{shards: make([]*internShard, n), mask: uint64(n - 1)}
+	for i := range it.shards {
+		it.shards[i] = &internShard{buckets: make(map[uint64][]*Interned)}
+	}
 	it.bottom = &Interned{owner: it, bottom: true}
 	it.bottom.set = Set{bottom: true, frozen: true, interned: it.bottom}
 	it.empty = &Interned{owner: it}
@@ -60,27 +105,44 @@ func NewInterner() *Interner {
 	return it
 }
 
+// shard returns the shard owning structural hash h. The bucket maps are
+// keyed by the full hash; only the shard choice uses the low bits.
+func (it *Interner) shard(h uint64) *internShard {
+	// Fold the high bits in so the low bits used by the mask are not the
+	// same bits that pick the map bucket within the shard.
+	return it.shards[(h^h>>32)&it.mask]
+}
+
 // InternStats reports intern-table activity.
 type InternStats struct {
-	Distinct int    // distinct sets interned (excluding BOTTOM and empty)
-	Hits     uint64 // lookups answered by an existing node
-	Misses   uint64 // lookups that created a new node
+	Distinct  int    // distinct sets interned (excluding BOTTOM and empty)
+	Hits      uint64 // lookups answered by an existing node
+	Misses    uint64 // lookups that created a new node
+	Shards    int    // shard count of the table
+	Contended uint64 // shard-lock acquisitions that had to wait
 }
 
 // Stats returns a snapshot of the table's counters.
 func (it *Interner) Stats() InternStats {
-	it.mu.RLock()
-	defer it.mu.RUnlock()
-	n := 0
-	for _, b := range it.buckets {
-		n += len(b)
+	st := InternStats{
+		Hits:   it.hits.Load(),
+		Misses: it.misses.Load(),
+		Shards: len(it.shards),
 	}
-	return InternStats{Distinct: n, Hits: it.hits.Load(), Misses: it.misses.Load()}
+	for _, sh := range it.shards {
+		sh.mu.RLock()
+		for _, b := range sh.buckets {
+			st.Distinct += len(b)
+		}
+		sh.mu.RUnlock()
+		st.Contended += sh.contended.Load()
+	}
+	return st
 }
 
 // Intern returns the canonical interned form of s. Interning a frozen view
 // produced by this table is O(1); otherwise the set is canonicalized (sorted
-// triple order), hashed, and deduplicated against the table.
+// triple order), hashed, and deduplicated against the shard owning its hash.
 func (it *Interner) Intern(s Set) *Interned {
 	if s.interned != nil && s.interned.owner == it {
 		it.hits.Add(1)
@@ -96,20 +158,21 @@ func (it *Interner) Intern(s Set) *Interned {
 	}
 	ts := s.Triples() // canonical: sorted by (src, dst) sort keys
 	h := hashTriples(ts)
+	sh := it.shard(h)
 
-	it.mu.RLock()
-	for _, cand := range it.buckets[h] {
+	sh.rlock()
+	for _, cand := range sh.buckets[h] {
 		if sameTriples(cand.triples, ts) {
-			it.mu.RUnlock()
+			sh.mu.RUnlock()
 			it.hits.Add(1)
 			return cand
 		}
 	}
-	it.mu.RUnlock()
+	sh.mu.RUnlock()
 
-	it.mu.Lock()
-	defer it.mu.Unlock()
-	for _, cand := range it.buckets[h] {
+	sh.lock()
+	defer sh.mu.Unlock()
+	for _, cand := range sh.buckets[h] {
 		if sameTriples(cand.triples, ts) {
 			it.hits.Add(1)
 			return cand
@@ -121,7 +184,7 @@ func (it *Interner) Intern(s Set) *Interned {
 	}
 	node := &Interned{owner: it, hash: h, triples: ts}
 	node.set = Set{m: m, frozen: true, interned: node}
-	it.buckets[h] = append(it.buckets[h], node)
+	sh.buckets[h] = append(sh.buckets[h], node)
 	it.misses.Add(1)
 	return node
 }

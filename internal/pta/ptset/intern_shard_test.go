@@ -1,0 +1,168 @@
+package ptset
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/cc/ast"
+	"repro/internal/pta/loc"
+)
+
+// shardLayouts are the shard geometries every boundary test runs under,
+// including the 1-shard degenerate case (the pre-sharding single-mutex
+// table) and a non-power-of-two request that must round up.
+var shardLayouts = []int{1, 2, 3, 4, 16, 64}
+
+func TestInternerShardRounding(t *testing.T) {
+	for req, want := range map[int]int{-4: 1, 0: 1, 1: 1, 2: 2, 3: 4, 5: 8, 64: 64, 65: 128} {
+		it := NewInternerSharded(req)
+		if got := it.Stats().Shards; got != want {
+			t.Errorf("NewInternerSharded(%d): %d shards, want %d", req, got, want)
+		}
+	}
+	if got := NewInterner().Stats().Shards; got != DefaultInternShards {
+		t.Errorf("NewInterner: %d shards, want %d", got, DefaultInternShards)
+	}
+}
+
+// TestInternShardBoundaries interns the same set concurrently from N
+// goroutines under every shard layout and checks that exactly one canonical
+// pointer comes back per distinct set, that distinct sets stay distinct, and
+// that the stats add up across shards. Run with -race this exercises the
+// per-shard locking, including the 1-shard degenerate case.
+func TestInternShardBoundaries(t *testing.T) {
+	tab := loc.NewTable(nil)
+	ls := make([]*loc.Location, 32)
+	for i := range ls {
+		ls[i] = tab.VarLoc(&ast.Object{Name: fmt.Sprintf("g%02d", i), Global: true}, nil)
+	}
+	// mk builds the k-th distinct set (a chain of k+1 edges).
+	mk := func(k int) Set {
+		s := New()
+		for i := 0; i <= k; i++ {
+			s.Insert(ls[i%len(ls)], ls[(i+k+1)%len(ls)], Def(i%2 == 0))
+		}
+		return s
+	}
+	const distinct = 24
+	const workers = 8
+	for _, shards := range shardLayouts {
+		shards := shards
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			it := NewInternerSharded(shards)
+			got := make([][]*Interned, workers)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for round := 0; round < 50; round++ {
+						for k := 0; k < distinct; k++ {
+							got[w] = append(got[w], it.Intern(mk(k)))
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			// One canonical pointer per distinct set, across all workers
+			// and rounds, regardless of shard layout.
+			canon := got[0][:distinct]
+			for w := 0; w < workers; w++ {
+				for i, n := range got[w] {
+					if n != canon[i%distinct] {
+						t.Fatalf("worker %d intern %d returned a non-canonical node", w, i)
+					}
+				}
+			}
+			for i := 0; i < distinct; i++ {
+				for j := i + 1; j < distinct; j++ {
+					if canon[i] == canon[j] {
+						t.Fatalf("distinct sets %d and %d collapsed to one node", i, j)
+					}
+				}
+			}
+			st := it.Stats()
+			if st.Distinct != distinct {
+				t.Errorf("Distinct = %d, want %d", st.Distinct, distinct)
+			}
+			if want := uint64(workers*50*distinct) - uint64(distinct); st.Hits != want {
+				t.Errorf("Hits = %d, want %d", st.Hits, want)
+			}
+			if st.Misses != distinct {
+				t.Errorf("Misses = %d, want %d", st.Misses, distinct)
+			}
+		})
+	}
+}
+
+// TestInternShardLayoutsAgree checks that every shard layout interns the
+// same canonical content: the table geometry must be invisible to clients.
+func TestInternShardLayoutsAgree(t *testing.T) {
+	tab := loc.NewTable(nil)
+	ls := make([]*loc.Location, 16)
+	for i := range ls {
+		ls[i] = tab.VarLoc(&ast.Object{Name: fmt.Sprintf("h%02d", i), Global: true}, nil)
+	}
+	build := func(it *Interner) []string {
+		var out []string
+		for k := 0; k < 40; k++ {
+			s := New()
+			for i := 0; i < 1+k%5; i++ {
+				s.Insert(ls[(k+i)%len(ls)], ls[(k*3+i)%len(ls)], Def(k%3 == 0))
+			}
+			out = append(out, it.Intern(s).String())
+		}
+		return out
+	}
+	want := build(NewInternerSharded(1))
+	for _, shards := range shardLayouts[1:] {
+		got := build(NewInternerSharded(shards))
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("shards=%d intern %d: %s, want %s", shards, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// BenchmarkInternContention measures concurrent interning throughput under
+// the 1-shard (pre-sharding, single mutex) and sharded layouts. On a
+// multi-core host the 1-shard variant serializes every worker on one lock —
+// this benchmark is the proof that the flat speedup curve in BENCH_pta.json
+// was a real contention artifact, not an algorithmic property. Run with:
+//
+//	go test -bench InternContention -cpu 1,4,8 ./internal/pta/ptset
+func BenchmarkInternContention(b *testing.B) {
+	tab := loc.NewTable(nil)
+	ls := make([]*loc.Location, 64)
+	for i := range ls {
+		ls[i] = tab.VarLoc(&ast.Object{Name: fmt.Sprintf("b%02d", i), Global: true}, nil)
+	}
+	// A working set of pre-built mutable sets: interning re-canonicalizes
+	// and hashes each, like the analysis interning freshly computed outputs.
+	sets := make([]Set, 512)
+	for k := range sets {
+		s := New()
+		for i := 0; i < 2+k%6; i++ {
+			s.Insert(ls[(k+7*i)%len(ls)], ls[(k*5+i)%len(ls)], Def(i%2 == 0))
+		}
+		sets[k] = s
+	}
+	for _, shards := range []int{1, DefaultInternShards} {
+		shards := shards
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			it := NewInternerSharded(shards)
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				k := 0
+				for pb.Next() {
+					it.Intern(sets[k%len(sets)])
+					k++
+				}
+			})
+			st := it.Stats()
+			b.ReportMetric(float64(st.Contended), "contended-locks")
+		})
+	}
+}

@@ -1,0 +1,293 @@
+package pta
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obsv"
+)
+
+// This file implements the work-stealing scheduler that evaluates
+// independent invocation subtrees concurrently. It replaces the earlier
+// bounded pool, whose per-fan-out spawn-or-inline decision pinned every
+// branch of a fan-out to whichever worker happened to reach it first: once
+// the pool's slots were taken, an entire deep subtree ran inline on one
+// goroutine while other workers finished their short branches and went
+// idle. With stealing, the unfinished subtree's branches remain in a deque
+// and idle workers take them, so imbalanced fan-outs (the common shape of
+// real call graphs) keep every worker busy.
+//
+// Shape: one worker per Options.Workers slot, each with its own deque.
+// A fan-out pushes its branches onto the current worker's deque (LIFO for
+// the owner — depth-first, cache-warm) and runs the last branch itself;
+// idle workers steal from the opposite end (FIFO — the oldest, typically
+// largest, subtree). The forking worker then *joins*: while its fan-out has
+// unfinished branches it keeps executing work (its own deque first, then
+// steals), so nested fan-outs never deadlock and the scheduler is
+// work-conserving. Determinism is unaffected: every fan-out writes results
+// into an index-addressed slice and merges in index order, and panics are
+// rethrown in index order after the join completes, exactly like the serial
+// evaluator (see the stepsExceeded unwind in pta.go).
+
+// wsTask is one fan-out branch: run task index idx of join j.
+type wsTask struct {
+	j   *wsJoin
+	idx int
+}
+
+// wsJoin tracks one fork-join region: n branches, their panics captured by
+// index, and the count still running.
+type wsJoin struct {
+	task    func(i int, tk obsv.Track)
+	pending atomic.Int64
+	panics  []any
+}
+
+// wsWorker is one scheduler worker: a deque plus the obsv track its spans
+// render on. Worker 0 is the analysis's calling goroutine; the rest are
+// spawned for the scheduler's lifetime.
+type wsWorker struct {
+	id    int
+	track obsv.Track
+
+	mu    sync.Mutex
+	deque []wsTask
+}
+
+// push adds a task to the owner's end of the deque.
+func (w *wsWorker) push(t wsTask) {
+	w.mu.Lock()
+	w.deque = append(w.deque, t)
+	w.mu.Unlock()
+}
+
+// pop removes the most recently pushed task (owner end, LIFO).
+func (w *wsWorker) pop() (wsTask, bool) {
+	w.mu.Lock()
+	n := len(w.deque)
+	if n == 0 {
+		w.mu.Unlock()
+		return wsTask{}, false
+	}
+	t := w.deque[n-1]
+	w.deque = w.deque[:n-1]
+	w.mu.Unlock()
+	return t, true
+}
+
+// stealFront removes the oldest task (thief end, FIFO).
+func (w *wsWorker) stealFront() (wsTask, bool) {
+	w.mu.Lock()
+	if len(w.deque) == 0 {
+		w.mu.Unlock()
+		return wsTask{}, false
+	}
+	t := w.deque[0]
+	w.deque = w.deque[1:]
+	w.mu.Unlock()
+	return t, true
+}
+
+func (w *wsWorker) queued() bool {
+	w.mu.Lock()
+	n := len(w.deque)
+	w.mu.Unlock()
+	return n > 0
+}
+
+// wsScheduler owns the workers and the idle-parking machinery. mu/cond
+// guard only parking and shutdown; deque traffic stays on per-worker
+// mutexes, and join completion is an atomic count.
+type wsScheduler struct {
+	workers []*wsWorker
+	byTrack map[obsv.Track]*wsWorker
+	tracer  *obsv.Tracer
+	m       *obsv.Metrics
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	waiters  int
+	shutdown bool
+	wg       sync.WaitGroup
+}
+
+// newScheduler starts a scheduler with n workers: the calling goroutine is
+// worker 0, and n-1 worker goroutines are spawned immediately and parked
+// until the first fan-out. Callers must stop() the scheduler when the
+// analysis finishes (or unwinds).
+func newScheduler(n int, tracer *obsv.Tracer, m *obsv.Metrics) *wsScheduler {
+	s := &wsScheduler{
+		workers: make([]*wsWorker, n),
+		byTrack: make(map[obsv.Track]*wsWorker, n),
+		tracer:  tracer,
+		m:       m,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for i := 0; i < n; i++ {
+		w := &wsWorker{id: i}
+		if i > 0 {
+			// Each worker renders as one timeline row. With tracing off,
+			// NewTrack returns 0 for everyone, so fall back to synthetic
+			// distinct track ids — nothing consumes them, but the scheduler
+			// needs track->worker resolution for nested fan-outs.
+			w.track = tracer.NewTrack()
+			if w.track == 0 {
+				w.track = obsv.Track(i)
+			}
+		}
+		s.workers[i] = w
+		s.byTrack[w.track] = w
+	}
+	for _, w := range s.workers[1:] {
+		s.wg.Add(1)
+		go s.workerLoop(w)
+	}
+	return s
+}
+
+// stop shuts the scheduler down and waits for the worker goroutines to
+// exit. Every join must have completed: stop does not drain deques.
+func (s *wsScheduler) stop() {
+	s.mu.Lock()
+	s.shutdown = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// anyQueued reports whether any worker's deque holds a task.
+func (s *wsScheduler) anyQueued() bool {
+	for _, w := range s.workers {
+		if w.queued() {
+			return true
+		}
+	}
+	return false
+}
+
+// signal wakes parked workers after a push. Taking mu unconditionally
+// (not just when waiters > 0 was *observed*) is what makes the park/push
+// handshake lose no wakeups: a parker holds mu from its last anyQueued
+// check until cond.Wait releases it, so this lock acquisition serializes
+// after that check and the broadcast lands.
+func (s *wsScheduler) signal() {
+	s.mu.Lock()
+	if s.waiters > 0 {
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+// findWork returns a runnable task: the worker's own deque first (LIFO),
+// then a steal sweep over the other workers (FIFO from the victim).
+func (s *wsScheduler) findWork(w *wsWorker) (wsTask, bool) {
+	if t, ok := w.pop(); ok {
+		return t, true
+	}
+	for k := 1; k < len(s.workers); k++ {
+		v := s.workers[(w.id+k)%len(s.workers)]
+		if t, ok := v.stealFront(); ok {
+			s.m.SchedSteals.Inc()
+			if s.tracer != nil {
+				s.tracer.Instant(w.track, obsv.CatWorker, "steal",
+					"from w"+strconv.Itoa(v.id))
+			}
+			return t, true
+		}
+	}
+	return wsTask{}, false
+}
+
+// runTask executes one branch on worker w, capturing its panic into the
+// join and signalling completion.
+func (s *wsScheduler) runTask(w *wsWorker, t wsTask) {
+	var sp obsv.Span
+	if s.tracer != nil {
+		sp = s.tracer.Begin(w.track, obsv.CatWorker, "task", strconv.Itoa(t.idx))
+	}
+	defer func() {
+		t.j.panics[t.idx] = recover()
+		sp.End()
+		if t.j.pending.Add(-1) == 0 {
+			// The join's forker may be parked waiting for this completion.
+			s.mu.Lock()
+			if s.waiters > 0 {
+				s.cond.Broadcast()
+			}
+			s.mu.Unlock()
+		}
+	}()
+	t.j.task(t.idx, w.track)
+}
+
+// workerLoop is the body of each spawned worker: run whatever is runnable,
+// park when nothing is.
+func (s *wsScheduler) workerLoop(w *wsWorker) {
+	defer s.wg.Done()
+	for {
+		if t, ok := s.findWork(w); ok {
+			s.runTask(w, t)
+			continue
+		}
+		s.mu.Lock()
+		for !s.shutdown && !s.anyQueued() {
+			s.waiters++
+			s.m.SchedParks.Inc()
+			s.cond.Wait()
+			s.waiters--
+		}
+		done := s.shutdown
+		s.mu.Unlock()
+		if done {
+			return
+		}
+	}
+}
+
+// forkJoin evaluates task(0..n-1) and returns when all have finished,
+// rethrowing the first captured panic in index order. tk identifies the
+// calling worker (every analysis goroutine is a scheduler worker; the
+// root call runs on worker 0's track).
+func (s *wsScheduler) forkJoin(tk obsv.Track, n int, task func(i int, tk obsv.Track)) {
+	w := s.byTrack[tk]
+	if w == nil {
+		// A caller outside the worker set (defensive; should not happen):
+		// treat it as worker 0 for deque purposes.
+		w = s.workers[0]
+	}
+	j := &wsJoin{task: task, panics: make([]any, n)}
+	j.pending.Store(int64(n))
+	s.m.SchedTasks.Add(int64(n))
+	// Push branches 0..n-2; LIFO pop order means the owner descends into
+	// branch n-2 next while thieves take branch 0 first.
+	for i := 0; i < n-1; i++ {
+		w.push(wsTask{j: j, idx: i})
+	}
+	s.signal()
+	// The forker always contributes the last branch...
+	s.runTask(w, wsTask{j: j, idx: n - 1})
+	// ...then helps until the join completes: own deque, then steals, then
+	// park. Helping may execute branches of *other* joins — that only
+	// delays this join's return, never deadlocks it, and keeps the worker
+	// busy instead of blocked.
+	for j.pending.Load() > 0 {
+		if t, ok := s.findWork(w); ok {
+			s.runTask(w, t)
+			continue
+		}
+		s.mu.Lock()
+		for j.pending.Load() > 0 && !s.anyQueued() && !s.shutdown {
+			s.waiters++
+			s.m.SchedParks.Inc()
+			s.cond.Wait()
+			s.waiters--
+		}
+		s.mu.Unlock()
+	}
+	for _, p := range j.panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+}

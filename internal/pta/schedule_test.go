@@ -1,0 +1,127 @@
+package pta
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/obsv"
+)
+
+func newTestSched(workers int) (*wsScheduler, *obsv.Metrics) {
+	m := obsv.NewMetrics()
+	return newScheduler(workers, nil, m), m
+}
+
+// TestForkJoinRunsEveryIndexOnce checks the basic contract: every branch
+// index runs exactly once and forkJoin returns only after all have run.
+func TestForkJoinRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{2, 4, 8} {
+		s, m := newTestSched(workers)
+		const n = 200
+		var ran [n]atomic.Int32
+		s.forkJoin(0, n, func(i int, tk obsv.Track) {
+			ran[i].Add(1)
+		})
+		for i := range ran {
+			if got := ran[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: branch %d ran %d times, want 1", workers, i, got)
+			}
+		}
+		if got := m.SchedTasks.Load(); got != n {
+			t.Errorf("workers=%d: SchedTasks = %d, want %d", workers, got, n)
+		}
+		s.stop()
+	}
+}
+
+// TestForkJoinNested drives three levels of nested fan-out — the shape of
+// indirect calls inside if/else branches inside indirect calls — and checks
+// that every leaf runs exactly once and nothing deadlocks.
+func TestForkJoinNested(t *testing.T) {
+	s, _ := newTestSched(4)
+	defer s.stop()
+	var leaves atomic.Int64
+	s.forkJoin(0, 8, func(i int, tk obsv.Track) {
+		s.forkJoin(tk, 4, func(j int, tk obsv.Track) {
+			s.forkJoin(tk, 4, func(k int, tk obsv.Track) {
+				leaves.Add(1)
+			})
+		})
+	})
+	if got := leaves.Load(); got != 8*4*4 {
+		t.Fatalf("leaves = %d, want %d", got, 8*4*4)
+	}
+}
+
+// TestForkJoinPanicIndexOrder checks that when several branches panic, the
+// one with the lowest index is rethrown — the property the deterministic
+// stepsExceeded unwind depends on.
+func TestForkJoinPanicIndexOrder(t *testing.T) {
+	s, _ := newTestSched(4)
+	defer s.stop()
+	defer func() {
+		if r := recover(); r != "panic-3" {
+			t.Fatalf("recovered %v, want panic-3", r)
+		}
+	}()
+	s.forkJoin(0, 10, func(i int, tk obsv.Track) {
+		if i == 3 || i == 7 {
+			panic("panic-" + string(rune('0'+i)))
+		}
+	})
+	t.Fatal("forkJoin did not rethrow")
+}
+
+// TestForkJoinImbalancedStealing builds one deep, heavy branch next to many
+// trivial ones. Under the old bounded pool the heavy branch ran inline on a
+// single goroutine once slots were taken; with stealing its sub-branches
+// must migrate. The test asserts completion (no deadlock) and, on multicore
+// hosts, that steals were recorded. On a single-CPU host goroutines rarely
+// overlap, so the steal count is only reported, not required.
+func TestForkJoinImbalancedStealing(t *testing.T) {
+	s, m := newTestSched(8)
+	defer s.stop()
+	var work atomic.Int64
+	var heavy func(depth int, tk obsv.Track)
+	heavy = func(depth int, tk obsv.Track) {
+		if depth == 0 {
+			work.Add(1)
+			return
+		}
+		s.forkJoin(tk, 4, func(i int, tk obsv.Track) {
+			heavy(depth-1, tk)
+		})
+	}
+	s.forkJoin(0, 8, func(i int, tk obsv.Track) {
+		if i == 0 {
+			heavy(5, tk) // 4^5 leaves on one branch
+		} else {
+			work.Add(1)
+		}
+	})
+	if got, want := work.Load(), int64(1024+7); got != want {
+		t.Fatalf("work = %d, want %d", got, want)
+	}
+	t.Logf("steals=%d parks=%d tasks=%d",
+		m.SchedSteals.Load(), m.SchedParks.Load(), m.SchedTasks.Load())
+}
+
+// TestSchedulerTracksDistinct checks every worker got a resolvable track:
+// nested forkJoin from any worker's track must find that worker's deque
+// (the byTrack map), with and without a tracer.
+func TestSchedulerTracksDistinct(t *testing.T) {
+	for _, tr := range []*obsv.Tracer{nil, obsv.NewTracer(4, 64)} {
+		s := newScheduler(6, tr, obsv.NewMetrics())
+		seen := make(map[obsv.Track]bool)
+		for _, w := range s.workers {
+			if seen[w.track] {
+				t.Fatalf("tracer=%v: duplicate track %d", tr != nil, w.track)
+			}
+			seen[w.track] = true
+			if s.byTrack[w.track] != w {
+				t.Fatalf("tracer=%v: track %d does not resolve to its worker", tr != nil, w.track)
+			}
+		}
+		s.stop()
+	}
+}

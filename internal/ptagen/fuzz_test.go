@@ -1,0 +1,51 @@
+package ptagen_test
+
+import (
+	"testing"
+
+	"repro/internal/pta"
+	"repro/internal/ptagen"
+)
+
+// FuzzPtagenRoundTrip feeds arbitrary dial settings through the full
+// pipeline: generate → parse → simplify → analyze. Three properties must
+// hold for every input: the generated source parses (the generator only
+// emits the supported C subset), the analysis completes without panicking,
+// and the result fingerprint is identical at 1 and 8 workers. Dial values
+// are clamped to keep each execution small; the generator itself clamps
+// again, so out-of-range fuzz values exercise the normalization paths too.
+func FuzzPtagenRoundTrip(f *testing.F) {
+	f.Add(int64(1), uint8(2), uint8(3), uint8(10), uint8(64), uint8(32), uint8(48), uint8(2), uint8(2))
+	f.Add(int64(42), uint8(3), uint8(2), uint8(8), uint8(255), uint8(0), uint8(255), uint8(6), uint8(0))
+	f.Add(int64(-9), uint8(0), uint8(0), uint8(0), uint8(0), uint8(255), uint8(0), uint8(0), uint8(4))
+	f.Add(int64(7777), uint8(1), uint8(6), uint8(16), uint8(128), uint8(128), uint8(128), uint8(3), uint8(1))
+
+	f.Fuzz(func(t *testing.T, seed int64, depth, width, stmts, fnptr, rec, churn, sdepth, threads uint8) {
+		cfg := ptagen.Config{
+			Seed:         seed,
+			Depth:        int(depth % 4),   // 0..3
+			Width:        int(width%3) + 1, // 1..3
+			StmtsPerFunc: int(stmts % 16),  // 0..15 (clamped up by the generator)
+			FnPtrDensity: float64(fnptr) / 255,
+			Recursion:    float64(rec) / 255,
+			HeapChurn:    float64(churn) / 255,
+			StructDepth:  int(sdepth % 8), // exercises clamping at both ends
+			Threads:      int(threads % 4),
+		}
+		prog, meta, err := ptagen.Load(cfg)
+		if err != nil {
+			t.Fatalf("%s: generated program failed to load: %v", meta.Name, err)
+		}
+		r1, err := pta.Analyze(prog, pta.Options{Workers: 1})
+		if err != nil {
+			t.Fatalf("%s: serial analysis failed: %v", meta.Name, err)
+		}
+		r8, err := pta.Analyze(prog, pta.Options{Workers: 8})
+		if err != nil {
+			t.Fatalf("%s: parallel analysis failed: %v", meta.Name, err)
+		}
+		if pta.Fingerprint(r1) != pta.Fingerprint(r8) {
+			t.Fatalf("%s: fingerprints differ between 1 and 8 workers", meta.Name)
+		}
+	})
+}

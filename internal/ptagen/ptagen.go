@@ -1,0 +1,425 @@
+// Package ptagen deterministically generates synthetic C-subset programs
+// for scaling experiments. The 17 paper fixtures are a few hundred
+// statements each — too small for parallel speedup or contention to show —
+// so ptagen grows programs of 10k-500k statements with the structural
+// features the analysis cares about: a call tree of tunable depth and
+// width, function-pointer dispatch tables (the paper's motivating feature),
+// self-recursion, heap allocation and free churn, nested struct selectors,
+// and pthread spawns. Every program parses through internal/cc, simplifies,
+// and analyzes; generation is a pure function of the Config (seeded PRNG,
+// no global state), so a seed matrix is a reproducible corpus.
+package ptagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/cc/parser"
+	"repro/internal/simple"
+	"repro/internal/simplify"
+)
+
+// Config is the generator's dial set. The zero value is invalid; use
+// Default() or fill every field. Programs are call trees: main dispatches
+// through a function-pointer table to Width independent subtree roots, and
+// each subtree is a Width-ary tree of depth Depth-1.
+type Config struct {
+	Seed int64
+
+	// Depth and Width shape the call tree. The function count is
+	// Width * (Width^Depth - 1) / (Width - 1) + Width for the dispatch
+	// roots, plus thread entries and main.
+	Depth int
+	Width int
+
+	// StmtsPerFunc is the number of straight-line pointer-manipulation
+	// statements generated into each function body (besides the prologue,
+	// calls, and control flow).
+	StmtsPerFunc int
+
+	// FnPtrDensity is the probability that an internal tree node calls its
+	// children through a node-local function-pointer table instead of
+	// directly. The top-level dispatch is always indirect.
+	FnPtrDensity float64
+
+	// Recursion is the probability that a function also calls itself with
+	// a decremented depth argument (a Recursive invocation-graph node that
+	// needs a fixed point).
+	Recursion float64
+
+	// HeapChurn is the probability weight of malloc/free statements in the
+	// straight-line mix.
+	HeapChurn float64
+
+	// StructDepth is the nesting depth of the generated struct chain
+	// (struct S1 holds a struct S0 pointer, and so on). Minimum 1.
+	StructDepth int
+
+	// Threads is the number of pthread_create spawns in main; each thread
+	// entry calls one dispatch root.
+	Threads int
+}
+
+// Default returns a mid-size baseline configuration (~10k statements).
+func Default() Config {
+	return Config{
+		Seed:         1,
+		Depth:        4,
+		Width:        4,
+		StmtsPerFunc: 24,
+		FnPtrDensity: 0.25,
+		Recursion:    0.15,
+		HeapChurn:    0.2,
+		StructDepth:  3,
+		Threads:      2,
+	}
+}
+
+// Presets are the calibrated base configurations shared by cmd/ptagen and
+// ptabench -scale. Measured sizes (see EXPERIMENTS.md): small ≈ 1.4k source
+// statements, mid ≈ 27k, large ≈ 55k, xlarge ≈ 400k.
+var Presets = map[string]Config{
+	"small":  {Seed: 1, Depth: 3, Width: 3, StmtsPerFunc: 16, FnPtrDensity: 0.25, Recursion: 0.15, HeapChurn: 0.2, StructDepth: 2, Threads: 2},
+	"mid":    {Seed: 1, Depth: 4, Width: 4, StmtsPerFunc: 40, FnPtrDensity: 0.25, Recursion: 0.15, HeapChurn: 0.2, StructDepth: 3, Threads: 2},
+	"large":  {Seed: 1, Depth: 5, Width: 4, StmtsPerFunc: 20, FnPtrDensity: 0.2, Recursion: 0.1, HeapChurn: 0.2, StructDepth: 3, Threads: 2},
+	"xlarge": {Seed: 1, Depth: 5, Width: 5, StmtsPerFunc: 40, FnPtrDensity: 0.2, Recursion: 0.1, HeapChurn: 0.2, StructDepth: 3, Threads: 4},
+}
+
+// normalized clamps the dials to generatable ranges.
+func (c Config) normalized() Config {
+	if c.Depth < 1 {
+		c.Depth = 1
+	}
+	if c.Width < 1 {
+		c.Width = 1
+	}
+	if c.StmtsPerFunc < 4 {
+		c.StmtsPerFunc = 4
+	}
+	if c.StructDepth < 1 {
+		c.StructDepth = 1
+	}
+	if c.StructDepth > 6 {
+		c.StructDepth = 6
+	}
+	if c.Threads < 0 {
+		c.Threads = 0
+	}
+	if c.FnPtrDensity < 0 {
+		c.FnPtrDensity = 0
+	}
+	if c.FnPtrDensity > 1 {
+		c.FnPtrDensity = 1
+	}
+	if c.Recursion < 0 {
+		c.Recursion = 0
+	}
+	if c.Recursion > 1 {
+		c.Recursion = 1
+	}
+	if c.HeapChurn < 0 {
+		c.HeapChurn = 0
+	}
+	if c.HeapChurn > 1 {
+		c.HeapChurn = 1
+	}
+	return c
+}
+
+// Name renders a short deterministic label for the configuration, used as
+// the program name in reports.
+func (c Config) Name() string {
+	return fmt.Sprintf("gen-s%d-d%dw%d-n%d", c.Seed, c.Depth, c.Width, c.StmtsPerFunc)
+}
+
+// Meta describes a generated program.
+type Meta struct {
+	Name      string `json:"name"`
+	Seed      int64  `json:"seed"`
+	Functions int    `json:"functions"`
+	// Stmts counts generated executable statements (assignments, calls,
+	// control-flow heads, returns) across all function bodies.
+	Stmts int `json:"source_stmts"`
+}
+
+// gen carries generation state.
+type gen struct {
+	cfg    Config
+	rng    *rand.Rand
+	sb     strings.Builder
+	nfuncs int
+	nstmts int
+	nextID int
+}
+
+// Generate renders the program for a configuration. Same Config, same
+// bytes.
+func Generate(cfg Config) (string, Meta) {
+	cfg = cfg.normalized()
+	g := &gen{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	g.emitHeader()
+	g.emitStructsAndGlobals()
+
+	// The dispatch roots and their subtrees, children before parents so no
+	// forward declarations are needed.
+	roots := make([]int, cfg.Width)
+	for i := range roots {
+		roots[i] = g.emitTree(cfg.Depth - 1)
+	}
+	g.emitTopTable(roots)
+	g.emitThreads(roots)
+	g.emitMain(roots)
+	return g.sb.String(), Meta{
+		Name:      cfg.Name(),
+		Seed:      cfg.Seed,
+		Functions: g.nfuncs,
+		Stmts:     g.nstmts,
+	}
+}
+
+// Load generates, parses and simplifies the configured program.
+func Load(cfg Config) (*simple.Program, Meta, error) {
+	src, meta := Generate(cfg)
+	tu, err := parser.Parse(meta.Name+".c", src)
+	if err != nil {
+		return nil, meta, fmt.Errorf("ptagen %s: generated program does not parse: %w", meta.Name, err)
+	}
+	prog, err := simplify.Simplify(tu)
+	if err != nil {
+		return nil, meta, fmt.Errorf("ptagen %s: generated program does not simplify: %w", meta.Name, err)
+	}
+	return prog, meta, nil
+}
+
+// line emits one line at the given indent; stmt marks it as an executable
+// statement for the Meta count.
+func (g *gen) line(indent int, stmt bool, format string, args ...any) {
+	for i := 0; i < indent; i++ {
+		g.sb.WriteString("    ")
+	}
+	fmt.Fprintf(&g.sb, format, args...)
+	g.sb.WriteByte('\n')
+	if stmt {
+		g.nstmts++
+	}
+}
+
+func (g *gen) emitHeader() {
+	c := g.cfg
+	g.line(0, false, "/* Generated by ptagen: seed=%d depth=%d width=%d stmts=%d", c.Seed, c.Depth, c.Width, c.StmtsPerFunc)
+	g.line(0, false, " * fnptr=%.2f rec=%.2f churn=%.2f structs=%d threads=%d.", c.FnPtrDensity, c.Recursion, c.HeapChurn, c.StructDepth, c.Threads)
+	g.line(0, false, " * Deterministic: same config, same bytes. Do not edit. */")
+	g.line(0, false, "")
+}
+
+func (g *gen) emitStructsAndGlobals() {
+	g.line(0, false, "struct S0 {")
+	g.line(1, false, "int v;")
+	g.line(1, false, "int *ip;")
+	g.line(1, false, "struct S0 *next;")
+	g.line(0, false, "};")
+	for k := 1; k < g.cfg.StructDepth; k++ {
+		g.line(0, false, "struct S%d {", k)
+		g.line(1, false, "int v;")
+		g.line(1, false, "struct S%d *inner;", k-1)
+		g.line(1, false, "struct S%d *next;", k)
+		g.line(0, false, "};")
+	}
+	g.line(0, false, "")
+	g.line(0, false, "int g_i0;")
+	g.line(0, false, "int g_i1;")
+	for i := 0; i < 4; i++ {
+		g.line(0, false, "struct S0 g_n%d;", i)
+	}
+	for k := 1; k < g.cfg.StructDepth; k++ {
+		g.line(0, false, "struct S%d g_s%d;", k, k)
+	}
+	for j := 0; j < g.cfg.Threads; j++ {
+		g.line(0, false, "long g_tid%d;", j)
+	}
+	g.line(0, false, "")
+}
+
+// emitTree generates a subtree of the given remaining depth and returns the
+// id of its root function. Children are emitted (and therefore declared)
+// before their parent.
+func (g *gen) emitTree(depth int) int {
+	var children []int
+	if depth > 0 {
+		children = make([]int, g.cfg.Width)
+		for i := range children {
+			children[i] = g.emitTree(depth - 1)
+		}
+	}
+	id := g.nextID
+	g.nextID++
+	g.emitFunc(id, children)
+	return id
+}
+
+// emitFunc renders one tree function: prologue, the randomized straight-
+// line statement mix, optional self-recursion, and the calls to children —
+// direct, or indirect through a node-local table.
+func (g *gen) emitFunc(id int, children []int) {
+	g.nfuncs++
+	indirect := len(children) > 0 && g.rng.Float64() < g.cfg.FnPtrDensity
+	if indirect {
+		entries := make([]string, len(children))
+		for i, c := range children {
+			entries[i] = fmt.Sprintf("f_%d", c)
+		}
+		g.line(0, false, "int (*tab_%d[%d])(struct S0 *, int) = { %s };", id, len(children), strings.Join(entries, ", "))
+	}
+	g.line(0, false, "int f_%d(struct S0 *a, int d) {", id)
+	g.line(1, false, "struct S0 *p;")
+	g.line(1, false, "struct S0 *q;")
+	g.line(1, false, "int *ip;")
+	g.line(1, false, "int i;")
+	g.line(1, false, "int r;")
+	for k := 1; k < g.cfg.StructDepth; k++ {
+		g.line(1, false, "struct S%d *s%d;", k, k)
+	}
+	if indirect {
+		g.line(1, false, "int (*fp)(struct S0 *, int);")
+		g.line(1, false, "int k;")
+	}
+	g.line(1, true, "p = a;")
+	g.line(1, true, "q = a;")
+	g.line(1, true, "r = 0;")
+	g.line(1, true, "i = d;")
+	for n := 0; n < g.cfg.StmtsPerFunc; n++ {
+		g.emitStraightLine()
+	}
+	if g.cfg.Recursion > 0 && g.rng.Float64() < g.cfg.Recursion {
+		g.line(1, true, "if (d > 0) {")
+		g.line(2, true, "r = r + f_%d(p, d - 1);", id)
+		g.line(1, false, "}")
+	}
+	for _, c := range children {
+		if !indirect {
+			g.line(1, true, "r = r + f_%d(p, d);", c)
+		}
+	}
+	if indirect {
+		g.line(1, true, "for (k = 0; k < %d; k++) {", len(children))
+		g.line(2, true, "fp = tab_%d[k];", id)
+		g.line(2, true, "r = r + fp(p, d);")
+		g.line(1, false, "}")
+	}
+	g.line(1, true, "return r;")
+	g.line(0, false, "}")
+	g.line(0, false, "")
+}
+
+// emitStraightLine renders one statement from the weighted template mix.
+func (g *gen) emitStraightLine() {
+	c := g.cfg
+	// Heap churn gets its own draw so the dial is independent of the rest
+	// of the mix.
+	if c.HeapChurn > 0 && g.rng.Float64() < c.HeapChurn {
+		if g.rng.Intn(3) == 0 {
+			g.line(1, true, "q = (struct S0 *) malloc(sizeof(struct S0));")
+			g.line(1, true, "q->next = p;")
+			g.line(1, true, "free(q);")
+		} else {
+			g.line(1, true, "p = (struct S0 *) malloc(sizeof(struct S0));")
+			g.line(1, true, "p->next = q;")
+			g.line(1, true, "p->ip = &g_i0;")
+		}
+		return
+	}
+	switch g.rng.Intn(10) {
+	case 0:
+		g.line(1, true, "p = q;")
+	case 1:
+		g.line(1, true, "q = p->next;")
+	case 2:
+		g.line(1, true, "p->next = q;")
+	case 3:
+		g.line(1, true, "p = &g_n%d;", g.rng.Intn(4))
+	case 4:
+		g.line(1, true, "ip = &g_i%d;", g.rng.Intn(2))
+	case 5:
+		g.line(1, true, "p->ip = ip;")
+	case 6:
+		g.line(1, true, "if (i > %d) {", g.rng.Intn(8))
+		g.line(2, true, "p = &g_n%d;", g.rng.Intn(4))
+		g.line(1, false, "} else {")
+		g.line(2, true, "p = q;")
+		g.line(1, false, "}")
+	case 7:
+		g.line(1, true, "while (p) {")
+		g.line(2, true, "p = p->next;")
+		g.line(1, false, "}")
+		g.line(1, true, "p = &g_n%d;", g.rng.Intn(4))
+	case 8:
+		if c.StructDepth > 1 {
+			k := 1 + g.rng.Intn(c.StructDepth-1)
+			g.line(1, true, "s%d = &g_s%d;", k, k)
+			if k == 1 {
+				g.line(1, true, "p = s1->inner;")
+			} else {
+				g.line(1, true, "s%d = s%d->inner;", k-1, k)
+			}
+		} else {
+			g.line(1, true, "q = p;")
+		}
+	default:
+		g.line(1, true, "i = i + 1;")
+	}
+}
+
+// emitTopTable renders the dispatch table main indirects through.
+func (g *gen) emitTopTable(roots []int) {
+	entries := make([]string, len(roots))
+	for i, r := range roots {
+		entries[i] = fmt.Sprintf("f_%d", r)
+	}
+	g.line(0, false, "int (*top_tab[%d])(struct S0 *, int) = { %s };", len(roots), strings.Join(entries, ", "))
+	g.line(0, false, "")
+}
+
+// emitThreads renders the pthread entry functions; thread j exercises
+// dispatch root j mod Width.
+func (g *gen) emitThreads(roots []int) {
+	for j := 0; j < g.cfg.Threads; j++ {
+		g.nfuncs++
+		g.line(0, false, "void *thr_%d(void *arg) {", j)
+		g.line(1, false, "struct S0 *p;")
+		g.line(1, false, "int r;")
+		g.line(1, true, "p = (struct S0 *) arg;")
+		g.line(1, true, "p->ip = &g_i1;")
+		g.line(1, true, "r = f_%d(p, 1);", roots[j%len(roots)])
+		g.line(1, true, "return 0;")
+		g.line(0, false, "}")
+		g.line(0, false, "")
+	}
+}
+
+func (g *gen) emitMain(roots []int) {
+	g.nfuncs++
+	g.line(0, false, "int main(void) {")
+	g.line(1, false, "struct S0 *p;")
+	g.line(1, false, "int (*fp)(struct S0 *, int);")
+	g.line(1, false, "int k;")
+	g.line(1, false, "int r;")
+	g.line(1, true, "g_n0.next = &g_n1;")
+	g.line(1, true, "g_n1.next = &g_n2;")
+	g.line(1, true, "g_n2.next = &g_n3;")
+	g.line(1, true, "g_n3.next = 0;")
+	g.line(1, true, "p = &g_n0;")
+	g.line(1, true, "r = 0;")
+	for j := 0; j < g.cfg.Threads; j++ {
+		g.line(1, true, "pthread_create(&g_tid%d, 0, thr_%d, &g_n%d);", j, j, j%4)
+	}
+	g.line(1, true, "for (k = 0; k < %d; k++) {", len(roots))
+	g.line(2, true, "fp = top_tab[k];")
+	g.line(2, true, "r = r + fp(p, %d);", g.cfg.Depth)
+	g.line(1, false, "}")
+	for j := 0; j < g.cfg.Threads; j++ {
+		g.line(1, true, "pthread_join(g_tid%d, 0);", j)
+	}
+	g.line(1, true, "return r;")
+	g.line(0, false, "}")
+}

@@ -1,0 +1,119 @@
+package ptagen_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ptagen"
+)
+
+// TestGenerateDeterministic checks the generator's core promise: the same
+// configuration yields byte-identical source, so a (config, seed) pair is a
+// stable name for a benchmark program.
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := ptagen.Default()
+	a, ma := ptagen.Generate(cfg)
+	b, mb := ptagen.Generate(cfg)
+	if a != b {
+		t.Fatal("same config generated different sources")
+	}
+	if ma != mb {
+		t.Fatalf("same config generated different meta: %+v vs %+v", ma, mb)
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	cfg := ptagen.Default()
+	a, _ := ptagen.Generate(cfg)
+	cfg.Seed = 2
+	b, _ := ptagen.Generate(cfg)
+	if a == b {
+		t.Fatal("different seeds generated identical sources")
+	}
+}
+
+// TestSizeDials checks that the size dials are monotone: more depth, width
+// or statements per function yields a bigger program. The absolute sizes are
+// calibration data for picking -scale configurations.
+func TestSizeDials(t *testing.T) {
+	base := ptagen.Config{Seed: 1, Depth: 2, Width: 2, StmtsPerFunc: 8,
+		FnPtrDensity: 0.25, Recursion: 0.1, HeapChurn: 0.2, StructDepth: 2, Threads: 1}
+	_, m0 := ptagen.Generate(base)
+
+	deeper := base
+	deeper.Depth = 3
+	_, m1 := ptagen.Generate(deeper)
+	if m1.Functions <= m0.Functions {
+		t.Errorf("Depth 3 produced %d functions, want > %d", m1.Functions, m0.Functions)
+	}
+
+	wider := base
+	wider.Width = 4
+	_, m2 := ptagen.Generate(wider)
+	if m2.Functions <= m0.Functions {
+		t.Errorf("Width 4 produced %d functions, want > %d", m2.Functions, m0.Functions)
+	}
+
+	fatter := base
+	fatter.StmtsPerFunc = 24
+	_, m3 := ptagen.Generate(fatter)
+	if m3.Stmts <= m0.Stmts {
+		t.Errorf("StmtsPerFunc 24 produced %d stmts, want > %d", m3.Stmts, m0.Stmts)
+	}
+}
+
+// TestGeneratedShape spot-checks structural properties of the emitted C:
+// function-pointer dispatch tables, thread spawns, and heap traffic all have
+// to be present for the program to exercise the analysis paths the corpus
+// exists to stress.
+func TestGeneratedShape(t *testing.T) {
+	src, meta := ptagen.Generate(ptagen.Default())
+	for _, want := range []string{
+		"int (*top_tab[", // indirect dispatch roots
+		"pthread_create(", "pthread_join(",
+		"malloc(sizeof(struct S0))", "free(",
+		"struct S0 {",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated source missing %q", want)
+		}
+	}
+	if meta.Functions < 2 {
+		t.Errorf("meta.Functions = %d, want >= 2", meta.Functions)
+	}
+	if got := strings.Count(src, "pthread_create("); got != 2 {
+		t.Errorf("pthread_create count = %d, want 2 (Threads: 2)", got)
+	}
+}
+
+// TestLoadParsesAcrossDials runs a program through the real parser and
+// simplifier for each dial pushed to an extreme, so a template regression
+// that only manifests under one dial (say, recursion or zero threads) is
+// caught here rather than in the long-running differential matrix.
+func TestLoadParsesAcrossDials(t *testing.T) {
+	base := ptagen.Config{Seed: 7, Depth: 2, Width: 3, StmtsPerFunc: 10,
+		FnPtrDensity: 0.3, Recursion: 0.2, HeapChurn: 0.3, StructDepth: 2, Threads: 2}
+	variants := map[string]func(*ptagen.Config){
+		"base":         func(c *ptagen.Config) {},
+		"no-threads":   func(c *ptagen.Config) { c.Threads = 0 },
+		"no-fnptr":     func(c *ptagen.Config) { c.FnPtrDensity = 0 },
+		"all-fnptr":    func(c *ptagen.Config) { c.FnPtrDensity = 1 },
+		"all-rec":      func(c *ptagen.Config) { c.Recursion = 1 },
+		"churn-heavy":  func(c *ptagen.Config) { c.HeapChurn = 1 },
+		"deep-structs": func(c *ptagen.Config) { c.StructDepth = 6 },
+		"degenerate":   func(c *ptagen.Config) { c.Depth = 0; c.Width = 1; c.StmtsPerFunc = 0 },
+	}
+	for name, mutate := range variants {
+		t.Run(name, func(t *testing.T) {
+			cfg := base
+			mutate(&cfg)
+			prog, meta, err := ptagen.Load(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", meta.Name, err)
+			}
+			if prog.Main() == nil {
+				t.Fatalf("%s: no main", meta.Name)
+			}
+		})
+	}
+}
