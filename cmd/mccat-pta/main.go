@@ -33,16 +33,28 @@
 //	-metrics        print the full metrics report (engine counters, memo and
 //	                intern hit rates, set-cardinality distribution, per-function
 //	                cost table)
+//	-metrics-out F  write the metrics snapshot to F as JSON
 //	-trace F        record a structured execution trace and write it to F as
 //	                Chrome trace_event JSON (open in ui.perfetto.dev)
 //	-trace-jsonl F  write the trace to F as a JSON-lines stream instead
 //	-trace-buf N    per-shard trace ring capacity in events (drop-oldest)
 //	-cpuprofile F   write a CPU profile of the run to F
 //	-memprofile F   write a heap profile at exit to F
-//	-debug-addr A   serve net/http/pprof on A (e.g. localhost:6060)
+//	-debug-addr A   serve net/http/pprof AND a live Prometheus /metrics
+//	                endpoint on A (e.g. localhost:6060) — an in-flight
+//	                analysis can be scraped mid-run
+//	-flight F       write the flight record (last spans, progress samples)
+//	                to F after the run; on a panic, step-budget blowout or
+//	                stall the record is dumped to stderr automatically
+//	-no-flight      disable the always-on flight recorder
+//	-watchdog D     arm the stall watchdog: after D without step progress,
+//	                dump goroutine stacks plus the flight record to stderr
+//	-watchdog-kill  make a detected stall abort the analysis
+//	-max-steps N    basic-statement evaluation budget (0 = engine default)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -114,12 +126,18 @@ func run(argv []string, stdout, stderr io.Writer) (code int) {
 		workers   = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
 
 		doMetrics  = fs.Bool("metrics", false, "print the full metrics report")
+		metricsOut = fs.String("metrics-out", "", "write the metrics snapshot to this file as JSON")
 		traceOut   = fs.String("trace", "", "write a Chrome trace_event JSON execution trace to this file")
 		traceJSONL = fs.String("trace-jsonl", "", "write a JSON-lines execution trace to this file")
 		traceBuf   = fs.Int("trace-buf", 0, "per-shard trace ring capacity in events (0 = default)")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile at exit to this file")
-		debugAddr  = fs.String("debug-addr", "", "serve net/http/pprof on this address")
+		debugAddr  = fs.String("debug-addr", "", "serve net/http/pprof and a live /metrics endpoint on this address")
+		flightOut  = fs.String("flight", "", "write the flight record to this file after the run")
+		noFlight   = fs.Bool("no-flight", false, "disable the always-on flight recorder")
+		watchdog   = fs.Duration("watchdog", 0, "stall watchdog window (0 disables)")
+		wdKill     = fs.Bool("watchdog-kill", false, "abort the analysis when the watchdog detects a stall")
+		maxSteps   = fs.Int("max-steps", 0, "basic-statement evaluation budget (0 = engine default)")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return 2
@@ -156,6 +174,17 @@ func run(argv []string, stdout, stderr io.Writer) (code int) {
 		}
 	}()
 
+	// The live registry exists before the analysis starts so a -debug-addr
+	// scraper sees counters advance mid-run rather than a 503 until the end.
+	liveMetrics := obsv.NewMetrics()
+	if *debugAddr != "" {
+		obsv.ServeMetrics(liveMetrics.Snapshot)
+	}
+	var flight *obsv.FlightRecorder
+	if !*noFlight {
+		flight = obsv.NewFlightRecorder(0, 0)
+	}
+
 	cfg := &pointsto.Config{
 		FnPtrStrategy:      *fnptr,
 		ContextInsensitive: *ci,
@@ -163,6 +192,12 @@ func run(argv []string, stdout, stderr io.Writer) (code int) {
 		Workers:            *workers,
 		Trace:              *traceOut != "" || *traceJSONL != "",
 		TraceBuffer:        *traceBuf,
+		MaxSteps:           *maxSteps,
+		Metrics:            liveMetrics,
+		Flight:             flight,
+		FlightDump:         stderr,
+		StallWindow:        *watchdog,
+		StallKill:          *wdKill,
 	}
 	a, err := pointsto.AnalyzeSource(name, src, cfg)
 	if err != nil {
@@ -173,6 +208,21 @@ func run(argv []string, stdout, stderr io.Writer) (code int) {
 	}
 	if *traceJSONL != "" {
 		writeFileWith(*traceJSONL, a.WriteTraceJSONL)
+	}
+	if *flightOut != "" {
+		if flight == nil {
+			fatal(fmt.Errorf("-flight needs the flight recorder (drop -no-flight)"))
+		}
+		writeFileWith(*flightOut, func(w io.Writer) error {
+			return flight.Dump(w, "end of run")
+		})
+	}
+	if *metricsOut != "" {
+		writeFileWith(*metricsOut, func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(a.Metrics())
+		})
 	}
 
 	any := false
@@ -199,6 +249,10 @@ func run(argv []string, stdout, stderr io.Writer) (code int) {
 			m.InternDistinct, 100*m.InternHitRate)
 		fmt.Fprintf(stdout, "set cardinality: p50 %d, p90 %d, max %d\n",
 			m.Cardinality.P50, m.Cardinality.P90, m.Cardinality.Max)
+		fmt.Fprintf(stdout, "sched: %d tasks, %d steals, %d parks\n",
+			m.SchedTasks, m.SchedSteals, m.SchedParks)
+		fmt.Fprintf(stdout, "shards: intern %d (%d contended), loc %d (%d contended)\n",
+			m.InternShards, m.InternContended, m.LocShards, m.LocContended)
 		if m.TraceDropped > 0 {
 			fmt.Fprintf(stdout, "trace: %d events dropped by ring overflow (raise -trace-buf)\n", m.TraceDropped)
 		}

@@ -18,6 +18,13 @@
 //	                    # worker count diverges from the serial result
 //	ptabench -trace F   # trace the suite (one Perfetto process per program)
 //
+//	ptabench -compare old.json new.json
+//	                    # bench regression gate: diff two BENCH_pta.json or
+//	                    # BENCH_scale.json reports with per-metric thresholds
+//	                    # (-wall-tol, -steps-tol, -memo-tol, -peak-tol) and
+//	                    # exit 1 on any regression; host mismatches downgrade
+//	                    # wall-time checks to warnings
+//
 // Profiling flags usable with any mode: -cpuprofile, -memprofile,
 // -debug-addr (net/http/pprof).
 package main
@@ -80,6 +87,12 @@ func run(argv []string, stdout, stderr io.Writer) (code int) {
 		scaleFile   = fs.String("scale-file", "", "with -scale: measure this C file (e.g. ptagen output)")
 		scalePreset = fs.String("scale-preset", "large", "with -scale: ptagen preset to generate when no -scale-file/-progs is given")
 
+		compareMode = fs.Bool("compare", false, "compare two bench report JSON files (old new) and exit 1 on regression")
+		wallTol     = fs.Float64("wall-tol", 0, "with -compare: wall-time growth ratio tolerated (0 = default 1.5)")
+		stepsTol    = fs.Float64("steps-tol", 0, "with -compare: step-count growth ratio tolerated (0 = default 1.10)")
+		memoTol     = fs.Float64("memo-tol", 0, "with -compare: absolute memo hit-rate drop tolerated (0 = default 0.05)")
+		peakTol     = fs.Float64("peak-tol", 0, "with -compare: peak-set growth ratio tolerated (0 = default 1.10)")
+
 		traceOut   = fs.String("trace", "", "trace the suite and write Chrome trace_event JSON to this file")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile at exit to this file")
@@ -87,6 +100,16 @@ func run(argv []string, stdout, stderr io.Writer) (code int) {
 	)
 	if err := fs.Parse(argv); err != nil {
 		return 2
+	}
+
+	if *compareMode {
+		// No profile setup: -compare reads two JSON files and exits.
+		return runCompare(stdout, stderr, fs.Args(), perf.Thresholds{
+			WallRatio:  *wallTol,
+			StepsRatio: *stepsTol,
+			MemoDrop:   *memoTol,
+			PeakRatio:  *peakTol,
+		})
 	}
 
 	prof, err := obsv.StartProfiles(*cpuprofile, *memprofile, *debugAddr)
@@ -114,6 +137,41 @@ func run(argv []string, stdout, stderr io.Writer) (code int) {
 	default:
 		runTables(stdout, *tableN)
 	}
+	return 0
+}
+
+// runCompare is the bench regression gate: it diffs an old (baseline) and a
+// new (candidate) report under the thresholds, prints every warning and
+// regression, and returns 1 when the gate fails.
+func runCompare(stdout, stderr io.Writer, args []string, th perf.Thresholds) int {
+	if len(args) != 2 {
+		fatal(fmt.Errorf("-compare needs exactly two report files: old.json new.json"))
+	}
+	oldData, err := os.ReadFile(args[0])
+	if err != nil {
+		fatal(err)
+	}
+	newData, err := os.ReadFile(args[1])
+	if err != nil {
+		fatal(err)
+	}
+	c, err := perf.CompareReports(oldData, newData, th)
+	if err != nil {
+		fatal(err)
+	}
+	for _, w := range c.Warnings {
+		fmt.Fprintln(stderr, "warning:", w)
+	}
+	for _, r := range c.Regressions {
+		fmt.Fprintln(stderr, "regression:", r)
+	}
+	if !c.OK() {
+		fmt.Fprintf(stdout, "compare (%s): FAIL — %d regression(s) vs %s\n",
+			c.Kind, len(c.Regressions), args[0])
+		return 1
+	}
+	fmt.Fprintf(stdout, "compare (%s): ok — no regressions vs %s (%d warning(s))\n",
+		c.Kind, args[0], len(c.Warnings))
 	return 0
 }
 

@@ -1,0 +1,128 @@
+package obsv
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFlightRecorderBindReturnsTracer(t *testing.T) {
+	f := NewFlightRecorder(8, time.Hour) // sampler effectively off
+	defer f.Unbind()
+
+	// Without an external tracer Bind supplies a bounded internal one.
+	tr := f.Bind(NewMetrics(), nil)
+	if tr == nil {
+		t.Fatal("Bind returned nil tracer")
+	}
+	f.Unbind()
+
+	// With an external tracer Bind passes it through unchanged.
+	ext := NewTracer(2, 64)
+	if got := f.Bind(NewMetrics(), ext); got != ext {
+		t.Error("Bind must return the external tracer when one is supplied")
+	}
+}
+
+func TestFlightRecorderSamples(t *testing.T) {
+	f := NewFlightRecorder(8, time.Millisecond)
+	m := NewMetrics()
+	f.Bind(m, nil)
+	defer f.Unbind()
+
+	m.Steps.Add(100)
+	deadline := time.Now().Add(2 * time.Second)
+	for len(f.Samples()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("sampler took no samples within 2s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s := f.Samples()[len(f.Samples())-1]
+	if s.Steps < 100 {
+		t.Errorf("sample steps = %d, want >= 100", s.Steps)
+	}
+}
+
+func TestFlightRecorderSampleRingBounded(t *testing.T) {
+	f := NewFlightRecorder(8, time.Hour)
+	f.Bind(NewMetrics(), nil)
+	defer f.Unbind()
+	// Drive sample() directly well past capacity.
+	for i := 0; i < 3*flightSampleCap; i++ {
+		f.sample()
+	}
+	if got := len(f.Samples()); got != flightSampleCap {
+		t.Errorf("sample ring holds %d, want cap %d", got, flightSampleCap)
+	}
+}
+
+func TestFlightRecorderDump(t *testing.T) {
+	f := NewFlightRecorder(4, time.Hour)
+	m := NewMetrics()
+	tr := f.Bind(m, nil)
+	defer f.Unbind()
+
+	m.Steps.Add(42)
+	m.NodeEvals.Add(7)
+	// Overfill the span ring so Dump shows only the most recent spans.
+	tk := tr.NewTrack()
+	for i := 0; i < 10; i++ {
+		tr.Begin(tk, CatNode, "eval", "fn").End()
+	}
+	f.sample()
+
+	var b bytes.Buffer
+	if err := f.Dump(&b, "unit test"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"=== flight record: unit test ===",
+		"steps=42",
+		"node_evals=7",
+		"progress samples",
+		"last ",
+		"eval",
+		"=== end flight record ===",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFlightRecorderNilSafety(t *testing.T) {
+	var f *FlightRecorder
+	if err := f.Dump(&bytes.Buffer{}, "nil"); err != nil {
+		t.Errorf("nil-receiver Dump should no-op, got %v", err)
+	}
+}
+
+func TestFlightRecorderUnbindIdempotent(t *testing.T) {
+	f := NewFlightRecorder(8, time.Millisecond)
+	f.Bind(NewMetrics(), nil)
+	f.Unbind()
+	f.Unbind() // must not panic or deadlock
+
+	// Dump still works after unbinding (crash triage can outlive the run).
+	var b bytes.Buffer
+	if err := f.Dump(&b, "post-unbind"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "post-unbind") {
+		t.Error("post-unbind dump missing cause")
+	}
+}
+
+func TestFlightRecorderNeverBound(t *testing.T) {
+	f := NewFlightRecorder(8, time.Hour)
+	var b bytes.Buffer
+	if err := f.Dump(&b, "cold"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "never bound") {
+		t.Errorf("cold dump should say the recorder was never bound:\n%s", b.String())
+	}
+}

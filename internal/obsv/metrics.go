@@ -204,6 +204,11 @@ func NewMetrics() *Metrics {
 // first use. Safe for concurrent use.
 func (m *Metrics) Func(name string) *FuncCost {
 	m.mu.Lock()
+	if m.funcs == nil {
+		// Tolerate a zero-value registry (callers may supply their own
+		// rather than use NewMetrics).
+		m.funcs = make(map[string]*FuncCost)
+	}
 	fc := m.funcs[name]
 	if fc == nil {
 		fc = &FuncCost{}

@@ -1,0 +1,139 @@
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// Watchdog watches a monotone progress counter and fires when it stops
+// advancing for a configured window — the symptom of a livelocked fixed
+// point, a runaway recursion approximation, or a scheduling bug. Firing
+// means: emit a warning through OnStall (the analysis dumps goroutine
+// stacks and the flight record there) and, when a Kill hook is configured,
+// abort the run through it. After firing, the watchdog re-arms only once
+// progress resumes, so a persistent stall produces one report, not a
+// report per poll.
+type Watchdog struct {
+	window   time.Duration
+	poll     time.Duration
+	progress func() int64
+	onStall  func(StallInfo)
+
+	stalls atomic.Int64
+	stop   chan struct{}
+	done   chan struct{}
+}
+
+// StallInfo describes one detected stall.
+type StallInfo struct {
+	// Stalled is how long the progress counter has been stuck.
+	Stalled time.Duration
+	// Progress is the stuck counter value.
+	Progress int64
+}
+
+// WatchdogConfig configures StartWatchdog.
+type WatchdogConfig struct {
+	// Window is the no-progress duration that counts as a stall. Required.
+	Window time.Duration
+	// Poll is the sampling interval (0 means Window/8, clamped to
+	// [1ms, 1s]).
+	Poll time.Duration
+	// Progress reads the monotone progress counter. Required.
+	Progress func() int64
+	// OnStall is invoked (from the watchdog goroutine) once per stall
+	// episode. Optional.
+	OnStall func(StallInfo)
+}
+
+// StartWatchdog starts a watchdog goroutine. It returns nil — a valid,
+// inert watchdog — when the config is incomplete (no window or no progress
+// source), so callers can pass options through unconditionally.
+func StartWatchdog(cfg WatchdogConfig) *Watchdog {
+	if cfg.Window <= 0 || cfg.Progress == nil {
+		return nil
+	}
+	poll := cfg.Poll
+	if poll <= 0 {
+		poll = cfg.Window / 8
+	}
+	if poll < time.Millisecond {
+		poll = time.Millisecond
+	}
+	if poll > time.Second {
+		poll = time.Second
+	}
+	w := &Watchdog{
+		window:   cfg.Window,
+		poll:     poll,
+		progress: cfg.Progress,
+		onStall:  cfg.OnStall,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go w.loop()
+	return w
+}
+
+// Stop terminates the watchdog goroutine. Safe on a nil watchdog; must not
+// be called twice.
+func (w *Watchdog) Stop() {
+	if w == nil {
+		return
+	}
+	close(w.stop)
+	<-w.done
+}
+
+// Stalls reports how many stall episodes have fired. Safe on nil.
+func (w *Watchdog) Stalls() int64 {
+	if w == nil {
+		return 0
+	}
+	return w.stalls.Load()
+}
+
+func (w *Watchdog) loop() {
+	defer close(w.done)
+	t := time.NewTicker(w.poll)
+	defer t.Stop()
+	last := w.progress()
+	lastChange := time.Now()
+	fired := false
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+		}
+		v := w.progress()
+		if v != last {
+			last, lastChange, fired = v, time.Now(), false
+			continue
+		}
+		if fired {
+			continue
+		}
+		if stalled := time.Since(lastChange); stalled >= w.window {
+			fired = true
+			w.stalls.Add(1)
+			if w.onStall != nil {
+				w.onStall(StallInfo{Stalled: stalled, Progress: v})
+			}
+		}
+	}
+}
+
+// WriteStallReport renders the standard stall preamble: the warning line
+// and a dump of every goroutine's stack. The flight record follows it in
+// the analysis's stall hook.
+func WriteStallReport(w io.Writer, info StallInfo) {
+	fmt.Fprintf(w, "=== stall watchdog: no progress for %s (stuck at %d steps) ===\n",
+		info.Stalled.Round(time.Millisecond), info.Progress)
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	fmt.Fprintf(w, "goroutine stacks:\n%s\n", buf[:n])
+}

@@ -1,0 +1,138 @@
+package obsv
+
+import (
+	"bytes"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWatchdogFiresOnStall(t *testing.T) {
+	var progress atomic.Int64
+	progress.Store(7)
+	fired := make(chan StallInfo, 1)
+	w := StartWatchdog(WatchdogConfig{
+		Window:   20 * time.Millisecond,
+		Progress: progress.Load,
+		OnStall: func(info StallInfo) {
+			select {
+			case fired <- info:
+			default:
+			}
+		},
+	})
+	defer w.Stop()
+
+	select {
+	case info := <-fired:
+		if info.Progress != 7 {
+			t.Errorf("stall at progress %d, want 7", info.Progress)
+		}
+		if info.Stalled < 20*time.Millisecond {
+			t.Errorf("stalled %s, want >= window", info.Stalled)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("watchdog never fired on frozen progress")
+	}
+	if w.Stalls() != 1 {
+		t.Errorf("Stalls() = %d, want 1", w.Stalls())
+	}
+
+	// A persistent stall fires once, not once per poll.
+	time.Sleep(100 * time.Millisecond)
+	if w.Stalls() != 1 {
+		t.Errorf("persistent stall fired %d times, want 1", w.Stalls())
+	}
+}
+
+func TestWatchdogRearmsAfterProgress(t *testing.T) {
+	var progress atomic.Int64
+	var stalls atomic.Int64
+	resumed := make(chan struct{}, 1)
+	w := StartWatchdog(WatchdogConfig{
+		Window:   15 * time.Millisecond,
+		Progress: progress.Load,
+		OnStall: func(StallInfo) {
+			if stalls.Add(1) == 1 {
+				// Resume progress from the hook so the re-arm is racefree.
+				progress.Add(1)
+				resumed <- struct{}{}
+			}
+		},
+	})
+	defer w.Stop()
+
+	select {
+	case <-resumed:
+	case <-time.After(2 * time.Second):
+		t.Fatal("first stall never fired")
+	}
+	// Progress moved once and froze again: the watchdog must re-arm and
+	// fire a second episode.
+	deadline := time.Now().Add(2 * time.Second)
+	for stalls.Load() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("watchdog did not re-arm after progress resumed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestWatchdogNoStallWhileProgressing(t *testing.T) {
+	var progress atomic.Int64
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				progress.Add(1)
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	w := StartWatchdog(WatchdogConfig{
+		Window:   50 * time.Millisecond,
+		Progress: progress.Load,
+	})
+	time.Sleep(200 * time.Millisecond)
+	if w.Stalls() != 0 {
+		t.Errorf("watchdog fired %d times on live progress", w.Stalls())
+	}
+	w.Stop()
+	close(stop)
+	<-done
+}
+
+func TestWatchdogIncompleteConfig(t *testing.T) {
+	if w := StartWatchdog(WatchdogConfig{Window: time.Second}); w != nil {
+		t.Error("no Progress source should yield a nil watchdog")
+	}
+	if w := StartWatchdog(WatchdogConfig{Progress: func() int64 { return 0 }}); w != nil {
+		t.Error("no Window should yield a nil watchdog")
+	}
+	var w *Watchdog
+	w.Stop() // nil-safe
+	if w.Stalls() != 0 {
+		t.Error("nil watchdog reports stalls")
+	}
+}
+
+func TestWriteStallReport(t *testing.T) {
+	var b bytes.Buffer
+	WriteStallReport(&b, StallInfo{Stalled: 3 * time.Second, Progress: 12345})
+	out := b.String()
+	if !strings.Contains(out, "no progress for 3s") {
+		t.Errorf("report missing stall duration:\n%s", out)
+	}
+	if !strings.Contains(out, "stuck at 12345 steps") {
+		t.Errorf("report missing progress value:\n%s", out)
+	}
+	if !strings.Contains(out, "goroutine ") {
+		t.Errorf("report missing goroutine stacks:\n%s", out)
+	}
+}

@@ -1,0 +1,256 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// This file implements the bench regression gate (ptabench -compare): a
+// structural diff of two BENCH_pta.json or BENCH_scale.json reports with
+// per-metric thresholds. Wall-time checks carry both a ratio threshold and
+// a small absolute floor so microsecond-scale noise on tiny programs cannot
+// trip the gate, and they are skipped entirely (downgraded to warnings)
+// when the two reports come from different hosts.
+
+// Thresholds configures how much regression -compare tolerates before
+// failing. Zero fields take the defaults.
+type Thresholds struct {
+	// WallRatio fails when new wall time exceeds old*WallRatio (and the
+	// absolute excess is over WallFloorMS). Default 1.5.
+	WallRatio float64
+	// WallFloorMS is the absolute wall-time excess (milliseconds) below
+	// which a ratio breach is ignored as timer noise. Default 1ms.
+	WallFloorMS float64
+	// StepsRatio fails when the step count grows past old*StepsRatio.
+	// Default 1.10.
+	StepsRatio float64
+	// MemoDrop fails when the memo hit-rate falls by more than this
+	// (absolute). Default 0.05.
+	MemoDrop float64
+	// PeakRatio fails when the peak points-to set grows past old*PeakRatio
+	// (with a small absolute slack of PeakSlack). Default 1.10.
+	PeakRatio float64
+	// PeakSlack is the absolute peak-set growth always tolerated. Default 4.
+	PeakSlack int64
+}
+
+// DefaultThresholds are the stock gate settings.
+func DefaultThresholds() Thresholds {
+	return Thresholds{WallRatio: 1.5, WallFloorMS: 1, StepsRatio: 1.10, MemoDrop: 0.05, PeakRatio: 1.10, PeakSlack: 4}
+}
+
+func (t Thresholds) normalized() Thresholds {
+	d := DefaultThresholds()
+	if t.WallRatio <= 0 {
+		t.WallRatio = d.WallRatio
+	}
+	if t.WallFloorMS <= 0 {
+		t.WallFloorMS = d.WallFloorMS
+	}
+	if t.StepsRatio <= 0 {
+		t.StepsRatio = d.StepsRatio
+	}
+	if t.MemoDrop <= 0 {
+		t.MemoDrop = d.MemoDrop
+	}
+	if t.PeakRatio <= 0 {
+		t.PeakRatio = d.PeakRatio
+	}
+	if t.PeakSlack <= 0 {
+		t.PeakSlack = d.PeakSlack
+	}
+	return t
+}
+
+// Comparison is the outcome of one -compare run.
+type Comparison struct {
+	// Kind is "perf" or "scale", detected from the report shape.
+	Kind string
+	// Regressions are the threshold breaches: each fails the gate.
+	Regressions []string
+	// Warnings are informational (host mismatch, programs added/removed,
+	// wall checks skipped).
+	Warnings []string
+}
+
+// OK reports whether the gate passes.
+func (c *Comparison) OK() bool { return len(c.Regressions) == 0 }
+
+func (c *Comparison) failf(format string, args ...any) {
+	c.Regressions = append(c.Regressions, fmt.Sprintf(format, args...))
+}
+
+func (c *Comparison) warnf(format string, args ...any) {
+	c.Warnings = append(c.Warnings, fmt.Sprintf(format, args...))
+}
+
+// CompareReports diffs two serialized reports (old baseline, new candidate)
+// under the thresholds. Both must be the same kind — BENCH_pta.json
+// (PerfReport) or BENCH_scale.json (ScaleReport), detected by the
+// worker_set field.
+func CompareReports(oldData, newData []byte, th Thresholds) (*Comparison, error) {
+	th = th.normalized()
+	oldScale, err := isScaleReport(oldData)
+	if err != nil {
+		return nil, fmt.Errorf("old report: %w", err)
+	}
+	newScale, err := isScaleReport(newData)
+	if err != nil {
+		return nil, fmt.Errorf("new report: %w", err)
+	}
+	if oldScale != newScale {
+		return nil, fmt.Errorf("cannot compare a perf report with a scale report")
+	}
+	if oldScale {
+		return compareScale(oldData, newData, th)
+	}
+	return comparePerf(oldData, newData, th)
+}
+
+func isScaleReport(data []byte) (bool, error) {
+	var probe struct {
+		WorkerSet []int `json:"worker_set"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return false, err
+	}
+	return probe.WorkerSet != nil, nil
+}
+
+// hostCheck records the host-mismatch warning and reports whether wall
+// times are comparable.
+func (c *Comparison) hostCheck(oldHost, newHost HostInfo) bool {
+	switch {
+	case oldHost.Zero() || newHost.Zero():
+		c.warnf("host metadata missing from %s report; wall-time checks skipped",
+			map[bool]string{true: "old", false: "new"}[oldHost.Zero()])
+		return false
+	case !oldHost.Same(newHost):
+		c.warnf("reports come from different hosts (old: %s, new: %s); wall-time checks skipped",
+			oldHost, newHost)
+		return false
+	}
+	return true
+}
+
+func (c *Comparison) checkWall(label string, oldMS, newMS float64, th Thresholds) {
+	if oldMS <= 0 {
+		return
+	}
+	if newMS > oldMS*th.WallRatio && newMS-oldMS > th.WallFloorMS {
+		c.failf("%s: wall time %.2fms -> %.2fms (x%.2f, threshold x%.2f)",
+			label, oldMS, newMS, newMS/oldMS, th.WallRatio)
+	}
+}
+
+func (c *Comparison) checkSteps(label string, oldSteps, newSteps int64, th Thresholds) {
+	if oldSteps > 0 && float64(newSteps) > float64(oldSteps)*th.StepsRatio {
+		c.failf("%s: steps %d -> %d (x%.3f, threshold x%.2f)",
+			label, oldSteps, newSteps, float64(newSteps)/float64(oldSteps), th.StepsRatio)
+	}
+}
+
+func (c *Comparison) checkPeak(label string, oldPeak, newPeak int64, th Thresholds) {
+	if oldPeak > 0 && float64(newPeak) > float64(oldPeak)*th.PeakRatio &&
+		newPeak-oldPeak > th.PeakSlack {
+		c.failf("%s: peak set %d -> %d (x%.2f, threshold x%.2f)",
+			label, oldPeak, newPeak, float64(newPeak)/float64(oldPeak), th.PeakRatio)
+	}
+}
+
+func comparePerf(oldData, newData []byte, th Thresholds) (*Comparison, error) {
+	var oldRep, newRep PerfReport
+	if err := json.Unmarshal(oldData, &oldRep); err != nil {
+		return nil, fmt.Errorf("old report: %w", err)
+	}
+	if err := json.Unmarshal(newData, &newRep); err != nil {
+		return nil, fmt.Errorf("new report: %w", err)
+	}
+	c := &Comparison{Kind: "perf"}
+	wallOK := c.hostCheck(oldRep.Host, newRep.Host)
+
+	oldByName := map[string]PerfProgram{}
+	for _, p := range oldRep.Programs {
+		oldByName[p.Name] = p
+	}
+	seen := map[string]bool{}
+	for _, np := range newRep.Programs {
+		seen[np.Name] = true
+		op, ok := oldByName[np.Name]
+		if !ok {
+			c.warnf("%s: new program, no baseline", np.Name)
+			continue
+		}
+		if !np.Identical {
+			c.failf("%s: serial/parallel/nomemo results no longer identical", np.Name)
+		}
+		c.checkSteps(np.Name, int64(op.Steps), int64(np.Steps), th)
+		c.checkPeak(np.Name, int64(op.PeakSetLen), int64(np.PeakSetLen), th)
+		if op.MemoHitRate-np.MemoHitRate > th.MemoDrop {
+			c.failf("%s: memo hit-rate %.3f -> %.3f (drop %.3f, threshold %.3f)",
+				np.Name, op.MemoHitRate, np.MemoHitRate,
+				op.MemoHitRate-np.MemoHitRate, th.MemoDrop)
+		}
+		if wallOK {
+			c.checkWall(np.Name+" (serial)", op.WallSerialMS, np.WallSerialMS, th)
+			c.checkWall(np.Name+" (parallel)", op.WallParallelMS, np.WallParallelMS, th)
+		}
+	}
+	for _, op := range oldRep.Programs {
+		if !seen[op.Name] {
+			c.warnf("%s: program disappeared from the new report", op.Name)
+		}
+	}
+	return c, nil
+}
+
+func compareScale(oldData, newData []byte, th Thresholds) (*Comparison, error) {
+	var oldRep, newRep ScaleReport
+	if err := json.Unmarshal(oldData, &oldRep); err != nil {
+		return nil, fmt.Errorf("old report: %w", err)
+	}
+	if err := json.Unmarshal(newData, &newRep); err != nil {
+		return nil, fmt.Errorf("new report: %w", err)
+	}
+	c := &Comparison{Kind: "scale"}
+	wallOK := c.hostCheck(oldRep.Host, newRep.Host)
+
+	oldByName := map[string]ScaleProgram{}
+	for _, p := range oldRep.Programs {
+		oldByName[p.Name] = p
+	}
+	seen := map[string]bool{}
+	for _, np := range newRep.Programs {
+		seen[np.Name] = true
+		op, ok := oldByName[np.Name]
+		if !ok {
+			c.warnf("%s: new program, no baseline", np.Name)
+			continue
+		}
+		if !np.Identical {
+			c.failf("%s: results diverge across worker counts", np.Name)
+		}
+		oldPoints := map[int]ScalePoint{}
+		for _, pt := range op.Points {
+			oldPoints[pt.Workers] = pt
+		}
+		for _, npt := range np.Points {
+			opt, ok := oldPoints[npt.Workers]
+			if !ok {
+				c.warnf("%s workers=%d: no baseline point", np.Name, npt.Workers)
+				continue
+			}
+			label := fmt.Sprintf("%s (workers=%d)", np.Name, npt.Workers)
+			c.checkSteps(label, opt.Steps, npt.Steps, th)
+			if wallOK {
+				c.checkWall(label, opt.WallMS, npt.WallMS, th)
+			}
+		}
+	}
+	for _, op := range oldRep.Programs {
+		if !seen[op.Name] {
+			c.warnf("%s: program disappeared from the new report", op.Name)
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,220 @@
+package perf
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func perfJSON(t *testing.T, r *PerfReport) []byte {
+	t.Helper()
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func scaleJSON(t *testing.T, r *ScaleReport) []byte {
+	t.Helper()
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func basePerf() *PerfReport {
+	return &PerfReport{
+		Workers: 4, Repeats: 3, Host: CurrentHost(),
+		Programs: []PerfProgram{
+			{Name: "csuite", Steps: 10000, WallSerialMS: 100, WallParallelMS: 60,
+				MemoHitRate: 0.80, PeakSetLen: 40, Identical: true},
+			{Name: "livc", Steps: 500000, WallSerialMS: 900, WallParallelMS: 500,
+				MemoHitRate: 0.90, PeakSetLen: 100, Identical: true},
+		},
+	}
+}
+
+func TestCompareIdenticalPasses(t *testing.T) {
+	data := perfJSON(t, basePerf())
+	c, err := CompareReports(data, data, Thresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.OK() {
+		t.Errorf("identical reports must pass, got regressions: %v", c.Regressions)
+	}
+	if c.Kind != "perf" {
+		t.Errorf("kind = %q, want perf", c.Kind)
+	}
+}
+
+func TestCompareDetectsRegressions(t *testing.T) {
+	old := basePerf()
+	cases := []struct {
+		name   string
+		mutate func(*PerfReport)
+		want   string
+	}{
+		{"wall", func(r *PerfReport) { r.Programs[0].WallSerialMS = 200 }, "wall time"},
+		{"steps", func(r *PerfReport) { r.Programs[0].Steps = 12000 }, "steps"},
+		{"memo", func(r *PerfReport) { r.Programs[0].MemoHitRate = 0.70 }, "memo hit-rate"},
+		{"peak", func(r *PerfReport) { r.Programs[0].PeakSetLen = 60 }, "peak set"},
+		{"identical", func(r *PerfReport) { r.Programs[0].Identical = false }, "no longer identical"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bad := basePerf()
+			tc.mutate(bad)
+			c, err := CompareReports(perfJSON(t, old), perfJSON(t, bad), Thresholds{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.OK() {
+				t.Fatalf("regression %s not detected", tc.name)
+			}
+			if !strings.Contains(strings.Join(c.Regressions, "\n"), tc.want) {
+				t.Errorf("regressions %v missing %q", c.Regressions, tc.want)
+			}
+		})
+	}
+}
+
+func TestCompareWallNoiseFloor(t *testing.T) {
+	// A 3x ratio breach whose absolute excess is microseconds must not trip
+	// the gate: tiny programs have timer noise larger than their runtime.
+	old := basePerf()
+	old.Programs[0].WallSerialMS = 0.1
+	bad := basePerf()
+	bad.Programs[0].WallSerialMS = 0.3
+	c, err := CompareReports(perfJSON(t, old), perfJSON(t, bad), Thresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.OK() {
+		t.Errorf("sub-floor wall breach failed the gate: %v", c.Regressions)
+	}
+}
+
+func TestCompareHostMismatchSkipsWall(t *testing.T) {
+	old := basePerf()
+	old.Host.NumCPU = 1
+	bad := basePerf()
+	bad.Host.NumCPU = 64
+	bad.Programs[0].WallSerialMS = 10000 // huge, but wall checks are skipped
+	c, err := CompareReports(perfJSON(t, old), perfJSON(t, bad), Thresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.OK() {
+		t.Errorf("cross-host wall diff must not fail: %v", c.Regressions)
+	}
+	if !strings.Contains(strings.Join(c.Warnings, "\n"), "different hosts") {
+		t.Errorf("no host-mismatch warning in %v", c.Warnings)
+	}
+
+	// Counter regressions still fail across hosts.
+	bad.Programs[0].Steps = 99999
+	c, err = CompareReports(perfJSON(t, old), perfJSON(t, bad), Thresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.OK() {
+		t.Error("steps regression must fail even across hosts")
+	}
+}
+
+func TestCompareMissingHostWarns(t *testing.T) {
+	old := basePerf()
+	old.Host = HostInfo{}
+	c, err := CompareReports(perfJSON(t, old), perfJSON(t, basePerf()), Thresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.Join(c.Warnings, "\n"), "host metadata missing") {
+		t.Errorf("no missing-host warning in %v", c.Warnings)
+	}
+}
+
+func TestCompareProgramSetChanges(t *testing.T) {
+	old := basePerf()
+	nw := basePerf()
+	nw.Programs = nw.Programs[:1] // livc disappeared
+	nw.Programs = append(nw.Programs, PerfProgram{Name: "brand-new", Identical: true})
+	c, err := CompareReports(perfJSON(t, old), perfJSON(t, nw), Thresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.OK() {
+		t.Errorf("program set changes are warnings, not failures: %v", c.Regressions)
+	}
+	joined := strings.Join(c.Warnings, "\n")
+	if !strings.Contains(joined, "disappeared") || !strings.Contains(joined, "no baseline") {
+		t.Errorf("missing program-set warnings in %v", c.Warnings)
+	}
+}
+
+func baseScale() *ScaleReport {
+	return &ScaleReport{
+		Repeats: 2, Host: CurrentHost(), WorkerSet: []int{1, 2},
+		Programs: []ScaleProgram{{
+			Name: "gen", Source: "ptagen", Steps: 1000, Identical: true,
+			Points: []ScalePoint{
+				{Workers: 1, WallMS: 100, Steps: 1000, Identical: true},
+				{Workers: 2, WallMS: 60, Steps: 1100, Identical: true},
+			},
+		}},
+	}
+}
+
+func TestCompareScaleReports(t *testing.T) {
+	data := scaleJSON(t, baseScale())
+	c, err := CompareReports(data, data, Thresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.OK() || c.Kind != "scale" {
+		t.Fatalf("identical scale reports: kind=%q regressions=%v", c.Kind, c.Regressions)
+	}
+
+	bad := baseScale()
+	bad.Programs[0].Points[1].Steps = 2000
+	c, err = CompareReports(data, scaleJSON(t, bad), Thresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.OK() {
+		t.Error("per-point steps regression not detected")
+	}
+
+	div := baseScale()
+	div.Programs[0].Identical = false
+	c, err = CompareReports(data, scaleJSON(t, div), Thresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.OK() {
+		t.Error("worker-count divergence not detected")
+	}
+}
+
+func TestCompareKindMismatch(t *testing.T) {
+	_, err := CompareReports(perfJSON(t, basePerf()), scaleJSON(t, baseScale()), Thresholds{})
+	if err == nil {
+		t.Error("perf vs scale comparison should error")
+	}
+}
+
+func TestCompareCustomThresholds(t *testing.T) {
+	old := basePerf()
+	bad := basePerf()
+	bad.Programs[0].Steps = 10500 // +5%: passes default 1.10, fails 1.02
+	c, err := CompareReports(perfJSON(t, old), perfJSON(t, bad), Thresholds{StepsRatio: 1.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.OK() {
+		t.Error("tightened steps threshold not applied")
+	}
+}

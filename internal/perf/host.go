@@ -1,0 +1,41 @@
+package perf
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// HostInfo records where a benchmark report was produced, so the regression
+// gate can warn when two reports being compared came from different
+// machines (wall times across hosts are not comparable; counters are).
+type HostInfo struct {
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+}
+
+// CurrentHost describes the running process's host.
+func CurrentHost() HostInfo {
+	return HostInfo{
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+	}
+}
+
+func (h HostInfo) String() string {
+	return fmt.Sprintf("%s/%s cpus=%d gomaxprocs=%d %s",
+		h.GOOS, h.GOARCH, h.NumCPU, h.GOMAXPROCS, h.GoVersion)
+}
+
+// Same reports whether two hosts are close enough for wall-time comparison.
+func (h HostInfo) Same(o HostInfo) bool {
+	return h.GOOS == o.GOOS && h.GOARCH == o.GOARCH && h.NumCPU == o.NumCPU
+}
+
+// Zero reports an absent host record (report predates host metadata).
+func (h HostInfo) Zero() bool { return h == HostInfo{} }

@@ -77,6 +77,7 @@ type PerfReport struct {
 	Workers    int           `json:"workers"` // pool size of the parallel runs
 	GOMAXPROCS int           `json:"gomaxprocs"`
 	Repeats    int           `json:"repeats"` // timing runs per variant (best kept)
+	Host       HostInfo      `json:"host"`
 	Programs   []PerfProgram `json:"programs"`
 }
 
@@ -94,7 +95,7 @@ func RunPerf(names []string, workers, repeats int) (*PerfReport, error) {
 	if repeats <= 0 {
 		repeats = 3
 	}
-	rep := &PerfReport{Workers: workers, GOMAXPROCS: runtime.GOMAXPROCS(0), Repeats: repeats}
+	rep := &PerfReport{Workers: workers, GOMAXPROCS: runtime.GOMAXPROCS(0), Repeats: repeats, Host: CurrentHost()}
 	for _, name := range names {
 		prog, err := bench.Load(name)
 		if err != nil {

@@ -77,6 +77,7 @@ type ScaleReport struct {
 	GOMAXPROCS int            `json:"gomaxprocs"`
 	NumCPU     int            `json:"num_cpu"`
 	Repeats    int            `json:"repeats"`
+	Host       HostInfo       `json:"host"`
 	WorkerSet  []int          `json:"worker_set"`
 	Programs   []ScaleProgram `json:"programs"`
 }
@@ -143,6 +144,7 @@ func RunScale(targets []ScaleTarget, workerSet []int, repeats int) (*ScaleReport
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 		Repeats:    repeats,
+		Host:       CurrentHost(),
 		WorkerSet:  workerSet,
 	}
 	for _, t := range targets {

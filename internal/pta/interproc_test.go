@@ -252,9 +252,10 @@ int main() {
 		res := analyzeSrc(t, src)
 		a := &analyzer{
 			prog: res.Prog, tab: res.Table, g: res.Graph,
-			opts: res.Opts, ann: NewAnnotations(), maxSteps: 1 << 30,
+			opts: res.Opts, ann: NewAnnotations(), limit: 1 << 30,
 			m: obsv.NewMetrics(),
 		}
+		a.stepCeil.Store(a.limit)
 		res.Graph.Walk(func(n *invgraph.Node) {
 			if !n.HasResult || n.Kind == invgraph.Approximate {
 				return

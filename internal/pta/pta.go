@@ -2,10 +2,14 @@ package pta
 
 import (
 	"fmt"
+	"io"
+	"os"
 	"runtime"
 	"slices"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/cc/ast"
 	"repro/internal/cc/types"
@@ -90,6 +94,35 @@ type Options struct {
 	// without it (enforced by the determinism guard tests), and a nil
 	// tracer costs one pointer check per hook.
 	Tracer *obsv.Tracer
+
+	// Metrics, when non-nil, supplies the live registry the run reports
+	// through instead of a private one, so an in-flight analysis can be
+	// scraped (obsv.WritePrometheus / the /metrics endpoint). The registry
+	// must be fresh per run: counters accumulate and hit rates would blend
+	// runs otherwise.
+	Metrics *obsv.Metrics
+
+	// Flight, when non-nil, attaches the always-on flight recorder: the
+	// last-N spans and periodic progress samples are kept in bounded
+	// buffers and dumped to FlightDump when the run panics, exceeds its
+	// step budget, or the stall watchdog fires. Like tracing, the recorder
+	// never changes analysis results.
+	Flight *obsv.FlightRecorder
+
+	// FlightDump receives flight-record and stall dumps (default
+	// os.Stderr).
+	FlightDump io.Writer
+
+	// StallWindow, when positive, arms a watchdog that samples the Steps
+	// counter and — after StallWindow without progress — emits a warning
+	// event, dumps goroutine stacks plus the flight record to FlightDump,
+	// and (with StallKill) aborts the run deterministically through the
+	// step-budget unwind path.
+	StallWindow time.Duration
+
+	// StallKill makes a detected stall abort the analysis (the run returns
+	// an error) instead of only reporting it.
+	StallKill bool
 }
 
 // Result is the outcome of an analysis.
@@ -127,25 +160,39 @@ func Analyze(prog *simple.Program, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	m := opts.Metrics
+	if m == nil {
+		m = obsv.NewMetrics()
+	}
 	a := &analyzer{
-		prog:     prog,
-		tab:      loc.NewTable(prog),
-		g:        g,
-		opts:     opts,
-		ann:      NewAnnotations(),
-		intern:   ptset.NewInterner(),
-		m:        obsv.NewMetrics(),
-		tracer:   opts.Tracer,
-		maxSteps: int64(opts.MaxSteps),
+		prog:   prog,
+		tab:    loc.NewTable(prog),
+		g:      g,
+		opts:   opts,
+		ann:    NewAnnotations(),
+		intern: ptset.NewInterner(),
+		m:      m,
+		tracer: opts.Tracer,
+		limit:  int64(opts.MaxSteps),
 	}
-	if a.maxSteps == 0 {
-		a.maxSteps = 50_000_000
+	if a.limit == 0 {
+		a.limit = 50_000_000
 	}
+	a.stepCeil.Store(a.limit)
 	if opts.RecordContexts {
 		a.ann.EnableContexts()
 	}
 	if opts.ShareContexts {
 		a.shared = make(map[*simple.Function][]sharedSummary)
+	}
+	if opts.Flight != nil {
+		// The recorder returns the tracer the run must emit into: the full
+		// tracer when one was requested, otherwise its own bounded ring.
+		a.tracer = opts.Flight.Bind(a.m, a.tracer)
+		defer opts.Flight.Unbind()
+	}
+	if wd := a.startWatchdog(); wd != nil {
+		defer wd.Stop()
 	}
 	a.workers = effectiveWorkers(opts)
 	if a.workers > 1 {
@@ -202,16 +249,25 @@ func effectiveWorkers(opts Options) int {
 }
 
 type analyzer struct {
-	prog     *simple.Program
-	tab      *loc.Table
-	g        *invgraph.Graph
-	opts     Options
-	ann      *Annotations
-	intern   *ptset.Interner
-	diags    []string
-	diagMu   sync.Mutex
-	maxSteps int64
-	mainOut  ptset.Set
+	prog    *simple.Program
+	tab     *loc.Table
+	g       *invgraph.Graph
+	opts    Options
+	ann     *Annotations
+	intern  *ptset.Interner
+	diags   []string
+	diagMu  sync.Mutex
+	mainOut ptset.Set
+
+	// limit is the configured step budget (for error messages); stepCeil is
+	// the live ceiling step() checks. They coincide until the stall
+	// watchdog aborts the run, which drops the ceiling below zero so every
+	// worker's next step unwinds through the same deterministic
+	// stepsExceeded path the budget uses. wdAborted distinguishes the two
+	// causes in the recover.
+	limit     int64
+	stepCeil  atomic.Int64
+	wdAborted atomic.Bool
 
 	// m is the metrics registry every counter of the run reports through
 	// (steps, memoization, map/unmap, fixed points, set cardinality,
@@ -253,18 +309,76 @@ func (a *analyzer) diagf(format string, args ...any) {
 type stepsExceeded struct{}
 
 func (a *analyzer) step() {
-	if a.m.Steps.Inc() > a.maxSteps {
+	if a.m.Steps.Inc() > a.stepCeil.Load() {
 		panic(stepsExceeded{})
 	}
+}
+
+// testWatchdogProgress, when set by a test, replaces the watchdog's
+// progress source so a stall can be forced deterministically on an
+// otherwise always-progressing analysis.
+var testWatchdogProgress func() int64
+
+// startWatchdog arms the stall watchdog when Options.StallWindow is set.
+// On a stall it emits a warning trace event, writes the stall report
+// (goroutine stacks) and the flight record to the flight sink, and — with
+// Options.StallKill — aborts the run through the step-ceiling unwind.
+func (a *analyzer) startWatchdog() *obsv.Watchdog {
+	if a.opts.StallWindow <= 0 {
+		return nil
+	}
+	progress := a.m.Steps.Load
+	if testWatchdogProgress != nil {
+		progress = testWatchdogProgress
+	}
+	return obsv.StartWatchdog(obsv.WatchdogConfig{
+		Window:   a.opts.StallWindow,
+		Progress: progress,
+		OnStall: func(info obsv.StallInfo) {
+			a.tracer.Instant(0, obsv.CatPhase, "stall-watchdog",
+				fmt.Sprintf("no progress for %s", info.Stalled))
+			w := a.flightSink()
+			obsv.WriteStallReport(w, info)
+			a.opts.Flight.Dump(w, fmt.Sprintf("stall after %s without progress", info.Stalled))
+			if a.opts.StallKill {
+				a.wdAborted.Store(true)
+				a.stepCeil.Store(-1)
+			}
+		},
+	})
+}
+
+// flightSink is where flight records and stall reports go.
+func (a *analyzer) flightSink() io.Writer {
+	if a.opts.FlightDump != nil {
+		return a.opts.FlightDump
+	}
+	return os.Stderr
+}
+
+// dumpFlight writes the flight record for an abnormal end of run.
+func (a *analyzer) dumpFlight(cause string) {
+	if a.opts.Flight == nil {
+		return
+	}
+	a.opts.Flight.Dump(a.flightSink(), cause)
 }
 
 func (a *analyzer) run() (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			if _, ok := r.(stepsExceeded); ok {
-				err = fmt.Errorf("pta: analysis exceeded %d steps (non-terminating fixed point?)", a.maxSteps)
+				if a.wdAborted.Load() {
+					// The stall hook already dumped the flight record.
+					err = fmt.Errorf("pta: analysis aborted by stall watchdog (no progress for %s)",
+						a.opts.StallWindow)
+					return
+				}
+				a.dumpFlight(fmt.Sprintf("steps exceeded (budget %d)", a.limit))
+				err = fmt.Errorf("pta: analysis exceeded %d steps (non-terminating fixed point?)", a.limit)
 				return
 			}
+			a.dumpFlight(fmt.Sprintf("panic: %v", r))
 			panic(r)
 		}
 	}()

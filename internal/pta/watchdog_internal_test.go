@@ -1,0 +1,78 @@
+package pta
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obsv"
+	"repro/internal/ptagen"
+)
+
+// freezeWatchdogProgress installs a progress source that never advances, so
+// the watchdog sees a stall on an analysis that is in fact progressing.
+// Restores the real source on cleanup.
+func freezeWatchdogProgress(t *testing.T) {
+	t.Helper()
+	testWatchdogProgress = func() int64 { return 0 }
+	t.Cleanup(func() { testWatchdogProgress = nil })
+}
+
+// TestWatchdogKillAbortsRun is the end-to-end stall-abort path: frozen
+// progress, a short window and StallKill must abort the analysis with the
+// watchdog error, after writing the stall report and the flight record.
+func TestWatchdogKillAbortsRun(t *testing.T) {
+	freezeWatchdogProgress(t)
+	prog, _, err := ptagen.Load(ptagen.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	fr := obsv.NewFlightRecorder(64, 10*time.Millisecond)
+	_, err = Analyze(prog, Options{
+		Workers:     2,
+		Flight:      fr,
+		FlightDump:  &buf,
+		StallWindow: 10 * time.Millisecond,
+		StallKill:   true,
+	})
+	if err == nil || !strings.Contains(err.Error(), "aborted by stall watchdog") {
+		t.Fatalf("err = %v, want stall-watchdog abort", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "=== stall watchdog: no progress for") {
+		t.Errorf("missing stall report header:\n%.2000s", out)
+	}
+	if !strings.Contains(out, "goroutine ") {
+		t.Error("stall report missing goroutine stacks")
+	}
+	if !strings.Contains(out, "=== flight record: stall after") {
+		t.Error("stall report missing flight record")
+	}
+}
+
+// TestWatchdogWarnOnly: without StallKill a stall produces the report but
+// the analysis runs to completion and returns a result.
+func TestWatchdogWarnOnly(t *testing.T) {
+	freezeWatchdogProgress(t)
+	prog, _, err := ptagen.Load(ptagen.Presets["small"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	res, err := Analyze(prog, Options{
+		Workers:     2,
+		FlightDump:  &buf,
+		StallWindow: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("warn-only stall must not abort: %v", err)
+	}
+	if res.Metrics.Steps == 0 {
+		t.Error("analysis reported no steps")
+	}
+	if !strings.Contains(buf.String(), "=== stall watchdog: no progress for") {
+		t.Errorf("no stall report written:\n%.2000s", buf.String())
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/alias"
 	"repro/internal/cc/ast"
@@ -71,6 +72,25 @@ type Config struct {
 	// default). On overflow the oldest events are dropped, never blocking
 	// the analysis; the drop count is reported in Result.Metrics.
 	TraceBuffer int
+	// MaxSteps bounds basic-statement evaluations as a runaway guard
+	// (0 means the engine default of 50 million).
+	MaxSteps int
+	// Metrics, when non-nil, is the live registry the analysis reports
+	// through, so an in-flight run can be scraped (obsv.ServeMetrics /
+	// obsv.WritePrometheus). Must be fresh per run.
+	Metrics *obsv.Metrics
+	// Flight attaches the always-on flight recorder: bounded last-N spans
+	// plus periodic progress samples, dumped to FlightDump when the run
+	// panics, exceeds MaxSteps, or stalls.
+	Flight *obsv.FlightRecorder
+	// FlightDump receives flight-record and stall dumps (default stderr).
+	FlightDump io.Writer
+	// StallWindow arms the stall watchdog: after this long without step
+	// progress the engine emits a warning, dumps goroutine stacks and the
+	// flight record, and — with StallKill — aborts the run.
+	StallWindow time.Duration
+	// StallKill makes a detected stall abort the analysis with an error.
+	StallKill bool
 }
 
 func (c *Config) options() (pta.Options, error) {
@@ -97,6 +117,12 @@ func (c *Config) options() (pta.Options, error) {
 	if c.Trace {
 		o.Tracer = obsv.NewTracer(0, c.TraceBuffer)
 	}
+	o.MaxSteps = c.MaxSteps
+	o.Metrics = c.Metrics
+	o.Flight = c.Flight
+	o.FlightDump = c.FlightDump
+	o.StallWindow = c.StallWindow
+	o.StallKill = c.StallKill
 	return o, nil
 }
 
@@ -368,6 +394,11 @@ func (a *Analysis) contextResult() (*pta.Result, error) {
 		opts := res.Opts
 		opts.ShareContexts = false
 		opts.RecordContexts = true
+		// The re-run is an implementation detail: it must not accumulate
+		// into the caller's live registry or rebind their flight recorder.
+		opts.Metrics = nil
+		opts.Flight = nil
+		opts.StallWindow = 0
 		var err error
 		res, err = pta.Analyze(a.Program, opts)
 		if err != nil {
