@@ -51,6 +51,8 @@
 //	                dump goroutine stacks plus the flight record to stderr
 //	-watchdog-kill  make a detected stall abort the analysis
 //	-max-steps N    basic-statement evaluation budget (0 = engine default)
+//	-log-json       write stderr diagnostics as JSON log lines
+//	-log-level L    stderr log level: debug|info|warn|error
 package main
 
 import (
@@ -58,6 +60,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"sort"
 	"strings"
@@ -91,13 +94,20 @@ func fatal(err error) {
 // run is the driver body, separated from main so tests can exercise the CLI
 // end to end with captured output and exit codes.
 func run(argv []string, stdout, stderr io.Writer) (code int) {
+	// logger is set right after flag parsing; the recover falls back to a
+	// plain print for failures before that point.
+	var logger *slog.Logger
 	defer func() {
 		if r := recover(); r != nil {
 			fe, ok := r.(fatalErr)
 			if !ok {
 				panic(r)
 			}
-			fmt.Fprintln(stderr, "mccat-pta:", fe.err)
+			if logger != nil {
+				logger.Error("fatal", "err", fe.err)
+			} else {
+				fmt.Fprintln(stderr, "mccat-pta:", fe.err)
+			}
 			code = 1
 		}
 	}()
@@ -138,10 +148,18 @@ func run(argv []string, stdout, stderr io.Writer) (code int) {
 		watchdog   = fs.Duration("watchdog", 0, "stall watchdog window (0 disables)")
 		wdKill     = fs.Bool("watchdog-kill", false, "abort the analysis when the watchdog detects a stall")
 		maxSteps   = fs.Int("max-steps", 0, "basic-statement evaluation budget (0 = engine default)")
+		logJSON    = fs.Bool("log-json", false, "write stderr diagnostics as JSON log lines")
+		logLevel   = fs.String("log-level", "info", "stderr log level: debug|info|warn|error")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
+	lg, err := obsv.NewLogger(stderr, obsv.LogOptions{JSON: *logJSON, Level: *logLevel})
+	if err != nil {
+		fmt.Fprintln(stderr, "mccat-pta:", err)
+		return 2
+	}
+	logger = lg
 
 	var name, src string
 	switch {
@@ -169,7 +187,7 @@ func run(argv []string, stdout, stderr io.Writer) (code int) {
 	}
 	defer func() {
 		if err := prof.Stop(); err != nil && code == 0 {
-			fmt.Fprintln(stderr, "mccat-pta:", err)
+			logger.Error("profile shutdown", "err", err)
 			code = 1
 		}
 	}()
@@ -358,7 +376,7 @@ func run(argv []string, stdout, stderr io.Writer) (code int) {
 		printPts(stdout, a)
 	}
 	for _, d := range a.Diagnostics() {
-		fmt.Fprintln(stderr, "note:", d)
+		logger.Info("note", "msg", d)
 	}
 	if *exitCode && hadErrors {
 		return 1

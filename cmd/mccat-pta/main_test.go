@@ -73,3 +73,20 @@ func TestUsageExitCode(t *testing.T) {
 		t.Fatalf("missing file: code=%d, want 1", code)
 	}
 }
+
+// TestLogFlags checks the structured-logging wiring: -log-json turns the
+// fatal path into a JSON log line, and a bad -log-level is a usage error.
+func TestLogFlags(t *testing.T) {
+	code, _, stderr := runCLI(t, "-log-json", "does-not-exist.c")
+	if code != 1 {
+		t.Fatalf("missing file exit = %d, want 1", code)
+	}
+	if !strings.Contains(stderr, `"msg":"fatal"`) || !strings.Contains(stderr, "does-not-exist.c") {
+		t.Errorf("fatal not logged as JSON:\n%s", stderr)
+	}
+
+	code, _, stderr = runCLI(t, "-log-level", "shouty", "-bench", "hash")
+	if code != 2 || !strings.Contains(stderr, "shouty") {
+		t.Errorf("bad -log-level: code=%d stderr=%q, want 2 naming the level", code, stderr)
+	}
+}

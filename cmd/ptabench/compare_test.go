@@ -58,7 +58,7 @@ func TestCompareGate(t *testing.T) {
 	if code != 1 {
 		t.Fatalf("regressed compare exit %d, want 1\nstdout:\n%s", code, stdout)
 	}
-	if !strings.Contains(stderr, "regression:") || !strings.Contains(stderr, "steps") {
+	if !strings.Contains(stderr, "msg=regression") || !strings.Contains(stderr, "steps") {
 		t.Errorf("missing steps regression on stderr:\n%s", stderr)
 	}
 	if !strings.Contains(stdout, "FAIL") {

@@ -33,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"strings"
 
@@ -59,13 +60,20 @@ func fatal(err error) {
 }
 
 func run(argv []string, stdout, stderr io.Writer) (code int) {
+	// logger is set right after flag parsing; the recover falls back to a
+	// plain print for failures before that point.
+	var logger *slog.Logger
 	defer func() {
 		if r := recover(); r != nil {
 			fe, ok := r.(fatalErr)
 			if !ok {
 				panic(r)
 			}
-			fmt.Fprintln(stderr, "ptabench:", fe.err)
+			if logger != nil {
+				logger.Error("fatal", "err", fe.err)
+			} else {
+				fmt.Fprintln(stderr, "ptabench:", fe.err)
+			}
 			code = 1
 		}
 	}()
@@ -97,14 +105,23 @@ func run(argv []string, stdout, stderr io.Writer) (code int) {
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile at exit to this file")
 		debugAddr  = fs.String("debug-addr", "", "serve net/http/pprof on this address")
+
+		logJSON  = fs.Bool("log-json", false, "write stderr diagnostics as JSON log lines")
+		logLevel = fs.String("log-level", "info", "stderr log level: debug|info|warn|error")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
+	lg, err := obsv.NewLogger(stderr, obsv.LogOptions{JSON: *logJSON, Level: *logLevel})
+	if err != nil {
+		fmt.Fprintln(stderr, "ptabench:", err)
+		return 2
+	}
+	logger = lg
 
 	if *compareMode {
 		// No profile setup: -compare reads two JSON files and exits.
-		return runCompare(stdout, stderr, fs.Args(), perf.Thresholds{
+		return runCompare(stdout, logger, fs.Args(), perf.Thresholds{
 			WallRatio:  *wallTol,
 			StepsRatio: *stepsTol,
 			MemoDrop:   *memoTol,
@@ -118,7 +135,7 @@ func run(argv []string, stdout, stderr io.Writer) (code int) {
 	}
 	defer func() {
 		if err := prof.Stop(); err != nil {
-			fmt.Fprintln(stderr, "ptabench:", err)
+			logger.Error("profile shutdown", "err", err)
 			code = 1
 		}
 	}()
@@ -127,9 +144,9 @@ func run(argv []string, stdout, stderr io.Writer) (code int) {
 	case *traceOut != "":
 		runTrace(stdout, *traceOut, *progs, *workers)
 	case *scaleMode:
-		runScale(stdout, stderr, *progs, *scaleFile, *scalePreset, *workers, *repeats, *out, *verify)
+		runScale(stdout, logger, *progs, *scaleFile, *scalePreset, *workers, *repeats, *out, *verify)
 	case *perfMode:
-		runPerf(stdout, stderr, *progs, *workers, *repeats, *out, *verify)
+		runPerf(stdout, stderr, logger, *progs, *workers, *repeats, *out, *verify)
 	case *livc:
 		runLivc(stdout)
 	case *ablation:
@@ -143,7 +160,7 @@ func run(argv []string, stdout, stderr io.Writer) (code int) {
 // runCompare is the bench regression gate: it diffs an old (baseline) and a
 // new (candidate) report under the thresholds, prints every warning and
 // regression, and returns 1 when the gate fails.
-func runCompare(stdout, stderr io.Writer, args []string, th perf.Thresholds) int {
+func runCompare(stdout io.Writer, log *slog.Logger, args []string, th perf.Thresholds) int {
 	if len(args) != 2 {
 		fatal(fmt.Errorf("-compare needs exactly two report files: old.json new.json"))
 	}
@@ -160,10 +177,10 @@ func runCompare(stdout, stderr io.Writer, args []string, th perf.Thresholds) int
 		fatal(err)
 	}
 	for _, w := range c.Warnings {
-		fmt.Fprintln(stderr, "warning:", w)
+		log.Warn("compare warning", "detail", w)
 	}
 	for _, r := range c.Regressions {
-		fmt.Fprintln(stderr, "regression:", r)
+		log.Error("regression", "detail", r)
 	}
 	if !c.OK() {
 		fmt.Fprintf(stdout, "compare (%s): FAIL — %d regression(s) vs %s\n",
@@ -207,7 +224,7 @@ func runTrace(w io.Writer, path, progs string, workers int) {
 // configurations and renders the report (optionally as JSON). With verify
 // it enforces the two smoke invariants: every program's variants agree
 // byte-for-byte, and the input-keyed memo cache is not universally cold.
-func runPerf(stdout, stderr io.Writer, progs string, workers, repeats int, out string, verify bool) {
+func runPerf(stdout, stderr io.Writer, log *slog.Logger, progs string, workers, repeats int, out string, verify bool) {
 	var names []string
 	if progs != "" {
 		names = strings.Split(progs, ",")
@@ -229,9 +246,10 @@ func runPerf(stdout, stderr io.Writer, progs string, workers, repeats int, out s
 				// variants and show where the fingerprints split and how
 				// the per-function effort differed.
 				failed = true
-				fmt.Fprintf(stderr, "verify: %s: serial, parallel and unmemoized results diverge\n", p.Name)
+				log.Error("verify failed", "bench", p.Name,
+					"reason", "serial, parallel and unmemoized results diverge")
 				if err := perf.ExplainDivergence(stderr, p.Name, rep.Workers); err != nil {
-					fmt.Fprintf(stderr, "verify: %s: explaining divergence failed: %v\n", p.Name, err)
+					log.Error("verify explain failed", "bench", p.Name, "err", err)
 				}
 			}
 			if p.MemoHits > 0 {
@@ -253,7 +271,7 @@ func runPerf(stdout, stderr io.Writer, progs string, workers, repeats int, out s
 // or a ptagen-generated program (-scale-preset). The worker set is the
 // powers of two up to -workers (default 8), with the serial baseline always
 // included.
-func runScale(stdout, stderr io.Writer, progs, file, preset string, maxWorkers, repeats int, out string, verify bool) {
+func runScale(stdout io.Writer, log *slog.Logger, progs, file, preset string, maxWorkers, repeats int, out string, verify bool) {
 	var targets []perf.ScaleTarget
 	switch {
 	case file != "":
@@ -296,7 +314,8 @@ func runScale(stdout, stderr io.Writer, progs, file, preset string, maxWorkers, 
 			for _, pt := range p.Points {
 				if !pt.Identical {
 					failed = true
-					fmt.Fprintf(stderr, "verify: %s: workers=%d result diverges from serial\n", p.Name, pt.Workers)
+					log.Error("verify failed", "bench", p.Name, "workers", pt.Workers,
+						"reason", "result diverges from serial")
 				}
 			}
 		}

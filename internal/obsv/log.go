@@ -1,0 +1,85 @@
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+	"sync"
+)
+
+// This file is the structured-logging layer of the observability spine. It
+// standardizes how every binary in the repo — the one-shot CLIs and the
+// pta-server daemon — emits progress, warnings and access logs: log/slog
+// with either a human-oriented text handler or a line-per-record JSON
+// handler, leveled, and cheap to scope per request with Logger.With
+// (request_id, view, ...). Nothing in this package logs on its own; the
+// layer only builds loggers for callers to thread through.
+
+// LogOptions configures NewLogger.
+type LogOptions struct {
+	// JSON selects the JSON handler (one object per line, machine-parseable
+	// access logs); false means the human-readable text handler.
+	JSON bool
+	// Level is the minimum level emitted: "debug", "info", "warn" or
+	// "error" (case-insensitive; "" means "info").
+	Level string
+	// AddSource annotates records with the file:line of the logging call.
+	AddSource bool
+}
+
+// ParseLogLevel maps a level name to its slog level. The empty string is
+// LevelInfo, so an unset -log-level flag needs no special casing.
+func ParseLogLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "debug":
+		return slog.LevelDebug, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obsv: unknown log level %q (want debug|info|warn|error)", s)
+}
+
+// NewLogger builds a leveled slog.Logger writing to w. Concurrent use is
+// safe: both slog handlers serialize their writes.
+func NewLogger(w io.Writer, opts LogOptions) (*slog.Logger, error) {
+	level, err := ParseLogLevel(opts.Level)
+	if err != nil {
+		return nil, err
+	}
+	hopts := &slog.HandlerOptions{Level: level, AddSource: opts.AddSource}
+	var h slog.Handler
+	if opts.JSON {
+		h = slog.NewJSONHandler(w, hopts)
+	} else {
+		h = slog.NewTextHandler(w, hopts)
+	}
+	return slog.New(h), nil
+}
+
+// SyncWriter serializes writes to an underlying writer. The slog handlers
+// already lock around each record; SyncWriter is for sharing one sink
+// between a logger and direct writers (e.g. a flight-record dump interleaved
+// with access-log lines) without interleaving partial lines.
+type SyncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewSyncWriter wraps w; a nil w yields a writer that discards.
+func NewSyncWriter(w io.Writer) *SyncWriter {
+	return &SyncWriter{w: w}
+}
+
+func (s *SyncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w == nil {
+		return len(p), nil
+	}
+	return s.w.Write(p)
+}

@@ -1,0 +1,111 @@
+package obsv
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestParseLogLevel(t *testing.T) {
+	cases := []struct {
+		in   string
+		want slog.Level
+	}{
+		{"", slog.LevelInfo},
+		{"info", slog.LevelInfo},
+		{"INFO", slog.LevelInfo},
+		{"debug", slog.LevelDebug},
+		{"warn", slog.LevelWarn},
+		{"warning", slog.LevelWarn},
+		{"error", slog.LevelError},
+	}
+	for _, c := range cases {
+		got, err := ParseLogLevel(c.in)
+		if err != nil {
+			t.Fatalf("ParseLogLevel(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Errorf("ParseLogLevel(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if _, err := ParseLogLevel("loud"); err == nil {
+		t.Error("ParseLogLevel(loud): want error")
+	}
+}
+
+func TestNewLoggerJSON(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := NewLogger(&buf, LogOptions{JSON: true, Level: "warn"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("below threshold")
+	log.With("request_id", "abc123").Warn("request", "status", 200)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("want 1 record (info filtered), got %d: %q", len(lines), buf.String())
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("record is not JSON: %v\n%s", err, lines[0])
+	}
+	if rec["msg"] != "request" || rec["request_id"] != "abc123" || rec["status"] != float64(200) {
+		t.Errorf("unexpected record: %v", rec)
+	}
+}
+
+func TestNewLoggerText(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := NewLogger(&buf, LogOptions{Level: "debug"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Debug("fine-grained", "k", "v")
+	if !strings.Contains(buf.String(), "fine-grained") || !strings.Contains(buf.String(), "k=v") {
+		t.Errorf("text handler output missing fields: %q", buf.String())
+	}
+}
+
+func TestNewLoggerBadLevel(t *testing.T) {
+	if _, err := NewLogger(&bytes.Buffer{}, LogOptions{Level: "nope"}); err == nil {
+		t.Fatal("want error for bad level")
+	}
+}
+
+func TestSyncWriterConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewSyncWriter(&buf)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				if _, err := w.Write([]byte("line\n")); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 800 {
+		t.Fatalf("want 800 lines, got %d", len(lines))
+	}
+	for _, l := range lines {
+		if l != "line" {
+			t.Fatalf("interleaved write: %q", l)
+		}
+	}
+}
+
+func TestSyncWriterNil(t *testing.T) {
+	w := NewSyncWriter(nil)
+	if n, err := w.Write([]byte("dropped")); n != 7 || err != nil {
+		t.Fatalf("nil sink write = (%d, %v)", n, err)
+	}
+}

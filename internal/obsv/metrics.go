@@ -68,6 +68,33 @@ func (h *Histogram) Observe(v int64) {
 	h.buckets[b].Add(1)
 }
 
+// Merge folds an already-taken histogram snapshot into this histogram —
+// the aggregation path a long-running server uses to roll per-request
+// snapshots into process totals. Bucket upper bounds map back onto the
+// power-of-two bucket index (2^i - 1 has bit length i), so a merged
+// histogram is exactly what observing every original value would have
+// produced. Safe for concurrent use.
+func (h *Histogram) Merge(s HistogramSnapshot) {
+	if s.Count == 0 {
+		return
+	}
+	h.count.Add(s.Count)
+	if s.Sum > 0 {
+		h.sum.Add(s.Sum)
+	}
+	h.max.Observe(s.Max)
+	for _, bk := range s.Buckets {
+		i := 0
+		if bk.UpperBound > 0 {
+			i = bits.Len64(uint64(bk.UpperBound))
+			if i >= histBuckets {
+				i = histBuckets - 1
+			}
+		}
+		h.buckets[i].Add(bk.Count)
+	}
+}
+
 // HistBucket is one populated histogram bucket in a snapshot.
 type HistBucket struct {
 	// UpperBound is the largest value the bucket can hold (2^i - 1).
@@ -216,6 +243,41 @@ func (m *Metrics) Func(name string) *FuncCost {
 	}
 	m.mu.Unlock()
 	return fc
+}
+
+// Merge folds a finished run's snapshot into this registry. This is how a
+// long-running server aggregates per-request registries into monotone
+// process totals scraped at /metrics: each request runs against its own
+// fresh registry (isolation), and its end-of-run snapshot is added here.
+// Counters add, the peak gauge takes the maximum, the cardinality histogram
+// merges bucket-exact, and the per-function cost table accumulates by name.
+// Snapshot-only fields the registry has no instrument for (interning, shard
+// and trace accounting) are not aggregated. Safe for concurrent use.
+func (m *Metrics) Merge(s *MetricsSnapshot) {
+	if s == nil {
+		return
+	}
+	m.Steps.Add(s.Steps)
+	m.MemoHits.Add(s.MemoHits)
+	m.MemoMisses.Add(s.MemoMisses)
+	m.SharedHits.Add(s.SharedHits)
+	m.NodeEvals.Add(s.NodeEvals)
+	m.MapOps.Add(s.MapOps)
+	m.UnmapOps.Add(s.UnmapOps)
+	m.FixpointIters.Add(s.FixpointIters)
+	m.PendingRestarts.Add(s.PendingRestarts)
+	m.SchedTasks.Add(s.SchedTasks)
+	m.SchedSteals.Add(s.SchedSteals)
+	m.SchedParks.Add(s.SchedParks)
+	m.PeakSet.Observe(s.PeakSet)
+	m.Cardinality.Merge(s.Cardinality)
+	for _, f := range s.Funcs {
+		fc := m.Func(f.Name)
+		fc.Evals.Add(f.Evals)
+		fc.MemoHits.Add(f.MemoHits)
+		fc.FixpointIters.Add(f.FixpointIters)
+		fc.Wall.Add(int64(f.WallMS * 1e6))
+	}
 }
 
 // MetricsSnapshot is the exported, JSON-serializable view of a registry,

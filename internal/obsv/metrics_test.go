@@ -98,3 +98,66 @@ func TestMemoHitRate(t *testing.T) {
 		t.Errorf("cold MemoHitRate = %v, want 0", s.MemoHitRate)
 	}
 }
+
+// TestMetricsMerge checks the server-totals aggregation path: merging two
+// per-request snapshots into a fresh registry must equal having observed
+// everything in one registry.
+func TestMetricsMerge(t *testing.T) {
+	mkReq := func(steps int64, card []int64, fn string, evals int64) *MetricsSnapshot {
+		m := NewMetrics()
+		m.Steps.Add(steps)
+		m.MemoHits.Add(steps / 2)
+		m.MemoMisses.Add(steps / 4)
+		m.NodeEvals.Add(evals)
+		for _, v := range card {
+			m.Cardinality.Observe(v)
+		}
+		fc := m.Func(fn)
+		fc.Evals.Add(evals)
+		fc.Wall.Add(evals * 1e6) // 1ms per eval
+		return m.Snapshot()
+	}
+	s1 := mkReq(100, []int64{0, 1, 3, 7, 500}, "f", 4)
+	s2 := mkReq(40, []int64{2, 1000}, "g", 2)
+
+	tot := NewMetrics()
+	tot.Merge(s1)
+	tot.Merge(s2)
+	tot.Merge(nil) // no-op
+	got := tot.Snapshot()
+
+	if got.Steps != 140 || got.MemoHits != 70 || got.MemoMisses != 35 || got.NodeEvals != 6 {
+		t.Errorf("merged counters wrong: %+v", got)
+	}
+	if got.PeakSet != 1000 {
+		t.Errorf("merged peak = %d, want 1000", got.PeakSet)
+	}
+	if got.Cardinality.Count != 7 || got.Cardinality.Sum != 1513 || got.Cardinality.Max != 1000 {
+		t.Errorf("merged cardinality = %+v", got.Cardinality)
+	}
+	// Bucket-exact merge: the union must equal direct observation.
+	direct := &Histogram{}
+	for _, v := range []int64{0, 1, 3, 7, 500, 2, 1000} {
+		direct.Observe(v)
+	}
+	want := direct.Snapshot()
+	if len(got.Cardinality.Buckets) != len(want.Buckets) {
+		t.Fatalf("bucket shapes differ: got %v want %v", got.Cardinality.Buckets, want.Buckets)
+	}
+	for i := range want.Buckets {
+		if got.Cardinality.Buckets[i] != want.Buckets[i] {
+			t.Errorf("bucket %d: got %+v want %+v", i, got.Cardinality.Buckets[i], want.Buckets[i])
+		}
+	}
+	// Per-function costs accumulate by name.
+	funcs := map[string]FuncCostSnapshot{}
+	for _, f := range got.Funcs {
+		funcs[f.Name] = f
+	}
+	if f := funcs["f"]; f.Evals != 4 || f.WallMS != 4 {
+		t.Errorf("func f cost = %+v", f)
+	}
+	if g := funcs["g"]; g.Evals != 2 || g.WallMS != 2 {
+		t.Errorf("func g cost = %+v", g)
+	}
+}

@@ -202,16 +202,26 @@ func MetricsHandler(fn func() *MetricsSnapshot) http.Handler {
 	})
 }
 
+// RegisterMetrics mounts a live /metrics endpoint on mux, serving fn's
+// snapshot per scrape. Each caller — pta-server, a test, a CLI debug mux —
+// owns its mux, so registrations never collide across callers the way the
+// old DefaultServeMux-only entry point forced them to.
+func RegisterMetrics(mux *http.ServeMux, fn func() *MetricsSnapshot) {
+	mux.Handle("/metrics", MetricsHandler(fn))
+}
+
 var (
 	serveMetricsMu sync.Mutex
 	serveMetricsFn func() *MetricsSnapshot
 	serveMetricsOn bool
 )
 
-// ServeMetrics registers (once) a live /metrics endpoint on
-// http.DefaultServeMux — the mux StartProfiles' debug server listens on —
-// serving fn's snapshot per scrape. Calling it again replaces the snapshot
-// source, so a CLI can point the endpoint at each analysis run in turn.
+// ServeMetrics is the thin process-global wrapper over RegisterMetrics for
+// CLIs that serve on http.DefaultServeMux (the mux StartProfiles' debug
+// server listens on): the first call registers the endpoint, and every call
+// replaces the snapshot source, so a CLI can point the endpoint at each
+// analysis run in turn. Daemons should use RegisterMetrics on their own mux
+// instead.
 func ServeMetrics(fn func() *MetricsSnapshot) {
 	serveMetricsMu.Lock()
 	defer serveMetricsMu.Unlock()
@@ -220,7 +230,7 @@ func ServeMetrics(fn func() *MetricsSnapshot) {
 		return
 	}
 	serveMetricsOn = true
-	http.Handle("/metrics", MetricsHandler(func() *MetricsSnapshot {
+	RegisterMetrics(http.DefaultServeMux, func() *MetricsSnapshot {
 		serveMetricsMu.Lock()
 		f := serveMetricsFn
 		serveMetricsMu.Unlock()
@@ -228,5 +238,5 @@ func ServeMetrics(fn func() *MetricsSnapshot) {
 			return nil
 		}
 		return f()
-	}))
+	})
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"net/http"
 	"net/http/httptest"
 	"regexp"
 	"strconv"
@@ -349,4 +350,31 @@ func TestPrometheusConcurrentScrape(t *testing.T) {
 	}
 	close(stop)
 	wg.Wait()
+}
+
+// TestRegisterMetricsPerMux proves the mux-injectable registration: two
+// muxes each get their own /metrics backed by different registries, and
+// neither touches http.DefaultServeMux or the other's output.
+func TestRegisterMetricsPerMux(t *testing.T) {
+	m1, m2 := NewMetrics(), NewMetrics()
+	m1.Steps.Add(11)
+	m2.Steps.Add(22)
+	mux1, mux2 := http.NewServeMux(), http.NewServeMux()
+	RegisterMetrics(mux1, m1.Snapshot)
+	RegisterMetrics(mux2, m2.Snapshot)
+
+	scrape := func(mux *http.ServeMux) string {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+		if rec.Code != 200 {
+			t.Fatalf("status %d, want 200", rec.Code)
+		}
+		return rec.Body.String()
+	}
+	if body := scrape(mux1); !strings.Contains(body, "pta_steps_total 11") {
+		t.Errorf("mux1 scrape missing its registry:\n%s", body)
+	}
+	if body := scrape(mux2); !strings.Contains(body, "pta_steps_total 22") {
+		t.Errorf("mux2 scrape missing its registry:\n%s", body)
+	}
 }

@@ -1,0 +1,130 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// hogSrc builds a program whose analysis needs well over a small step
+// budget: a chain of pointer-shuffling functions feeding a fn-ptr call.
+const hogSrc = `
+int a, b;
+int *p, *q, *r;
+int (*fp)();
+int f1() { p = &a; q = p; r = q; return 0; }
+int f2() { q = &b; p = q; r = p; return 0; }
+int f3() { r = &a; fp = f1; fp(); return 0; }
+int main() {
+	f1();
+	f2();
+	f3();
+	fp = f2;
+	fp();
+	return 0;
+}
+`
+
+// TestRequestCorrelation is the acceptance scenario: a request deliberately
+// killed by its step budget must be traceable end to end by its request ID —
+// the JSON response, the spooled flight dump named by the ID (containing the
+// request marker), and the structured access-log line referencing the dump.
+func TestRequestCorrelation(t *testing.T) {
+	s, logBuf, spoolDir := newTestServer(t)
+	h := s.Handler()
+
+	const reqID = "corr-test-1"
+	rec, resp := post(t, h, "/v1/analyze", AnalyzeRequest{
+		Filename: "hog.c",
+		Source:   hogSrc,
+		Config:   &RequestConfig{MaxSteps: 10, Workers: 1},
+	}, map[string]string{"X-Request-ID": reqID})
+
+	// 1. The response: 500, engine error, the ID, a flight-dump reference,
+	// and a metrics snapshot for the partial run.
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500; body:\n%s", rec.Code, rec.Body.String())
+	}
+	if resp.RequestID != reqID {
+		t.Errorf("request id = %q, want %q", resp.RequestID, reqID)
+	}
+	if !strings.Contains(resp.Error, "exceeded") {
+		t.Errorf("error = %q, want a step-budget message", resp.Error)
+	}
+	wantDump := reqID + ".flight.txt"
+	if resp.FlightDump != wantDump {
+		t.Fatalf("flight_dump = %q, want %q", resp.FlightDump, wantDump)
+	}
+	if got := rec.Header().Get("X-Flight-Dump"); got != wantDump {
+		t.Errorf("X-Flight-Dump header = %q, want %q", got, wantDump)
+	}
+	if resp.Metrics == nil || resp.Metrics.Steps == 0 {
+		t.Error("killed request carried no partial metrics snapshot")
+	}
+
+	// 2. The spool: a file named by the request ID, holding the step-budget
+	// cause line and the request instant marker carrying the same ID.
+	dump, err := os.ReadFile(filepath.Join(spoolDir, wantDump))
+	if err != nil {
+		t.Fatalf("spooled dump missing: %v", err)
+	}
+	if !strings.Contains(string(dump), "=== flight record: steps exceeded") {
+		t.Errorf("dump lacks the cause line:\n%s", dump)
+	}
+	if !strings.Contains(string(dump), reqID) {
+		t.Errorf("dump does not carry the request id %q:\n%s", reqID, dump)
+	}
+
+	// 3. The access log: one JSON line with the same request_id, the 500,
+	// and the flight_dump reference.
+	var logged struct {
+		RequestID  string `json:"request_id"`
+		Path       string `json:"path"`
+		Status     int    `json:"status"`
+		FlightDump string `json:"flight_dump"`
+	}
+	found := false
+	for _, line := range strings.Split(logBuf.String(), "\n") {
+		if !strings.Contains(line, reqID) {
+			continue
+		}
+		if err := json.Unmarshal([]byte(line), &logged); err != nil {
+			t.Fatalf("access log line is not JSON: %v\n%s", err, line)
+		}
+		found = true
+		break
+	}
+	if !found {
+		t.Fatalf("no access-log line for %q:\n%s", reqID, logBuf.String())
+	}
+	if logged.Path != "/v1/analyze" || logged.Status != 500 {
+		t.Errorf("access log path/status = %q/%d, want /v1/analyze/500", logged.Path, logged.Status)
+	}
+	if logged.FlightDump != wantDump {
+		t.Errorf("access log flight_dump = %q, want %q", logged.FlightDump, wantDump)
+	}
+}
+
+// TestHealthyRequestLeavesNoDump is the inverse: a request that finishes
+// within budget must not leave a spool file behind.
+func TestHealthyRequestLeavesNoDump(t *testing.T) {
+	s, _, spoolDir := newTestServer(t)
+	rec, resp := post(t, s.Handler(), "/v1/analyze", AnalyzeRequest{Source: fig6Src},
+		map[string]string{"X-Request-ID": "healthy-1"})
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if resp.FlightDump != "" {
+		t.Errorf("healthy request advertised a dump: %q", resp.FlightDump)
+	}
+	entries, err := os.ReadDir(spoolDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		t.Errorf("unexpected spool file %q after a healthy request", e.Name())
+	}
+}

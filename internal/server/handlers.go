@@ -1,0 +1,315 @@
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/cc/ast"
+	"repro/internal/cc/parser"
+	"repro/internal/check"
+	"repro/internal/obsv"
+	"repro/internal/pta"
+	"repro/internal/pta/loc"
+	"repro/internal/race"
+	"repro/internal/taint"
+	"repro/pointsto"
+)
+
+// AnalyzeRequest is the body of POST /v1/analyze (and the /v1/check,
+// /v1/race, /v1/taint views over the same run).
+type AnalyzeRequest struct {
+	// Filename labels positions in diagnostics (default "input.c").
+	Filename string `json:"filename,omitempty"`
+	// Source is the C translation unit to analyze. Required.
+	Source string `json:"source"`
+	// Config exposes the pointsto.Config knobs per request.
+	Config *RequestConfig `json:"config,omitempty"`
+}
+
+// RequestConfig is the JSON view of the analysis knobs a caller may set.
+type RequestConfig struct {
+	FnPtrStrategy      string `json:"fnptr,omitempty"`
+	NoDefinite         bool   `json:"no_definite,omitempty"`
+	SingleArrayLoc     bool   `json:"single_array_loc,omitempty"`
+	NoMemo             bool   `json:"no_memo,omitempty"`
+	ContextInsensitive bool   `json:"context_insensitive,omitempty"`
+	// Workers is clamped to the server's per-analysis cap.
+	Workers int `json:"workers,omitempty"`
+	// MaxSteps bounds the run (0 means the server default); it is clamped
+	// to the server's ceiling so one request cannot hold a pool slot for an
+	// unbounded fixed point.
+	MaxSteps int `json:"max_steps,omitempty"`
+	// StallWindowMS arms the per-request stall watchdog; with StallKill a
+	// detected stall aborts the request (and spools its flight record).
+	StallWindowMS int  `json:"stall_window_ms,omitempty"`
+	StallKill     bool `json:"stall_kill,omitempty"`
+}
+
+// Triple is one points-to relationship in a response.
+type Triple struct {
+	Src      string `json:"src"`
+	Dst      string `json:"dst"`
+	Definite bool   `json:"definite"`
+}
+
+// Finding is one checker diagnostic in a response.
+type Finding struct {
+	Severity string `json:"severity"`
+	Message  string `json:"message"`
+}
+
+// TraceSummary reports the per-request tracer's ring accounting.
+type TraceSummary struct {
+	Spans   uint64 `json:"spans"`
+	Dropped uint64 `json:"dropped"`
+}
+
+// AnalyzeResponse is the body returned by every /v1 analysis view. The
+// request ID, the inline metrics snapshot and the flight-dump reference are
+// the correlation surface: the same ID appears in the access log and names
+// the spooled dump.
+type AnalyzeResponse struct {
+	RequestID   string                `json:"request_id"`
+	View        string                `json:"view"`
+	Filename    string                `json:"filename"`
+	DurationMS  float64               `json:"duration_ms"`
+	Fingerprint string                `json:"fingerprint_sha256,omitempty"`
+	PointsTo    []Triple              `json:"points_to,omitempty"`
+	Findings    []Finding             `json:"findings,omitempty"`
+	Errors      int                   `json:"errors"`
+	Warnings    int                   `json:"warnings"`
+	Diagnostics []string              `json:"diagnostics,omitempty"`
+	Metrics     *obsv.MetricsSnapshot `json:"metrics,omitempty"`
+	Trace       *TraceSummary         `json:"trace,omitempty"`
+	FlightDump  string                `json:"flight_dump,omitempty"`
+	Error       string                `json:"error,omitempty"`
+}
+
+// reqTraceBuffer bounds the per-request tracer ring. One shard keeps the
+// last N spans globally, which is what the flight dump renders.
+const reqTraceBuffer = 2048
+
+// handleAnalyze builds the handler for one analysis view. All four /v1
+// endpoints share it: they run the same analysis, differ only in which
+// client consumes the result.
+func (s *Server) handleAnalyze(view string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			s.writeError(w, r, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		var req AnalyzeRequest
+		body := http.MaxBytesReader(w, r.Body, s.cfg.MaxSourceBytes)
+		if err := json.NewDecoder(body).Decode(&req); err != nil {
+			s.writeError(w, r, http.StatusBadRequest, "bad request body: "+err.Error())
+			return
+		}
+		if strings.TrimSpace(req.Source) == "" {
+			s.writeError(w, r, http.StatusBadRequest, "empty source")
+			return
+		}
+		if req.Filename == "" {
+			req.Filename = "input.c"
+		}
+
+		// Queue for an analysis slot; a client that disconnects while
+		// queued releases its goroutine instead of analyzing for no one.
+		if err := s.pool.acquire(r.Context()); err != nil {
+			s.writeError(w, r, http.StatusServiceUnavailable, "canceled while queued: "+err.Error())
+			return
+		}
+		defer s.pool.release()
+
+		resp := s.analyze(r.Context(), view, &req)
+		status := http.StatusOK
+		switch {
+		case resp.Error != "" && resp.Metrics == nil:
+			// Failed before the engine ran: the source is at fault.
+			status = http.StatusUnprocessableEntity
+		case resp.Error != "":
+			// The engine started and was aborted (step budget, stall kill,
+			// panic): server-side condition, with a flight dump to show for it.
+			status = http.StatusInternalServerError
+		}
+		s.writeJSON(w, r, status, resp)
+	}
+}
+
+// analyze runs one request end to end with its own observability scope:
+// private metrics registry, private tracer (stamped with the request ID),
+// private flight recorder spooling to a file named by the request ID.
+func (s *Server) analyze(ctx context.Context, view string, req *AnalyzeRequest) *AnalyzeResponse {
+	id := RequestIDFrom(ctx)
+	resp := &AnalyzeResponse{RequestID: id, View: view, Filename: req.Filename}
+	start := time.Now()
+	defer func() { resp.DurationMS = float64(time.Since(start)) / float64(time.Millisecond) }()
+
+	// Parse first: a syntax error is the caller's problem and should not
+	// consume an engine run (or leave a flight dump).
+	tu, err := parser.Parse(req.Filename, req.Source)
+	if err != nil {
+		resp.Error = err.Error()
+		return resp
+	}
+
+	reqMetrics := obsv.NewMetrics()
+	tracer := obsv.NewTracer(1, reqTraceBuffer)
+	// The instant marker (not a span) is recorded immediately, so a flight
+	// dump taken mid-run — the only time dumps happen — already carries the
+	// request identity.
+	tracer.Instant(0, obsv.CatPhase, "request", id+" view="+view)
+	flight := obsv.NewFlightRecorder(0, 0)
+	dump := s.spool.writer(id)
+
+	cfg := s.pool.getConfig()
+	*cfg = pointsto.Config{
+		Metrics:    reqMetrics,
+		Tracer:     tracer,
+		Flight:     flight,
+		FlightDump: dump,
+		MaxSteps:   s.cfg.MaxSteps,
+	}
+	if rc := req.Config; rc != nil {
+		cfg.FnPtrStrategy = rc.FnPtrStrategy
+		cfg.NoDefinite = rc.NoDefinite
+		cfg.SingleArrayLoc = rc.SingleArrayLoc
+		cfg.NoMemo = rc.NoMemo
+		cfg.ContextInsensitive = rc.ContextInsensitive
+		cfg.Workers = clampWorkers(rc.Workers, s.cfg.AnalysisWorkers)
+		if rc.MaxSteps > 0 && (s.cfg.MaxSteps == 0 || rc.MaxSteps < s.cfg.MaxSteps) {
+			cfg.MaxSteps = rc.MaxSteps
+		}
+		if rc.StallWindowMS > 0 {
+			cfg.StallWindow = time.Duration(rc.StallWindowMS) * time.Millisecond
+			cfg.StallKill = rc.StallKill
+		}
+	} else {
+		cfg.Workers = clampWorkers(0, s.cfg.AnalysisWorkers)
+	}
+	defer s.pool.putConfig(cfg)
+
+	a, err := s.runGuarded(tu, cfg, req.Source)
+
+	// Whether the run finished or unwound, the per-request registry is
+	// complete for what happened; snapshot it, answer with it inline, and
+	// fold it into the server totals so /metrics stays monotone.
+	if a != nil {
+		resp.Metrics = a.Metrics() // includes interning stats the registry lacks
+	} else {
+		resp.Metrics = reqMetrics.Snapshot()
+	}
+	s.totals.Merge(resp.Metrics)
+	resp.Trace = &TraceSummary{Spans: tracer.Emitted(), Dropped: tracer.Dropped()}
+	if spooled, cerr := dump.close(); spooled {
+		resp.FlightDump = s.spool.dumpName(id)
+	} else if cerr != nil {
+		s.log.Error("flight spool", "request_id", id, "err", cerr)
+	}
+
+	if err != nil {
+		resp.Error = err.Error()
+		return resp
+	}
+	s.renderView(resp, view, a)
+	return resp
+}
+
+// runGuarded executes the engine with a panic barrier: the engine dumps the
+// flight record on its way out of a panic and rethrows, and a daemon must
+// turn that into a failed request, not a dead process.
+func (s *Server) runGuarded(tu *ast.TranslationUnit, cfg *pointsto.Config, src string) (a *pointsto.Analysis, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			a, err = nil, fmt.Errorf("analysis panicked: %v", r)
+		}
+	}()
+	a, err = pointsto.AnalyzeUnit(tu, cfg)
+	if err != nil {
+		return nil, err
+	}
+	// AnalyzeSource would have set this; the server parses separately so a
+	// parse error skips the engine, and restores the source here for the
+	// taint client's pragma scanning.
+	a.Source = src
+	return a, nil
+}
+
+// renderView fills the view-specific part of the response.
+func (s *Server) renderView(resp *AnalyzeResponse, view string, a *pointsto.Analysis) {
+	resp.Fingerprint = fingerprintSHA(a.Result)
+	resp.Diagnostics = a.Diagnostics()
+	switch view {
+	case "analyze":
+		for _, t := range a.Result.MainOut.Triples() {
+			if t.Dst.Kind == loc.Null {
+				continue
+			}
+			resp.PointsTo = append(resp.PointsTo, Triple{
+				Src: t.Src.Name(), Dst: t.Dst.Name(), Definite: bool(t.Def),
+			})
+		}
+	case "check":
+		diags, err := a.Check()
+		if err != nil {
+			resp.Error = err.Error()
+			return
+		}
+		for _, d := range diags {
+			resp.Findings = append(resp.Findings, Finding{Severity: d.Sev.String(), Message: d.String()})
+			count(resp, d.Sev == check.Error)
+		}
+	case "race":
+		diags, err := a.Races()
+		if err != nil {
+			resp.Error = err.Error()
+			return
+		}
+		for _, d := range diags {
+			resp.Findings = append(resp.Findings, Finding{Severity: d.Sev.String(), Message: d.String()})
+			count(resp, d.Sev == race.Error)
+		}
+	case "taint":
+		diags, err := a.Taint()
+		if err != nil {
+			resp.Error = err.Error()
+			return
+		}
+		for _, d := range diags {
+			resp.Findings = append(resp.Findings, Finding{Severity: d.Sev.String(), Message: d.String()})
+			count(resp, d.Sev == taint.Error)
+		}
+	}
+}
+
+func count(resp *AnalyzeResponse, isError bool) {
+	if isError {
+		resp.Errors++
+	} else {
+		resp.Warnings++
+	}
+}
+
+// fingerprintSHA hashes the canonical result fingerprint; two analyses
+// agree on every reported fact iff these digests are equal, and a digest
+// travels in a JSON response where the multi-kilobyte fingerprint cannot.
+func fingerprintSHA(res *pta.Result) string {
+	sum := sha256.Sum256([]byte(pta.Fingerprint(res)))
+	return hex.EncodeToString(sum[:])
+}
+
+func clampWorkers(requested, cap int) int {
+	if cap <= 0 {
+		cap = 1
+	}
+	if requested <= 0 || requested > cap {
+		return cap
+	}
+	return requested
+}

@@ -1,0 +1,118 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obsv"
+)
+
+// httpMetrics is the server-level HTTP instrumentation exposed at /metrics
+// alongside the aggregated analysis registry: request counts by path and
+// status code, a per-path latency histogram, and the in-flight gauge. The
+// same rendering rules as internal/obsv's exporter apply: cumulative
+// histogram buckets derive +Inf and _count from the bucket sum, so a scrape
+// racing a request stays monotone and self-consistent.
+type httpMetrics struct {
+	inflight atomic.Int64
+
+	mu       sync.Mutex
+	requests map[pathCode]*obsv.Counter
+	duration map[string]*obsv.Histogram // path -> latency in microseconds
+}
+
+type pathCode struct {
+	path string
+	code int
+}
+
+func newHTTPMetrics() *httpMetrics {
+	return &httpMetrics{
+		requests: make(map[pathCode]*obsv.Counter),
+		duration: make(map[string]*obsv.Histogram),
+	}
+}
+
+// begin marks a request in flight; the returned func records its outcome.
+func (h *httpMetrics) begin() func(path string, code int, durMicros int64) {
+	h.inflight.Add(1)
+	return func(path string, code int, durMicros int64) {
+		h.inflight.Add(-1)
+		h.mu.Lock()
+		c := h.requests[pathCode{path, code}]
+		if c == nil {
+			c = &obsv.Counter{}
+			h.requests[pathCode{path, code}] = c
+		}
+		d := h.duration[path]
+		if d == nil {
+			d = &obsv.Histogram{}
+			h.duration[path] = d
+		}
+		h.mu.Unlock()
+		c.Inc()
+		d.Observe(durMicros)
+	}
+}
+
+// writePrometheus renders the three server families in text exposition
+// format 0.0.4.
+func (h *httpMetrics) writePrometheus(w io.Writer) error {
+	h.mu.Lock()
+	type reqRow struct {
+		pathCode
+		n int64
+	}
+	var reqs []reqRow
+	for k, c := range h.requests {
+		reqs = append(reqs, reqRow{k, c.Load()})
+	}
+	type durRow struct {
+		path string
+		s    obsv.HistogramSnapshot
+	}
+	var durs []durRow
+	for p, d := range h.duration {
+		durs = append(durs, durRow{p, d.Snapshot()})
+	}
+	h.mu.Unlock()
+	sort.Slice(reqs, func(i, j int) bool {
+		if reqs[i].path != reqs[j].path {
+			return reqs[i].path < reqs[j].path
+		}
+		return reqs[i].code < reqs[j].code
+	})
+	sort.Slice(durs, func(i, j int) bool { return durs[i].path < durs[j].path })
+
+	var b []byte
+	app := func(format string, args ...any) { b = fmt.Appendf(b, format, args...) }
+	app("# HELP http_requests_total HTTP requests served, by path and status code.\n")
+	app("# TYPE http_requests_total counter\n")
+	for _, r := range reqs {
+		app("http_requests_total{path=%q,code=\"%d\"} %d\n", r.path, r.code, r.n)
+	}
+	app("# HELP http_request_duration_seconds HTTP request latency, by path.\n")
+	app("# TYPE http_request_duration_seconds histogram\n")
+	for _, d := range durs {
+		var cum int64
+		for _, bk := range d.s.Buckets {
+			cum += bk.Count
+			// Buckets hold microseconds; expose seconds.
+			le := strconv.FormatFloat(float64(bk.UpperBound)/1e6, 'g', -1, 64)
+			app("http_request_duration_seconds_bucket{path=%q,le=%q} %d\n", d.path, le, cum)
+		}
+		app("http_request_duration_seconds_bucket{path=%q,le=\"+Inf\"} %d\n", d.path, cum)
+		app("http_request_duration_seconds_sum{path=%q} %s\n", d.path,
+			strconv.FormatFloat(float64(d.s.Sum)/1e6, 'g', -1, 64))
+		app("http_request_duration_seconds_count{path=%q} %d\n", d.path, cum)
+	}
+	app("# HELP inflight_requests Requests currently being served.\n")
+	app("# TYPE inflight_requests gauge\n")
+	app("inflight_requests %d\n", h.inflight.Load())
+	_, err := w.Write(b)
+	return err
+}

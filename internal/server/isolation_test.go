@@ -1,0 +1,199 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obsv"
+	"repro/internal/pta"
+	"repro/pointsto"
+)
+
+// Distinct fixtures so concurrent requests have different right answers —
+// any cross-request bleed shows up as a wrong fingerprint or step count.
+var isolationFixtures = []struct {
+	name string
+	src  string
+}{
+	{"fig6.c", fig6Src},
+	{"list.c", `
+struct node { struct node *next; int v; };
+struct node *head;
+int push() {
+	struct node *n;
+	n = malloc(sizeof(struct node));
+	n->next = head;
+	head = n;
+	return 0;
+}
+int main() {
+	push();
+	push();
+	return 0;
+}
+`},
+	{"chain.c", `
+int x;
+int *p1;
+int **p2;
+int ***p3;
+int main() {
+	p1 = &x;
+	p2 = &p1;
+	p3 = &p2;
+	***p3 = 7;
+	return 0;
+}
+`},
+}
+
+// soloBaseline runs one fixture through the library the way the CLI does
+// and returns its fingerprint digest and step count at Workers=1.
+func soloBaseline(t *testing.T, name, src string) (fp string, steps int64) {
+	t.Helper()
+	m := obsv.NewMetrics()
+	a, err := pointsto.AnalyzeSource(name, src, &pointsto.Config{Workers: 1, Metrics: m})
+	if err != nil {
+		t.Fatalf("solo %s: %v", name, err)
+	}
+	sum := sha256.Sum256([]byte(pta.Fingerprint(a.Result)))
+	return hex.EncodeToString(sum[:]), m.Snapshot().Steps
+}
+
+// TestConcurrentRequestIsolation fires many interleaved requests over
+// different fixtures and requires every response to match its one-shot
+// baseline exactly: byte-identical fingerprint and, at Workers=1, the same
+// deterministic step count in the per-request metrics snapshot. Any shared
+// mutable state between in-flight requests breaks one or the other.
+func TestConcurrentRequestIsolation(t *testing.T) {
+	type baseline struct {
+		fp    string
+		steps int64
+	}
+	baselines := make([]baseline, len(isolationFixtures))
+	for i, fx := range isolationFixtures {
+		fp, steps := soloBaseline(t, fx.name, fx.src)
+		baselines[i] = baseline{fp, steps}
+	}
+
+	s, _, _ := newTestServer(t)
+	h := s.Handler()
+
+	const rounds = 4
+	var (
+		wg  sync.WaitGroup
+		mu  sync.Mutex
+		ids = map[string]bool{}
+	)
+	errs := make(chan string, rounds*len(isolationFixtures))
+	for round := 0; round < rounds; round++ {
+		for i, fx := range isolationFixtures {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rec, resp := post(t, h, "/v1/analyze", AnalyzeRequest{
+					Filename: fx.name,
+					Source:   fx.src,
+					Config:   &RequestConfig{Workers: 1},
+				}, nil)
+				if rec.Code != 200 {
+					errs <- fx.name + ": status " + strconv.Itoa(rec.Code)
+					return
+				}
+				if resp.Fingerprint != baselines[i].fp {
+					errs <- fx.name + ": fingerprint diverged from one-shot baseline"
+				}
+				if resp.Metrics == nil || resp.Metrics.Steps != baselines[i].steps {
+					errs <- fx.name + ": per-request steps bled across requests"
+				}
+				mu.Lock()
+				if ids[resp.RequestID] {
+					errs <- "duplicate request id " + resp.RequestID
+				}
+				ids[resp.RequestID] = true
+				mu.Unlock()
+			}()
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}
+
+// scrapeSteps pulls pta_steps_total out of a /metrics exposition.
+func scrapeSteps(t *testing.T, h *httptest.ResponseRecorder) uint64 {
+	t.Helper()
+	for _, line := range strings.Split(h.Body.String(), "\n") {
+		if v, ok := strings.CutPrefix(line, "pta_steps_total "); ok {
+			n, err := strconv.ParseUint(strings.TrimSpace(v), 10, 64)
+			if err != nil {
+				t.Fatalf("bad pta_steps_total %q: %v", v, err)
+			}
+			return n
+		}
+	}
+	t.Fatalf("no pta_steps_total in scrape:\n%s", h.Body.String())
+	return 0
+}
+
+// TestMetricsScrapeMonotoneMidFlight scrapes /metrics while analyses are in
+// flight and requires the aggregated counters to only move forward —
+// per-request registries must fold into the totals atomically at request
+// end, never partially mid-run. Run under -race this also exercises the
+// scrape/merge data paths for races.
+func TestMetricsScrapeMonotoneMidFlight(t *testing.T) {
+	s, _, _ := newTestServer(t)
+	h := s.Handler()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				fx := isolationFixtures[w%len(isolationFixtures)]
+				post(t, h, "/v1/analyze", AnalyzeRequest{Filename: fx.name, Source: fx.src}, nil)
+			}
+		}()
+	}
+
+	// Scrape until the totals have demonstrably advanced a few times (or a
+	// deadline passes), checking monotonicity at every read.
+	var last uint64
+	advances := 0
+	deadline := time.Now().Add(10 * time.Second)
+	for (advances < 3 || last == 0) && time.Now().Before(deadline) {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+		if rec.Code != 200 {
+			t.Fatalf("/metrics = %d mid-flight", rec.Code)
+		}
+		cur := scrapeSteps(t, rec)
+		if cur < last {
+			t.Fatalf("pta_steps_total went backwards: %d -> %d", last, cur)
+		}
+		if cur > last {
+			advances++
+		}
+		last = cur
+	}
+	close(stop)
+	wg.Wait()
+	if last == 0 {
+		t.Error("no steps ever observed in /metrics")
+	}
+}

@@ -1,0 +1,52 @@
+package server
+
+import (
+	"context"
+	"sync"
+
+	"repro/pointsto"
+)
+
+// workerPool bounds how many analyses run at once. HTTP handlers block in
+// acquire until a slot frees (or the client gives up), so a burst of
+// submissions queues in cheap goroutines instead of oversubscribing the
+// analysis core, whose own Workers knob already saturates the host per run.
+//
+// The pool also recycles pointsto.Config values across requests — the
+// reuse path the consume-once contract on Config.Metrics/Flight/Tracer
+// exists for: a recycled Config can never report into a registry that a
+// previous request already accounted.
+type workerPool struct {
+	sem     chan struct{}
+	configs sync.Pool
+}
+
+func newWorkerPool(slots int) *workerPool {
+	if slots <= 0 {
+		slots = 1
+	}
+	p := &workerPool{sem: make(chan struct{}, slots)}
+	p.configs.New = func() any { return new(pointsto.Config) }
+	return p
+}
+
+// acquire blocks until a slot is free or ctx is done.
+func (p *workerPool) acquire(ctx context.Context) error {
+	select {
+	case p.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (p *workerPool) release() { <-p.sem }
+
+// getConfig returns a recycled Config. Every field the server sets per
+// request is overwritten by the caller; the consume-once attachments are
+// already nil from the previous run.
+func (p *workerPool) getConfig() *pointsto.Config {
+	return p.configs.Get().(*pointsto.Config)
+}
+
+func (p *workerPool) putConfig(cfg *pointsto.Config) { p.configs.Put(cfg) }

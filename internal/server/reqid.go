@@ -1,0 +1,70 @@
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+)
+
+// Request IDs are the correlation spine: one ID generated (or propagated
+// from the caller's X-Request-ID) per request is stamped into the access
+// log, the per-request trace, the metrics snapshot response, and the name
+// of any spooled flight-record dump, so one grep follows a request through
+// every observability surface.
+
+// requestIDHeader is the propagation header, in and out.
+const requestIDHeader = "X-Request-ID"
+
+type requestIDKey struct{}
+
+// newRequestID returns a fresh 16-hex-char request ID.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; degrade to a
+		// constant rather than take the server down over an ID.
+		return "00000000deadbeef"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// requestID extracts a usable ID from the request, generating one when the
+// header is absent or unusable. Propagated IDs become file names (the
+// flight-dump spool) and log fields, so anything outside a conservative
+// charset or longer than 64 bytes is replaced.
+func requestID(r *http.Request) string {
+	id := r.Header.Get(requestIDHeader)
+	if !validRequestID(id) {
+		return newRequestID()
+	}
+	return id
+}
+
+func validRequestID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// withRequestID stores the ID in the context; RequestIDFrom reads it back
+// ("" when absent).
+func withRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFrom returns the request ID carried by ctx, or "".
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}

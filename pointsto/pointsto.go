@@ -72,16 +72,27 @@ type Config struct {
 	// default). On overflow the oldest events are dropped, never blocking
 	// the analysis; the drop count is reported in Result.Metrics.
 	TraceBuffer int
+	// Tracer, when non-nil, is a caller-supplied tracer the run emits its
+	// spans into, taking precedence over Trace/TraceBuffer. This is the
+	// request-scoped tracing path: a server opens its own span (stamped
+	// with the request ID) on the tracer around the analysis, so the flight
+	// record and trace exports carry the request identity. Consumed per
+	// run, like Metrics and Flight.
+	Tracer *obsv.Tracer
 	// MaxSteps bounds basic-statement evaluations as a runaway guard
 	// (0 means the engine default of 50 million).
 	MaxSteps int
 	// Metrics, when non-nil, is the live registry the analysis reports
-	// through, so an in-flight run can be scraped (obsv.ServeMetrics /
-	// obsv.WritePrometheus). Must be fresh per run.
+	// through, so an in-flight run can be scraped (obsv.RegisterMetrics /
+	// obsv.WritePrometheus). It must be fresh per run: counters accumulate,
+	// so a second run through the same registry would double-account. To
+	// make reuse safe for callers that pool Configs (pta-server), the
+	// Metrics, Flight and Tracer attachments are consume-once — an Analyze
+	// call nils them on completion; set them again for the next run.
 	Metrics *obsv.Metrics
 	// Flight attaches the always-on flight recorder: bounded last-N spans
 	// plus periodic progress samples, dumped to FlightDump when the run
-	// panics, exceeds MaxSteps, or stalls.
+	// panics, exceeds MaxSteps, or stalls. Consumed per run, like Metrics.
 	Flight *obsv.FlightRecorder
 	// FlightDump receives flight-record and stall dumps (default stderr).
 	FlightDump io.Writer
@@ -114,7 +125,9 @@ func (c *Config) options() (pta.Options, error) {
 	o.ContextInsensitive = c.ContextInsensitive
 	o.ShareContexts = c.ShareContexts
 	o.Workers = c.Workers
-	if c.Trace {
+	if c.Tracer != nil {
+		o.Tracer = c.Tracer
+	} else if c.Trace {
 		o.Tracer = obsv.NewTracer(0, c.TraceBuffer)
 	}
 	o.MaxSteps = c.MaxSteps
@@ -204,6 +217,13 @@ func AnalyzeProgram(prog *simple.Program, cfg *Config) (*Analysis, error) {
 	opts, err := cfg.options()
 	if err != nil {
 		return nil, err
+	}
+	// The observability attachments are consume-once: nil them out before
+	// the run so a pooled Config reused for a later Analyze cannot report
+	// into a registry that already accumulated this run (double accounting).
+	// The run itself holds them through opts; results keep the snapshot.
+	if cfg != nil {
+		cfg.Metrics, cfg.Flight, cfg.Tracer = nil, nil, nil
 	}
 	res, err := pta.Analyze(prog, opts)
 	if err != nil {

@@ -1,8 +1,11 @@
 package pointsto
 
 import (
+	"io"
 	"strings"
 	"testing"
+
+	"repro/internal/obsv"
 )
 
 const figure6 = `
@@ -197,5 +200,85 @@ int main() {
 	}
 	if dp := a.Dependences(); len(dp.Loops) == 0 {
 		t.Error("no loops analyzed")
+	}
+}
+
+// TestConfigReuseIndependentSnapshots is the regression test for the
+// consume-once observability attachments: a server reuses Configs from a
+// pool, so two sequential Analyze calls sharing one Config must produce
+// independent, correctly-totaled snapshots — not a second snapshot that
+// double-counts the first run's steps.
+func TestConfigReuseIndependentSnapshots(t *testing.T) {
+	baseline, err := AnalyzeSource("fig6.c", figure6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSteps := baseline.Metrics().Steps
+	if wantSteps == 0 {
+		t.Fatal("baseline run recorded no steps")
+	}
+
+	cfg := &Config{}
+	runWith := func() *Analysis {
+		// Fresh per-run attachments, the way the server's config pool
+		// installs them before each request.
+		cfg.Metrics = obsv.NewMetrics()
+		cfg.Flight = obsv.NewFlightRecorder(0, 0)
+		cfg.FlightDump = io.Discard
+		a, err := AnalyzeSource("fig6.c", figure6, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	a1 := runWith()
+	if cfg.Metrics != nil || cfg.Flight != nil || cfg.Tracer != nil {
+		t.Fatal("Analyze did not consume the observability attachments")
+	}
+	a2 := runWith()
+	if got := a1.Metrics().Steps; got != wantSteps {
+		t.Errorf("first run steps = %d, want %d", got, wantSteps)
+	}
+	if got := a2.Metrics().Steps; got != wantSteps {
+		t.Errorf("second run steps = %d, want %d (double accounting?)", got, wantSteps)
+	}
+
+	// A reused Config whose attachments were consumed but never re-set must
+	// still produce a correct private snapshot.
+	a3, err := AnalyzeSource("fig6.c", figure6, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a3.Metrics().Steps; got != wantSteps {
+		t.Errorf("third run (no attachments) steps = %d, want %d", got, wantSteps)
+	}
+}
+
+// TestConfigExternalTracer checks the caller-supplied tracer path: spans
+// the caller opens around the run (e.g. a request-ID span) share the ring
+// with the analysis's own spans.
+func TestConfigExternalTracer(t *testing.T) {
+	tr := obsv.NewTracer(1, 512)
+	sp := tr.Begin(0, obsv.CatPhase, "request", "req-abc123")
+	cfg := &Config{Tracer: tr}
+	a, err := AnalyzeSource("fig6.c", figure6, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.End()
+	if a.Tracer != tr {
+		t.Fatal("Analysis.Tracer is not the supplied tracer")
+	}
+	var haveReq, haveAnalysis bool
+	for _, e := range tr.Events() {
+		if e.Name == "request" && e.Detail == "req-abc123" {
+			haveReq = true
+		}
+		if e.Name == "analysis" {
+			haveAnalysis = true
+		}
+	}
+	if !haveReq || !haveAnalysis {
+		t.Errorf("tracer missing spans: request=%v analysis=%v", haveReq, haveAnalysis)
 	}
 }
