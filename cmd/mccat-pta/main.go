@@ -27,6 +27,14 @@
 //	-fnptr S   function pointer strategy: precise|addr-taken|all
 //	-ci        context-insensitive ablation
 //	-nodef     disable definite relationships
+//	-demand    demand-driven, liveness-pruned mode: the fixpoint keeps
+//	           facts only for live-and-demanded pointers; the demand is
+//	           derived from the enabled clients (-check/-race/-taint) and
+//	           the -query flags, and the reported facts are bit-identical
+//	           to the exhaustive run's
+//	-query Q   answer the points-to query "file:line[:col]:var" after the
+//	           run (repeatable; in -demand mode queries also seed the
+//	           demand)
 //
 // Observability flags:
 //
@@ -134,6 +142,7 @@ func run(argv []string, stdout, stderr io.Writer) (code int) {
 		ci        = fs.Bool("ci", false, "context-insensitive ablation")
 		nodef     = fs.Bool("nodef", false, "disable definite relationships")
 		workers   = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
+		demand    = fs.Bool("demand", false, "demand-driven, liveness-pruned analysis mode")
 
 		doMetrics  = fs.Bool("metrics", false, "print the full metrics report")
 		metricsOut = fs.String("metrics-out", "", "write the metrics snapshot to this file as JSON")
@@ -151,6 +160,8 @@ func run(argv []string, stdout, stderr io.Writer) (code int) {
 		logJSON    = fs.Bool("log-json", false, "write stderr diagnostics as JSON log lines")
 		logLevel   = fs.String("log-level", "info", "stderr log level: debug|info|warn|error")
 	)
+	var queryFlags multiFlag
+	fs.Var(&queryFlags, "query", "answer the points-to query \"file:line[:col]:var\" (repeatable)")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
@@ -203,11 +214,35 @@ func run(argv []string, stdout, stderr io.Writer) (code int) {
 		flight = obsv.NewFlightRecorder(0, 0)
 	}
 
+	queries := make([]pointsto.Query, len(queryFlags))
+	for i, q := range queryFlags {
+		pq, err := pointsto.ParseQuery(q)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		queries[i] = pq
+	}
+	var demandClients []string
+	if *demand {
+		for _, c := range []struct {
+			on   bool
+			name string
+		}{{*doCheck, "check"}, {*doRace, "race"}, {*doTaint, "taint"}} {
+			if c.on {
+				demandClients = append(demandClients, c.name)
+			}
+		}
+	}
+
 	cfg := &pointsto.Config{
 		FnPtrStrategy:      *fnptr,
 		ContextInsensitive: *ci,
 		NoDefinite:         *nodef,
 		Workers:            *workers,
+		Demand:             *demand,
+		Queries:            queries,
+		DemandClients:      demandClients,
 		Trace:              *traceOut != "" || *traceJSONL != "",
 		TraceBuffer:        *traceBuf,
 		MaxSteps:           *maxSteps,
@@ -372,6 +407,27 @@ func run(argv []string, stdout, stderr io.Writer) (code int) {
 		printModRef(stdout, a)
 		any = true
 	}
+	if len(queries) > 0 {
+		for _, r := range a.QueryAll(queries) {
+			if r.Err != "" {
+				fmt.Fprintf(stdout, "query %s %s: %s\n", r.Pos, r.Var, r.Err)
+				hadErrors = true
+				continue
+			}
+			parts := make([]string, len(r.Targets))
+			for i, t := range r.Targets {
+				parts[i] = t.String()
+			}
+			fmt.Fprintf(stdout, "query %s %s -> %s\n", r.Pos, r.Var, strings.Join(parts, " "))
+		}
+		any = true
+	}
+	if *demand {
+		m := a.Metrics()
+		fmt.Fprintf(stdout, "demand: %d facts kept at seeded statements, %d pruned, live vars p50 %d\n",
+			m.DemandFactsKept, m.FactsPruned, m.LiveVars.P50)
+		any = true
+	}
 	if *doPts || !any {
 		printPts(stdout, a)
 	}
@@ -437,4 +493,14 @@ func writeFileWith(path string, fn func(io.Writer) error) {
 	if err := f.Close(); err != nil {
 		fatal(err)
 	}
+}
+
+// multiFlag collects the values of a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
 }

@@ -90,3 +90,54 @@ func TestLogFlags(t *testing.T) {
 		t.Errorf("bad -log-level: code=%d stderr=%q, want 2 naming the level", code, stderr)
 	}
 }
+
+// TestDemandFlags drives -demand and -query end to end: demand-mode check
+// diagnostics match exhaustive ones (minus the demand stats line), queries
+// resolve identically in both modes, and a malformed query is a usage error.
+func TestDemandFlags(t *testing.T) {
+	uaf := filepath.Join("..", "..", "examples", "check", "uaf.c")
+
+	code, exOut, _ := runCLI(t, "-check", uaf)
+	if code != 0 {
+		t.Fatalf("exhaustive check exit = %d", code)
+	}
+	code, dmOut, stderr := runCLI(t, "-demand", "-check", uaf)
+	if code != 0 {
+		t.Fatalf("demand check exit = %d (stderr: %s)", code, stderr)
+	}
+	var kept []string
+	for _, line := range strings.Split(dmOut, "\n") {
+		if !strings.HasPrefix(line, "demand: ") {
+			kept = append(kept, line)
+		}
+	}
+	if got := strings.Join(kept, "\n"); got != exOut {
+		t.Errorf("demand diagnostics diverge\nexhaustive:\n%s\ndemand:\n%s", exOut, got)
+	}
+	if !strings.Contains(dmOut, "demand: ") {
+		t.Errorf("demand run missing its stats line:\n%s", dmOut)
+	}
+
+	q := uaf + ":9:p"
+	code, exOut, _ = runCLI(t, "-query", q, uaf)
+	if code != 0 {
+		t.Fatalf("exhaustive query exit = %d", code)
+	}
+	code, dmOut, _ = runCLI(t, "-demand", "-query", q, uaf)
+	if code != 0 {
+		t.Fatalf("demand query exit = %d", code)
+	}
+	want := "query " + uaf + ":9 p -> "
+	if !strings.Contains(exOut, want) || !strings.Contains(dmOut, want) {
+		t.Fatalf("query answer missing\nexhaustive:\n%s\ndemand:\n%s", exOut, dmOut)
+	}
+	exAns := exOut[strings.Index(exOut, "query "):]
+	exAns = exAns[:strings.Index(exAns, "\n")]
+	if !strings.Contains(dmOut, exAns) {
+		t.Errorf("demand answer diverges from exhaustive %q:\n%s", exAns, dmOut)
+	}
+
+	if code, _, _ = runCLI(t, "-query", "nonsense", uaf); code != 2 {
+		t.Errorf("malformed -query exit = %d, want 2", code)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/cc/token"
 	"repro/internal/pta"
 	"repro/internal/pta/invgraph"
+	"repro/internal/pta/live"
 	"repro/internal/pta/loc"
 	"repro/internal/pta/ptset"
 	"repro/internal/simple"
@@ -459,4 +460,26 @@ func (c *checker) dangling() {
 			Ctx: in.ctx, Fn: k.fn.Name(),
 		})
 	}
+}
+
+// DemandSeeds returns the demand this checker places on a points-to
+// analysis run in demand mode (pta.Options.Demand): exact facts at every
+// statement that dereferences a pointer and at every free call, with all
+// globals pinned — the dangling-pointer pass walks global-source triples
+// in every call context's output set, so global facts must survive
+// everywhere. An analysis seeded with this demand yields bit-identical
+// checker diagnostics to an exhaustive run.
+func DemandSeeds(prog *simple.Program) *live.Seeds {
+	s := live.NewSeeds()
+	s.PinGlobals = true
+	prog.ForEachBasic(func(b *simple.Basic) {
+		if len(derefRefs(b)) > 0 {
+			s.AddStmtRefs(b)
+			return
+		}
+		if b.Kind == simple.AsgnCall && b.Callee.Name == "free" {
+			s.AddStmtRefs(b)
+		}
+	})
+	return s
 }

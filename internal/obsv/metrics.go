@@ -218,6 +218,15 @@ type Metrics struct {
 	// basic statements.
 	Cardinality Histogram
 
+	// Demand-mode accounting (zero in exhaustive runs): DemandFactsKept
+	// counts triples recorded at seeded statements, FactsPruned counts
+	// triples dropped because their source variable was dead, and
+	// LiveVars is the distribution of live tracked-variable counts at
+	// statement inputs.
+	DemandFactsKept Counter
+	FactsPruned     Counter
+	LiveVars        Histogram
+
 	mu    sync.Mutex
 	funcs map[string]*FuncCost
 }
@@ -271,6 +280,9 @@ func (m *Metrics) Merge(s *MetricsSnapshot) {
 	m.SchedParks.Add(s.SchedParks)
 	m.PeakSet.Observe(s.PeakSet)
 	m.Cardinality.Merge(s.Cardinality)
+	m.DemandFactsKept.Add(s.DemandFactsKept)
+	m.FactsPruned.Add(s.FactsPruned)
+	m.LiveVars.Merge(s.LiveVars)
 	for _, f := range s.Funcs {
 		fc := m.Func(f.Name)
 		fc.Evals.Add(f.Evals)
@@ -325,6 +337,13 @@ type MetricsSnapshot struct {
 	TraceEmitted uint64 `json:"trace_emitted,omitempty"`
 	TraceDropped uint64 `json:"trace_dropped,omitempty"`
 
+	// Demand-mode accounting (absent in exhaustive runs): facts recorded
+	// at seeded statements, facts pruned as dead, and the distribution
+	// of live tracked-variable counts per statement input.
+	DemandFactsKept int64             `json:"demand_facts_kept,omitempty"`
+	FactsPruned     int64             `json:"facts_pruned,omitempty"`
+	LiveVars        HistogramSnapshot `json:"live_vars,omitempty"`
+
 	// Taint counters, filled by the taint client when it runs over this
 	// result (internal/taint mutates the snapshot in place).
 	TaintSources    int64 `json:"taint_sources,omitempty"`
@@ -355,6 +374,9 @@ func (m *Metrics) Snapshot() *MetricsSnapshot {
 		SchedParks:      m.SchedParks.Load(),
 		PeakSet:         m.PeakSet.Load(),
 		Cardinality:     m.Cardinality.Snapshot(),
+		DemandFactsKept: m.DemandFactsKept.Load(),
+		FactsPruned:     m.FactsPruned.Load(),
+		LiveVars:        m.LiveVars.Snapshot(),
 	}
 	if s.Cardinality.Max > s.PeakSet {
 		s.PeakSet = s.Cardinality.Max

@@ -75,6 +75,10 @@ var promMetrics = []promMetric{
 		func(s *MetricsSnapshot) float64 { return float64(s.TraceEmitted) }, true},
 	{"pta_trace_dropped_total", "counter", "Trace events lost to ring-buffer overflow.",
 		func(s *MetricsSnapshot) float64 { return float64(s.TraceDropped) }, true},
+	{"pta_demand_facts_kept_total", "counter", "Demand mode: points-to triples recorded at seeded statements.",
+		func(s *MetricsSnapshot) float64 { return float64(s.DemandFactsKept) }, true},
+	{"pta_facts_pruned_total", "counter", "Demand mode: points-to triples dropped for dead source variables.",
+		func(s *MetricsSnapshot) float64 { return float64(s.FactsPruned) }, true},
 
 	{"pta_peak_set", "gauge", "Largest points-to set flowing into any statement.",
 		func(s *MetricsSnapshot) float64 { return float64(s.PeakSet) }, false},
@@ -118,6 +122,11 @@ func WritePrometheusSnapshot(w io.Writer, s *MetricsSnapshot) error {
 
 	writeHistogram(&b, "pta_set_cardinality",
 		"Points-to set size flowing into basic statements.", s.Cardinality)
+
+	if s.LiveVars.Count > 0 {
+		writeHistogram(&b, "pta_live_vars",
+			"Demand mode: live tracked pointer variables at statement inputs.", s.LiveVars)
+	}
 
 	if len(s.Funcs) > 0 {
 		funcs := s.Funcs

@@ -107,6 +107,25 @@ func CompareReports(oldData, newData []byte, th Thresholds) (*Comparison, error)
 	return comparePerf(oldData, newData, th)
 }
 
+// hasDemandFields reports whether a perf report carries the demand-mode
+// columns (added after the first BENCH_pta.json schema). Reports written by
+// older builds lack the keys entirely; comparing against one must skip the
+// demand checks instead of reading zeros as a regression.
+func hasDemandFields(data []byte) bool {
+	var probe struct {
+		Programs []map[string]json.RawMessage `json:"programs"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return false
+	}
+	for _, p := range probe.Programs {
+		if _, ok := p["wall_demand_ms"]; ok {
+			return true
+		}
+	}
+	return false
+}
+
 func isScaleReport(data []byte) (bool, error) {
 	var probe struct {
 		WorkerSet []int `json:"worker_set"`
@@ -168,6 +187,10 @@ func comparePerf(oldData, newData []byte, th Thresholds) (*Comparison, error) {
 	}
 	c := &Comparison{Kind: "perf"}
 	wallOK := c.hostCheck(oldRep.Host, newRep.Host)
+	oldDemand, newDemand := hasDemandFields(oldData), hasDemandFields(newData)
+	if newDemand && !oldDemand {
+		c.warnf("old report predates the demand-mode columns; demand regression checks skipped")
+	}
 
 	oldByName := map[string]PerfProgram{}
 	for _, p := range oldRep.Programs {
@@ -183,6 +206,19 @@ func comparePerf(oldData, newData []byte, th Thresholds) (*Comparison, error) {
 		}
 		if !np.Identical {
 			c.failf("%s: serial/parallel/nomemo results no longer identical", np.Name)
+		}
+		if newDemand && !np.DemandIdentical {
+			c.failf("%s: demand-mode diagnostics diverge from exhaustive", np.Name)
+		}
+		if oldDemand && newDemand {
+			if op.FactsDemand > 0 && float64(np.FactsDemand) > float64(op.FactsDemand)*th.StepsRatio {
+				c.failf("%s: demand facts kept %d -> %d (x%.3f, threshold x%.2f)",
+					np.Name, op.FactsDemand, np.FactsDemand,
+					float64(np.FactsDemand)/float64(op.FactsDemand), th.StepsRatio)
+			}
+			if wallOK {
+				c.checkWall(np.Name+" (demand)", op.WallDemandMS, np.WallDemandMS, th)
+			}
 		}
 		c.checkSteps(np.Name, int64(op.Steps), int64(np.Steps), th)
 		c.checkPeak(np.Name, int64(op.PeakSetLen), int64(np.PeakSetLen), th)

@@ -29,9 +29,13 @@ func basePerf() *PerfReport {
 		Workers: 4, Repeats: 3, Host: CurrentHost(),
 		Programs: []PerfProgram{
 			{Name: "csuite", Steps: 10000, WallSerialMS: 100, WallParallelMS: 60,
-				MemoHitRate: 0.80, PeakSetLen: 40, Identical: true},
+				MemoHitRate: 0.80, PeakSetLen: 40, Identical: true,
+				WallDemandMS: 40, FactsExhaustive: 900, FactsDemand: 300,
+				FactsPruned: 600, DemandIdentical: true},
 			{Name: "livc", Steps: 500000, WallSerialMS: 900, WallParallelMS: 500,
-				MemoHitRate: 0.90, PeakSetLen: 100, Identical: true},
+				MemoHitRate: 0.90, PeakSetLen: 100, Identical: true,
+				WallDemandMS: 300, FactsExhaustive: 5000, FactsDemand: 1200,
+				FactsPruned: 3800, DemandIdentical: true},
 		},
 	}
 }
@@ -62,6 +66,9 @@ func TestCompareDetectsRegressions(t *testing.T) {
 		{"memo", func(r *PerfReport) { r.Programs[0].MemoHitRate = 0.70 }, "memo hit-rate"},
 		{"peak", func(r *PerfReport) { r.Programs[0].PeakSetLen = 60 }, "peak set"},
 		{"identical", func(r *PerfReport) { r.Programs[0].Identical = false }, "no longer identical"},
+		{"demand-identical", func(r *PerfReport) { r.Programs[0].DemandIdentical = false }, "demand-mode diagnostics diverge"},
+		{"demand-facts", func(r *PerfReport) { r.Programs[0].FactsDemand = 600 }, "demand facts kept"},
+		{"demand-wall", func(r *PerfReport) { r.Programs[0].WallDemandMS = 90 }, "(demand)"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -216,5 +223,73 @@ func TestCompareCustomThresholds(t *testing.T) {
 	}
 	if c.OK() {
 		t.Error("tightened steps threshold not applied")
+	}
+}
+
+// legacyPerfJSON strips the demand-mode keys from a serialized report,
+// reproducing the schema of BENCH_pta.json files written before demand mode
+// existed.
+func legacyPerfJSON(t *testing.T, r *PerfReport) []byte {
+	t.Helper()
+	var generic struct {
+		Workers    int              `json:"workers"`
+		GOMAXPROCS int              `json:"gomaxprocs"`
+		Repeats    int              `json:"repeats"`
+		Host       HostInfo         `json:"host"`
+		Programs   []map[string]any `json:"programs"`
+	}
+	if err := json.Unmarshal(perfJSON(t, r), &generic); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range generic.Programs {
+		for _, k := range []string{"wall_demand_ms", "facts_exhaustive", "facts_demand",
+			"facts_pruned", "live_vars_p50", "demand_identical"} {
+			delete(p, k)
+		}
+	}
+	data, err := json.Marshal(&generic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestCompareOldSchemaBaseline pins the -compare forward-compat contract:
+// a baseline written before the demand columns existed must not produce
+// spurious demand regressions (the zero-valued fields would otherwise read
+// as "facts grew from 0" and "diagnostics diverge"), only a warning that
+// the demand checks were skipped.
+func TestCompareOldSchemaBaseline(t *testing.T) {
+	old := legacyPerfJSON(t, basePerf())
+	c, err := CompareReports(old, perfJSON(t, basePerf()), Thresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.OK() {
+		t.Errorf("old-schema baseline tripped the gate: %v", c.Regressions)
+	}
+	if !strings.Contains(strings.Join(c.Warnings, "\n"), "demand") {
+		t.Errorf("expected a demand-skip warning, got %v", c.Warnings)
+	}
+
+	// Demand divergence in the new report still fails even against an old
+	// baseline: the identity check needs no baseline column.
+	div := basePerf()
+	div.Programs[0].DemandIdentical = false
+	c, err = CompareReports(old, perfJSON(t, div), Thresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.OK() {
+		t.Errorf("demand divergence missed against old-schema baseline")
+	}
+
+	// Two old-schema reports compare cleanly with no demand noise at all.
+	c, err = CompareReports(old, old, Thresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.OK() {
+		t.Errorf("old-vs-old failed: %v", c.Regressions)
 	}
 }

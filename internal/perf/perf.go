@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/check"
 	"repro/internal/obsv"
 	"repro/internal/pta"
 	"repro/internal/report"
@@ -70,6 +71,18 @@ type PerfProgram struct {
 	// (the timing runs above skip RecordContexts).
 	TaintErrors   int `json:"taint_errors"`
 	TaintWarnings int `json:"taint_warnings"`
+
+	// Demand-mode comparison: a check-seeded, liveness-pruned run against
+	// the exhaustive oracle. FactsExhaustive/FactsDemand count the
+	// annotation triples each run kept; FactsPruned counts the triples the
+	// demand run dropped at recording time; DemandIdentical reports that
+	// both runs produced the same checker diagnostics.
+	WallDemandMS    float64 `json:"wall_demand_ms"`
+	FactsExhaustive int     `json:"facts_exhaustive"`
+	FactsDemand     int     `json:"facts_demand"`
+	FactsPruned     int64   `json:"facts_pruned"`
+	LiveVarsP50     int64   `json:"live_vars_p50"`
+	DemandIdentical bool    `json:"demand_identical"`
 }
 
 // PerfReport is the machine-readable performance report (BENCH_pta.json).
@@ -154,6 +167,29 @@ func RunPerf(names []string, workers, repeats int) (*PerfReport, error) {
 			return nil, fmt.Errorf("%s taint: %w", name, err)
 		}
 		p.TaintErrors, p.TaintWarnings = report.TaintDiagCounts(tdiags)
+
+		// Demand run seeded for the pointer checker, timed against the
+		// exhaustive serial run above. The exhaustive fact count comes from
+		// that serial run; equivalence is judged on checker diagnostics.
+		demand, wall, err := timeAnalysis(prog,
+			pta.Options{Workers: 1, Demand: check.DemandSeeds(prog), RecordContexts: true}, repeats)
+		if err != nil {
+			return nil, fmt.Errorf("%s demand: %w", name, err)
+		}
+		p.WallDemandMS = wall
+		p.FactsExhaustive = serial.Annots.TotalFacts()
+		p.FactsDemand = demand.Annots.TotalFacts()
+		p.FactsPruned = demand.Metrics.FactsPruned
+		p.LiveVarsP50 = demand.Metrics.LiveVars.P50
+		exDiags, err := check.Run(ctxRes)
+		if err != nil {
+			return nil, fmt.Errorf("%s check: %w", name, err)
+		}
+		dmDiags, err := check.Run(demand)
+		if err != nil {
+			return nil, fmt.Errorf("%s demand check: %w", name, err)
+		}
+		p.DemandIdentical = fmt.Sprint(exDiags) == fmt.Sprint(dmDiags)
 
 		rep.Programs = append(rep.Programs, p)
 	}
@@ -298,12 +334,14 @@ func (r *PerfReport) WriteJSON(w io.Writer) error {
 // WriteTable renders the report as an aligned text table.
 func (r *PerfReport) WriteTable(w io.Writer) {
 	fmt.Fprintf(w, "points-to analysis performance (workers=%d, best of %d runs)\n\n", r.Workers, r.Repeats)
-	fmt.Fprintf(w, "%-11s %9s %9s %9s %9s %7s %7s %6s %8s %7s %5s\n",
-		"program", "serial", "parallel", "nomemo", "steps", "memo%", "intern%", "peak", "distinct", "taint", "ok")
+	fmt.Fprintf(w, "%-11s %9s %9s %9s %9s %9s %7s %7s %6s %8s %11s %7s %5s\n",
+		"program", "serial", "parallel", "nomemo", "demand", "steps", "memo%", "intern%", "peak", "distinct", "facts dm/ex", "taint", "ok")
 	for _, p := range r.Programs {
-		fmt.Fprintf(w, "%-11s %7.2fms %7.2fms %7.2fms %9d %6.1f%% %6.1f%% %6d %8d %7s %5v\n",
-			p.Name, p.WallSerialMS, p.WallParallelMS, p.WallNoMemoMS, p.Steps,
+		ok := p.Identical && p.DemandIdentical
+		fmt.Fprintf(w, "%-11s %7.2fms %7.2fms %7.2fms %7.2fms %9d %6.1f%% %6.1f%% %6d %8d %11s %7s %5v\n",
+			p.Name, p.WallSerialMS, p.WallParallelMS, p.WallNoMemoMS, p.WallDemandMS, p.Steps,
 			100*p.MemoHitRate, 100*p.InternHitRate, p.PeakSetLen, p.DistinctSets,
-			fmt.Sprintf("%dE/%dW", p.TaintErrors, p.TaintWarnings), p.Identical)
+			fmt.Sprintf("%d/%d", p.FactsDemand, p.FactsExhaustive),
+			fmt.Sprintf("%dE/%dW", p.TaintErrors, p.TaintWarnings), ok)
 	}
 }

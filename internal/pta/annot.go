@@ -91,3 +91,14 @@ func (a *Annotations) ContextsAt(b *simple.Basic) map[*invgraph.Node]ptset.Set {
 
 // Len returns the number of annotated statements.
 func (a *Annotations) Len() int { return len(a.in) }
+
+// TotalFacts returns the total number of triples recorded across all
+// merged per-statement annotations — the memory the demand mode's pruning
+// saves. Not safe to call concurrently with Record.
+func (a *Annotations) TotalFacts() int {
+	n := 0
+	for _, s := range a.in {
+		n += s.Len()
+	}
+	return n
+}

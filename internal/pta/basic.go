@@ -32,10 +32,18 @@ func basicKindName(k simple.BasicKind) string {
 // statements to the interprocedural machinery.
 func (a *analyzer) processBasic(b *simple.Basic, in ptset.Set, ign *invgraph.Node, tk obsv.Track) ptset.Set {
 	a.step()
+	if a.live != nil {
+		in = a.demandPrune(b, in)
+	}
 	// The cardinality histogram's internal max doubles as the peak-set
 	// gauge, so the hot path pays for one instrument, not two.
 	a.m.Cardinality.Observe(int64(in.Len()))
-	a.ann.Record(b, in, ign)
+	if a.live == nil {
+		a.ann.Record(b, in, ign)
+	} else if a.live.Seeded(b) {
+		a.ann.Record(b, in, ign)
+		a.m.DemandFactsKept.Add(int64(in.Len()))
+	}
 	if a.tracer != nil {
 		sp := a.tracer.Begin(tk, obsv.CatBasic, basicKindName(b.Kind), b.Pos.String())
 		defer sp.End()

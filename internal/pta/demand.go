@@ -1,0 +1,39 @@
+package pta
+
+import (
+	"repro/internal/pta/loc"
+	"repro/internal/pta/ptset"
+	"repro/internal/simple"
+)
+
+// demandPrune drops from the set flowing into b every fact whose source is
+// rooted at a variable the liveness pass proves dead at b. The liveness
+// pass pins everything any later transfer, map/unmap, client read, or
+// demand seed could touch, so the surviving facts evolve exactly as they
+// do in the exhaustive run — pruning is a pure function of (statement,
+// set), which keeps memoized summaries and parallel evaluation orders
+// bit-identical for every worker count.
+func (a *analyzer) demandPrune(b *simple.Basic, in ptset.Set) ptset.Set {
+	if in.IsBottom() {
+		return in
+	}
+	a.m.LiveVars.Observe(int64(a.live.LiveCount(b)))
+	var dead []*loc.Location
+	in.Range(func(t ptset.Triple) {
+		if t.Src.Kind != loc.Var {
+			return
+		}
+		if a.live.Prunable(b, t.Src.Obj) {
+			dead = append(dead, t.Src)
+		}
+	})
+	if len(dead) == 0 {
+		return in
+	}
+	out := in.Clone()
+	for _, s := range dead {
+		out.Kill(s)
+	}
+	a.m.FactsPruned.Add(int64(in.Len() - out.Len()))
+	return out
+}

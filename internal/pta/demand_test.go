@@ -1,0 +1,226 @@
+package pta_test
+
+// Differential matrix for demand mode: for every seeded statement and
+// every demanded variable, the pruned engine must report exactly the
+// triples the exhaustive engine reports, at every worker count, with
+// identical diagnostics. This is the correctness contract of
+// Options.Demand (exhaustive mode is the oracle).
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/cc/ast"
+	"repro/internal/cc/parser"
+	"repro/internal/pta"
+	"repro/internal/pta/live"
+	"repro/internal/pta/loc"
+	"repro/internal/pta/ptset"
+	"repro/internal/ptagen"
+	"repro/internal/simple"
+	"repro/internal/simplify"
+)
+
+func loadSource(t testing.TB, name, src string) *simple.Program {
+	t.Helper()
+	tu, err := parser.Parse(name, src)
+	if err != nil {
+		t.Fatalf("%s: Parse: %v", name, err)
+	}
+	prog, err := simplify.Simplify(tu)
+	if err != nil {
+		t.Fatalf("%s: Simplify: %v", name, err)
+	}
+	return prog
+}
+
+// derefSeeds seeds every statement that dereferences a pointer — the shape
+// of a checker-style demand — without pinning globals, so the
+// interprocedural global-liveness propagation is actually exercised.
+func derefSeeds(prog *simple.Program) *live.Seeds {
+	s := live.NewSeeds()
+	prog.ForEachBasic(func(b *simple.Basic) {
+		for _, r := range b.Refs() {
+			if r.Deref {
+				s.AddStmtRefs(b)
+				return
+			}
+		}
+	})
+	return s
+}
+
+// factsOf renders the triples of set rooted at obj, sorted.
+func factsOf(s ptset.Set, obj *ast.Object) []string {
+	var out []string
+	s.Range(func(t ptset.Triple) {
+		if t.Src.Kind == loc.Var && t.Src.Obj == obj {
+			out = append(out, t.String())
+		}
+	})
+	sort.Strings(out)
+	return out
+}
+
+// diffDemand analyzes prog exhaustively and in demand mode and fails the
+// test on the first seeded fact or diagnostic that differs.
+func diffDemand(t testing.TB, name string, prog *simple.Program, seeds *live.Seeds, workers int) (*pta.Result, *pta.Result) {
+	t.Helper()
+	ex, err := pta.Analyze(prog, pta.Options{Workers: workers})
+	if err != nil {
+		t.Fatalf("%s: exhaustive: %v", name, err)
+	}
+	dm, err := pta.Analyze(prog, pta.Options{Workers: workers, Demand: seeds})
+	if err != nil {
+		t.Fatalf("%s: demand: %v", name, err)
+	}
+	if ex, dm := strings.Join(ex.Diags, "\n"), strings.Join(dm.Diags, "\n"); ex != dm {
+		t.Fatalf("%s (workers=%d): diagnostics diverge\nexhaustive:\n%s\ndemand:\n%s", name, workers, ex, dm)
+	}
+	checked := 0
+	prog.ForEachBasic(func(b *simple.Basic) {
+		if t.Failed() || !seeds.Seeded(b) {
+			return
+		}
+		exSet, exOK := ex.Annots.At(b)
+		dmSet, ok := dm.Annots.At(b)
+		if !exOK {
+			// Unreached in the oracle (dead function or unreachable
+			// path) — demand must agree it is unreached.
+			if ok {
+				t.Errorf("%s (workers=%d): stmt %d @%s recorded in demand mode but unreached exhaustively", name, workers, b.ID, b.Pos)
+			}
+			return
+		}
+		if !ok {
+			t.Errorf("%s (workers=%d): stmt %d @%s seeded but unrecorded in demand mode", name, workers, b.ID, b.Pos)
+			return
+		}
+		for _, v := range seeds.Demanded(b) {
+			exF, dmF := factsOf(exSet, v), factsOf(dmSet, v)
+			checked++
+			if fmt.Sprint(exF) != fmt.Sprint(dmF) {
+				t.Errorf("%s (workers=%d): stmt %d @%s, var %s:\nexhaustive: %v\ndemand:     %v",
+					name, workers, b.ID, b.Pos, v.Name, exF, dmF)
+			}
+		}
+	})
+	if checked == 0 && seeds.Len() > 0 {
+		t.Errorf("%s: differential checked no facts (%d seeded stmts)", name, seeds.Len())
+	}
+	return ex, dm
+}
+
+func TestDemandEquivalenceBench(t *testing.T) {
+	for _, name := range bench.Names() {
+		t.Run(name, func(t *testing.T) {
+			prog, err := bench.Load(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 2, 8} {
+				diffDemand(t, name, prog, derefSeeds(prog), workers)
+			}
+		})
+	}
+}
+
+func TestDemandEquivalenceExamples(t *testing.T) {
+	for _, dir := range []string{"check", "race", "taint"} {
+		files, err := filepath.Glob(filepath.Join("..", "..", "examples", dir, "*.c"))
+		if err != nil || len(files) == 0 {
+			t.Fatalf("no examples in %s: %v", dir, err)
+		}
+		for _, f := range files {
+			t.Run(dir+"/"+filepath.Base(f), func(t *testing.T) {
+				src, err := os.ReadFile(f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				prog := loadSource(t, filepath.Base(f), string(src))
+				for _, workers := range []int{1, 2, 8} {
+					diffDemand(t, f, prog, derefSeeds(prog), workers)
+				}
+				// The degenerate all-seeds demand must match exhaustive
+				// at every statement for every referenced variable.
+				prog2 := loadSource(t, filepath.Base(f), string(src))
+				diffDemand(t, f+"/all-seeds", prog2, live.SeedAllStatements(prog2), 1)
+			})
+		}
+	}
+}
+
+// TestDemandEquivalencePtagen runs the differential on generated corpus
+// programs: the small preset always, the mid preset behind the same
+// environment gate the scale differential uses.
+func TestDemandEquivalencePtagen(t *testing.T) {
+	presets := []string{"small"}
+	if os.Getenv("PTAGEN_DIFF_LARGE") != "" {
+		presets = append(presets, "mid")
+	}
+	for _, preset := range presets {
+		t.Run(preset, func(t *testing.T) {
+			cfg := ptagen.Presets[preset]
+			cfg.Seed = 7
+			src, _ := ptagen.Generate(cfg)
+			prog := loadSource(t, preset+".c", src)
+			for _, workers := range []int{1, 2, 8} {
+				diffDemand(t, preset, prog, derefSeeds(prog), workers)
+			}
+		})
+	}
+}
+
+// TestDemandPrunesFacts asserts the point of the mode: on a real workload
+// a checker-style demand records fewer facts than exhaustive and the
+// pruning counters account for dropped triples.
+func TestDemandPrunesFacts(t *testing.T) {
+	prog, err := bench.Load("hash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, dm := diffDemand(t, "hash", prog, derefSeeds(prog), 1)
+	if dm.Metrics.FactsPruned == 0 {
+		t.Errorf("demand mode pruned no facts")
+	}
+	if dm.Metrics.DemandFactsKept == 0 {
+		t.Errorf("demand mode recorded no facts")
+	}
+	exFacts, dmFacts := ex.Annots.TotalFacts(), dm.Annots.TotalFacts()
+	if dmFacts >= exFacts {
+		t.Errorf("demand kept %d annotation facts, exhaustive %d — no reduction", dmFacts, exFacts)
+	}
+	if dm.Live == nil || dm.Live.TrackedVars() == 0 {
+		t.Errorf("no tracked variables in liveness info")
+	}
+}
+
+func FuzzDemandEquivalence(f *testing.F) {
+	f.Add(uint16(1), uint8(3), uint8(2), uint8(1), false)
+	f.Add(uint16(7), uint8(4), uint8(3), uint8(0), true)
+	f.Add(uint16(42), uint8(2), uint8(4), uint8(2), false)
+	f.Fuzz(func(t *testing.T, seed uint16, depth, width, fnptr uint8, recurse bool) {
+		// Sizes are clamped below the "small" preset: the fuzz engine
+		// kills workers that spend tens of seconds on one input, and
+		// the differential analyzes each program four times.
+		cfg := ptagen.Presets["small"]
+		cfg.Seed = int64(seed)
+		cfg.Depth = 1 + int(depth%3)
+		cfg.Width = 1 + int(width%3)
+		cfg.StmtsPerFunc = 8
+		cfg.FnPtrDensity = float64(fnptr%4) / 4
+		if recurse {
+			cfg.Recursion = 0.5
+		}
+		src, _ := ptagen.Generate(cfg)
+		prog := loadSource(t, "fuzz.c", src)
+		diffDemand(t, "fuzz", prog, derefSeeds(prog), 1)
+		prog2 := loadSource(t, "fuzz.c", src)
+		diffDemand(t, "fuzz/w8", prog2, derefSeeds(prog2), 8)
+	})
+}

@@ -1,0 +1,240 @@
+package live_test
+
+import (
+	"testing"
+
+	"repro/internal/cc/ast"
+	"repro/internal/cc/parser"
+	"repro/internal/pta/live"
+	"repro/internal/simple"
+	"repro/internal/simplify"
+)
+
+func load(t *testing.T, src string) *simple.Program {
+	t.Helper()
+	tu, err := parser.Parse("live.c", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	prog, err := simplify.Simplify(tu)
+	if err != nil {
+		t.Fatalf("Simplify: %v", err)
+	}
+	return prog
+}
+
+// stmtAt returns the first basic statement on the given source line.
+func stmtAt(t *testing.T, prog *simple.Program, line int) *simple.Basic {
+	t.Helper()
+	var found *simple.Basic
+	prog.ForEachBasic(func(b *simple.Basic) {
+		if found == nil && b.Pos.Line == line {
+			found = b
+		}
+	})
+	if found == nil {
+		t.Fatalf("no basic statement on line %d", line)
+	}
+	return found
+}
+
+// varNamed returns the unique referenced variable with the given name.
+func varNamed(t *testing.T, prog *simple.Program, name string) *ast.Object {
+	t.Helper()
+	var found *ast.Object
+	prog.ForEachBasic(func(b *simple.Basic) {
+		for _, r := range b.Refs() {
+			if r.Var != nil && r.Var.Name == name {
+				found = r.Var
+			}
+		}
+	})
+	if found == nil {
+		t.Fatalf("no variable named %q", name)
+	}
+	return found
+}
+
+// seedLine seeds the demand at every basic statement on the given line.
+func seedLine(prog *simple.Program, line int) *live.Seeds {
+	s := live.NewSeeds()
+	prog.ForEachBasic(func(b *simple.Basic) {
+		if b.Pos.Line == line {
+			s.AddStmtRefs(b)
+		}
+	})
+	return s
+}
+
+// TestLiveAcrossLoop checks that a pointer read inside a loop body stays
+// live around the back edge: at the loop's post statement (i = i + 1) the
+// pointer is still needed by the next iteration's read.
+func TestLiveAcrossLoop(t *testing.T) {
+	src := `int x, y;
+int *p;
+int main() {
+    int i, s;
+    int *q;
+    q = &x;
+    s = 0;
+    for (i = 0; i < 10; i = i + 1)
+        s = s + *q;
+    return s;
+}
+`
+	prog := load(t, src)
+	seeds := seedLine(prog, 9) // s = s + *q
+	info := live.Compute(prog, seeds, live.Options{})
+	q := varNamed(t, prog, "q")
+	body := stmtAt(t, prog, 9)
+	post := stmtAt(t, prog, 8) // the i = i + 1 basic shares line 8
+	if !info.LiveAt(body, q) {
+		t.Errorf("q dead at its own read")
+	}
+	if !info.LiveAt(post, q) {
+		t.Errorf("q dead at loop post statement — back-edge liveness lost")
+	}
+	// s=0 precedes the first read of q, so q (assigned on line 6) must be
+	// live there too; the assignment itself may see q dead beforehand.
+	if !info.LiveAt(stmtAt(t, prog, 7), q) {
+		t.Errorf("q dead between its definition and the loop")
+	}
+}
+
+// TestLiveThroughFnPtrCall checks the indirect-call fan-out: a global
+// demanded inside any address-taken callee must be live at the indirect
+// call site in the caller (the union over all may-targets).
+func TestLiveThroughFnPtrCall(t *testing.T) {
+	src := `int a, b;
+int *ga;
+int *gb;
+void fa(void) { a = *ga; }
+void fb(void) { b = *gb; }
+int main() {
+    void (*fp)(void);
+    if (a)
+        fp = fa;
+    else
+        fp = fb;
+    fp();
+    return 0;
+}
+`
+	prog := load(t, src)
+	seeds := live.NewSeeds()
+	seeds.AddStmtRefs(stmtAt(t, prog, 4)) // a = *ga inside fa
+	seeds.AddStmtRefs(stmtAt(t, prog, 5)) // b = *gb inside fb
+	info := live.Compute(prog, seeds, live.Options{})
+	call := stmtAt(t, prog, 12)
+	if call.Kind != simple.AsgnCallInd {
+		t.Fatalf("line 12 is %v, want indirect call", call.Kind)
+	}
+	for _, g := range []string{"ga", "gb"} {
+		if info.Prunable(call, varNamed(t, prog, g)) {
+			t.Errorf("global %s prunable at indirect call site; both fa and fb are may-targets", g)
+		}
+	}
+	// The caller's entry must also demand both globals, since the call is
+	// reachable from entry with no intervening definition.
+	got := info.EntryGlobals(prog.Lookup("main"))
+	want := map[string]bool{"ga": true, "gb": true}
+	for _, n := range got {
+		delete(want, n)
+	}
+	for n := range want {
+		t.Errorf("global %s not live at main entry (got %v)", n, got)
+	}
+}
+
+// TestDeadAfterLastUse checks forward pruning: once a pointer's last read
+// is behind us, its facts are prunable at later statements.
+func TestDeadAfterLastUse(t *testing.T) {
+	src := `int x;
+int main() {
+    int *p;
+    int *q;
+    int v, w;
+    p = &x;
+    v = *p;
+    q = &x;
+    w = *q;
+    return v + w;
+}
+`
+	prog := load(t, src)
+	seeds := seedLine(prog, 7) // v = *p only
+	info := live.Compute(prog, seeds, live.Options{})
+	p := varNamed(t, prog, "p")
+	if info.Prunable(stmtAt(t, prog, 7), p) {
+		t.Errorf("p prunable at its demanded read")
+	}
+	if !info.Prunable(stmtAt(t, prog, 8), p) {
+		t.Errorf("p still live after its last use — dead code not pruned")
+	}
+	if !info.Prunable(stmtAt(t, prog, 9), p) {
+		t.Errorf("p still live at w = *q")
+	}
+	// q is never demanded: prunable even at its own read.
+	q := varNamed(t, prog, "q")
+	if !info.Prunable(stmtAt(t, prog, 9), q) {
+		t.Errorf("undemanded q not prunable")
+	}
+}
+
+// TestKillEndsLiveRange checks the strong-kill rule: a whole-variable
+// reassignment of a plain pointer ends the previous fact's live range, and
+// NoKill disables exactly that.
+func TestKillEndsLiveRange(t *testing.T) {
+	src := `int x, y;
+int main() {
+    int *p;
+    int v;
+    p = &x;
+    v = v + 1;
+    p = &y;
+    v = *p;
+    return v;
+}
+`
+	prog := load(t, src)
+	seeds := seedLine(prog, 8) // v = *p
+	p := varNamed(t, prog, "p")
+	info := live.Compute(prog, seeds, live.Options{})
+	if !info.Prunable(stmtAt(t, prog, 6), p) {
+		t.Errorf("p live before its killing redefinition on line 7")
+	}
+	if info.Prunable(stmtAt(t, prog, 8), p) {
+		t.Errorf("p dead at its demanded read")
+	}
+	nokill := live.Compute(prog, seeds, live.Options{NoKill: true})
+	if nokill.Prunable(stmtAt(t, prog, 6), p) {
+		t.Errorf("NoKill: redefinition still ends p's live range")
+	}
+}
+
+// TestAllSeedsNothingPrunable checks the degenerate demand: with every
+// statement seeded, no referenced variable is prunable anywhere (the
+// demand run must behave exactly like the exhaustive run).
+func TestAllSeedsNothingPrunable(t *testing.T) {
+	src := `int x;
+int *g;
+void f(int **h) { *h = &x; }
+int main() {
+    int *p;
+    f(&p);
+    g = p;
+    return *p;
+}
+`
+	prog := load(t, src)
+	info := live.Compute(prog, seeds(prog), live.Options{})
+	prog.ForEachBasic(func(b *simple.Basic) {
+		for _, r := range b.Refs() {
+			if r.Var != nil && info.Prunable(b, r.Var) {
+				t.Errorf("all-seeds: %s prunable at stmt %d @%s", r.Var.Name, b.ID, b.Pos)
+			}
+		}
+	})
+}
+
+func seeds(prog *simple.Program) *live.Seeds { return live.SeedAllStatements(prog) }

@@ -15,6 +15,7 @@ import (
 	"repro/internal/cc/types"
 	"repro/internal/obsv"
 	"repro/internal/pta/invgraph"
+	"repro/internal/pta/live"
 	"repro/internal/pta/loc"
 	"repro/internal/pta/ptset"
 	"repro/internal/simple"
@@ -123,6 +124,16 @@ type Options struct {
 	// StallKill makes a detected stall abort the analysis (the run returns
 	// an error) instead of only reporting it.
 	StallKill bool
+
+	// Demand, when non-nil, switches the engine to demand-driven mode:
+	// a backward liveness pass (package live) is computed from these
+	// client-registered seeds, the set flowing into each statement is
+	// pruned of facts whose source variable is dead there, and
+	// annotations are recorded only at seeded statements. Every fact of
+	// a live (or pinned) variable is bit-identical to the exhaustive
+	// engine's; facts of dead variables are simply absent. Exhaustive
+	// mode (nil) remains the default and the correctness oracle.
+	Demand *live.Seeds
 }
 
 // Result is the outcome of an analysis.
@@ -152,6 +163,10 @@ type Result struct {
 
 	// Workers is the effective worker-pool size the analysis ran with.
 	Workers int
+
+	// Live is the liveness information the run pruned against; nil in
+	// exhaustive mode.
+	Live *live.Info
 }
 
 // Analyze runs the points-to analysis on a SIMPLE program.
@@ -182,6 +197,12 @@ func Analyze(prog *simple.Program, opts Options) (*Result, error) {
 	if opts.RecordContexts {
 		a.ann.EnableContexts()
 	}
+	if opts.Demand != nil {
+		a.live = live.Compute(prog, opts.Demand, live.Options{
+			AllFuncs: opts.FnPtr == AllFuncs,
+			NoKill:   opts.NoDefinite,
+		})
+	}
 	if opts.ShareContexts {
 		a.shared = make(map[*simple.Function][]sharedSummary)
 	}
@@ -199,7 +220,7 @@ func Analyze(prog *simple.Program, opts Options) (*Result, error) {
 		a.sched = newScheduler(a.workers, a.tracer, a.m)
 		defer a.sched.stop()
 	}
-	res := &Result{Prog: prog, Table: a.tab, Graph: g, Opts: opts, Annots: a.ann}
+	res := &Result{Prog: prog, Table: a.tab, Graph: g, Opts: opts, Annots: a.ann, Live: a.live}
 
 	if err := a.run(); err != nil {
 		return nil, err
@@ -255,6 +276,7 @@ type analyzer struct {
 	opts    Options
 	ann     *Annotations
 	intern  *ptset.Interner
+	live    *live.Info // demand mode: pruning oracle (nil when exhaustive)
 	diags   []string
 	diagMu  sync.Mutex
 	mainOut ptset.Set

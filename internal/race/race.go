@@ -36,6 +36,7 @@ import (
 	"repro/internal/modref"
 	"repro/internal/pta"
 	"repro/internal/pta/invgraph"
+	"repro/internal/pta/live"
 	"repro/internal/pta/loc"
 	"repro/internal/pta/ptset"
 	"repro/internal/simple"
@@ -899,4 +900,16 @@ func opName(a *access) string {
 		return "write"
 	}
 	return "read"
+}
+
+// DemandSeeds returns the demand the race detector places on a points-to
+// analysis run in demand mode. The detector reads the per-context
+// annotation of every reachable statement (access classification, lockset
+// resolution) and transitively closes the thread-shared location set over
+// whole annotation sets at spawn sites, so its demand is the degenerate
+// all-statements seed. Liveness pruning still drops facts of dead
+// non-address-taken locals, which can never be thread-shared (nothing can
+// point to them), so detector output is unchanged.
+func DemandSeeds(prog *simple.Program) *live.Seeds {
+	return live.SeedAllStatements(prog)
 }

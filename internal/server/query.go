@@ -1,0 +1,199 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cc/parser"
+	"repro/internal/obsv"
+	"repro/internal/simple"
+	"repro/internal/simplify"
+	"repro/pointsto"
+)
+
+// QueryRequest is the body of POST /v1/query: points-to queries answered by
+// a demand-driven, liveness-pruned analysis run. Repeated requests over the
+// same source reuse a cached parse (content-hash keyed), so an editor
+// session probing one file pays the frontend once.
+type QueryRequest struct {
+	// Filename labels positions (default "input.c"); query positions must
+	// use the same name.
+	Filename string `json:"filename,omitempty"`
+	// Source is the C translation unit. Required.
+	Source string `json:"source"`
+	// Queries is the batch to answer. Required.
+	Queries []pointsto.Query `json:"queries"`
+	// Exhaustive answers from a full exhaustive run instead of demand
+	// mode (the correctness oracle; answers are identical by contract).
+	Exhaustive bool `json:"exhaustive,omitempty"`
+	// Config exposes the same knobs as /v1/analyze.
+	Config *RequestConfig `json:"config,omitempty"`
+}
+
+// QueryResponse is the body returned by /v1/query.
+type QueryResponse struct {
+	RequestID  string  `json:"request_id"`
+	Filename   string  `json:"filename"`
+	DurationMS float64 `json:"duration_ms"`
+	// CacheHit reports whether the parse came from the session cache.
+	CacheHit bool                   `json:"cache_hit"`
+	Results  []pointsto.QueryResult `json:"results,omitempty"`
+	Metrics  *obsv.MetricsSnapshot  `json:"metrics,omitempty"`
+	Error    string                 `json:"error,omitempty"`
+}
+
+// parseCache keeps recently parsed+simplified programs keyed by the SHA-256
+// of (filename, source). Entries are evicted FIFO beyond cap. The analysis
+// never mutates a *simple.Program, so one cached program can back any
+// number of engine runs; the per-entry once guards the build so concurrent
+// first requests for the same source parse once.
+type parseCache struct {
+	mu    sync.Mutex
+	cap   int
+	order []string
+	m     map[string]*parseEntry
+}
+
+type parseEntry struct {
+	once sync.Once
+	prog *simple.Program
+	err  error
+}
+
+func newParseCache(capacity int) *parseCache {
+	if capacity <= 0 {
+		capacity = 16
+	}
+	return &parseCache{cap: capacity, m: make(map[string]*parseEntry)}
+}
+
+// get returns the program for (filename, source), building and caching it
+// on first use. hit reports whether the parse was already cached.
+func (c *parseCache) get(filename, source string) (prog *simple.Program, err error, hit bool) {
+	sum := sha256.Sum256([]byte(filename + "\x00" + source))
+	key := hex.EncodeToString(sum[:])
+	c.mu.Lock()
+	e, ok := c.m[key]
+	if !ok {
+		e = &parseEntry{}
+		c.m[key] = e
+		c.order = append(c.order, key)
+		for len(c.order) > c.cap {
+			delete(c.m, c.order[0])
+			c.order = c.order[1:]
+		}
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		tu, perr := parser.Parse(filename, source)
+		if perr != nil {
+			e.err = perr
+			return
+		}
+		e.prog, e.err = simplify.Simplify(tu)
+	})
+	return e.prog, e.err, ok
+}
+
+// handleQuery builds the POST /v1/query handler.
+func (s *Server) handleQuery() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			s.writeError(w, r, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		var req QueryRequest
+		body := http.MaxBytesReader(w, r.Body, s.cfg.MaxSourceBytes)
+		if err := json.NewDecoder(body).Decode(&req); err != nil {
+			s.writeError(w, r, http.StatusBadRequest, "bad request body: "+err.Error())
+			return
+		}
+		if strings.TrimSpace(req.Source) == "" {
+			s.writeError(w, r, http.StatusBadRequest, "empty source")
+			return
+		}
+		if len(req.Queries) == 0 {
+			s.writeError(w, r, http.StatusBadRequest, "no queries")
+			return
+		}
+		if req.Filename == "" {
+			req.Filename = "input.c"
+		}
+		if err := s.pool.acquire(r.Context()); err != nil {
+			s.writeError(w, r, http.StatusServiceUnavailable, "canceled while queued: "+err.Error())
+			return
+		}
+		defer s.pool.release()
+
+		resp := s.query(r, &req)
+		status := http.StatusOK
+		if resp.Error != "" {
+			status = http.StatusUnprocessableEntity
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		if err := json.NewEncoder(w).Encode(resp); err != nil {
+			s.log.Error("query response write", "request_id", resp.RequestID, "err", err)
+		}
+	}
+}
+
+// query runs one /v1/query request: cached parse, demand-mode analysis
+// seeded by the queries, batched answers. Metrics fold into the server
+// totals like every other analysis run.
+func (s *Server) query(r *http.Request, req *QueryRequest) *QueryResponse {
+	id := RequestIDFrom(r.Context())
+	resp := &QueryResponse{RequestID: id, Filename: req.Filename}
+	start := time.Now()
+	defer func() { resp.DurationMS = float64(time.Since(start)) / float64(time.Millisecond) }()
+
+	prog, err, hit := s.parses.get(req.Filename, req.Source)
+	resp.CacheHit = hit
+	if err != nil {
+		resp.Error = err.Error()
+		return resp
+	}
+
+	reqMetrics := obsv.NewMetrics()
+	cfg := s.pool.getConfig()
+	*cfg = pointsto.Config{
+		Metrics:  reqMetrics,
+		MaxSteps: s.cfg.MaxSteps,
+		Demand:   !req.Exhaustive,
+		Queries:  req.Queries,
+	}
+	if rc := req.Config; rc != nil {
+		cfg.FnPtrStrategy = rc.FnPtrStrategy
+		cfg.NoDefinite = rc.NoDefinite
+		cfg.SingleArrayLoc = rc.SingleArrayLoc
+		cfg.NoMemo = rc.NoMemo
+		cfg.ContextInsensitive = rc.ContextInsensitive
+		cfg.Workers = clampWorkers(rc.Workers, s.cfg.AnalysisWorkers)
+		if rc.MaxSteps > 0 && (s.cfg.MaxSteps == 0 || rc.MaxSteps < s.cfg.MaxSteps) {
+			cfg.MaxSteps = rc.MaxSteps
+		}
+	} else {
+		cfg.Workers = clampWorkers(0, s.cfg.AnalysisWorkers)
+	}
+	defer s.pool.putConfig(cfg)
+
+	a, err := pointsto.AnalyzeProgram(prog, cfg)
+	if a != nil {
+		resp.Metrics = a.Metrics()
+	} else {
+		resp.Metrics = reqMetrics.Snapshot()
+	}
+	s.totals.Merge(resp.Metrics)
+	if err != nil {
+		resp.Error = err.Error()
+		return resp
+	}
+	resp.Results = a.QueryAll(req.Queries)
+	return resp
+}

@@ -1,0 +1,131 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	"repro/pointsto"
+)
+
+// querySrc has a line (9) where both p and q carry facts, and a line (8)
+// that stores through a global pointer.
+const querySrc = `
+int x, y;
+int *gp;
+int main() {
+    int *p;
+    int *q;
+    p = &x;
+    q = &y;
+    gp = p;
+    return *p + *q;
+}
+`
+
+func postQuery(t *testing.T, s *Server, req QueryRequest) (int, *QueryResponse) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("POST", "/v1/query", bytes.NewReader(body)))
+	var resp QueryResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("response is not JSON (%v):\n%s", err, rec.Body.String())
+	}
+	return rec.Code, &resp
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	s, _, _ := newTestServer(t)
+	queries := []struct{ pos, v string }{{"q.c:9", "p"}, {"q.c:9", "q"}}
+	req := QueryRequest{Filename: "q.c", Source: querySrc}
+	for _, q := range queries {
+		req.Queries = append(req.Queries, pointsto.Query{Pos: q.pos, Var: q.v})
+	}
+
+	code, demand := postQuery(t, s, req)
+	if code != 200 {
+		t.Fatalf("demand query = %d: %+v", code, demand)
+	}
+	if demand.CacheHit {
+		t.Errorf("first request reported a cache hit")
+	}
+	if demand.Metrics == nil || demand.Metrics.FactsPruned == 0 {
+		t.Errorf("demand run pruned nothing: %+v", demand.Metrics)
+	}
+
+	// Same source again: cached parse, exhaustive oracle, identical answers.
+	req.Exhaustive = true
+	code, exhaustive := postQuery(t, s, req)
+	if code != 200 {
+		t.Fatalf("exhaustive query = %d: %+v", code, exhaustive)
+	}
+	if !exhaustive.CacheHit {
+		t.Errorf("second request over same source missed the parse cache")
+	}
+	if len(demand.Results) != len(req.Queries) || len(exhaustive.Results) != len(req.Queries) {
+		t.Fatalf("results: demand %d, exhaustive %d, want %d", len(demand.Results), len(exhaustive.Results), len(req.Queries))
+	}
+	for i := range demand.Results {
+		d, e := demand.Results[i], exhaustive.Results[i]
+		if d.Err != "" || e.Err != "" {
+			t.Errorf("query %d: errs %q / %q", i, d.Err, e.Err)
+		}
+		if fmt.Sprint(d.Targets) != fmt.Sprint(e.Targets) {
+			t.Errorf("query %d: demand %v, exhaustive %v", i, d.Targets, e.Targets)
+		}
+		if len(d.Targets) == 0 {
+			t.Errorf("query %d: no targets", i)
+		}
+	}
+}
+
+func TestQueryEndpointErrors(t *testing.T) {
+	s, _, _ := newTestServer(t)
+
+	// Method, empty source, empty batch.
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/query", nil))
+	if rec.Code != 405 {
+		t.Errorf("GET /v1/query = %d, want 405", rec.Code)
+	}
+	if code, _ := postQuery(t, s, QueryRequest{Source: "", Queries: []pointsto.Query{{Pos: "a.c:1", Var: "p"}}}); code != 400 {
+		t.Errorf("empty source = %d, want 400", code)
+	}
+	if code, _ := postQuery(t, s, QueryRequest{Source: querySrc}); code != 400 {
+		t.Errorf("no queries = %d, want 400", code)
+	}
+
+	// Parse failure surfaces as 422 with the error in the body.
+	code, resp := postQuery(t, s, QueryRequest{Source: "int main( {", Queries: []pointsto.Query{{Pos: "input.c:1", Var: "p"}}})
+	if code != 422 || resp.Error == "" {
+		t.Errorf("parse failure = %d %+v, want 422 with error", code, resp)
+	}
+
+	// Unresolvable query in demand mode is a config error for the request.
+	code, resp = postQuery(t, s, QueryRequest{Filename: "q.c", Source: querySrc, Queries: []pointsto.Query{{Pos: "q.c:999", Var: "p"}}})
+	if code != 422 || resp.Error == "" {
+		t.Errorf("bad position = %d %+v, want 422 with error", code, resp)
+	}
+
+	// In exhaustive mode a bad position is a per-query error, not a request
+	// failure: the analysis itself succeeded.
+	code, resp = postQuery(t, s, QueryRequest{
+		Filename: "q.c", Source: querySrc, Exhaustive: true,
+		Queries: []pointsto.Query{{Pos: "q.c:9", Var: "p"}, {Pos: "q.c:999", Var: "p"}},
+	})
+	if code != 200 {
+		t.Fatalf("exhaustive mixed batch = %d: %+v", code, resp)
+	}
+	if resp.Results[0].Err != "" || len(resp.Results[0].Targets) == 0 {
+		t.Errorf("good query failed: %+v", resp.Results[0])
+	}
+	if resp.Results[1].Err == "" {
+		t.Errorf("bad position answered: %+v", resp.Results[1])
+	}
+}

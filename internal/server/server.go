@@ -77,6 +77,7 @@ type Server struct {
 	log    *slog.Logger
 	pool   *workerPool
 	spool  *spool
+	parses *parseCache
 	totals *obsv.Metrics
 	http   *httpMetrics
 	ready  atomic.Bool
@@ -109,6 +110,7 @@ func New(cfg Config) (*Server, error) {
 		log:    cfg.Logger,
 		pool:   newWorkerPool(cfg.PoolSize),
 		spool:  sp,
+		parses: newParseCache(0),
 		totals: obsv.NewMetrics(),
 		http:   newHTTPMetrics(),
 	}, nil
@@ -122,6 +124,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/v1/check", s.handleAnalyze("check"))
 	mux.Handle("/v1/race", s.handleAnalyze("race"))
 	mux.Handle("/v1/taint", s.handleAnalyze("taint"))
+	mux.Handle("/v1/query", s.handleQuery())
 	// One exposition combining the aggregated analysis registry (rendered
 	// by the obsv exporter) with the server's own HTTP series. The server
 	// owns this mux outright — obsv.RegisterMetrics never touches a global.

@@ -33,6 +33,7 @@ import (
 	"repro/internal/cc/token"
 	"repro/internal/pta"
 	"repro/internal/pta/invgraph"
+	"repro/internal/pta/live"
 	"repro/internal/pta/loc"
 	"repro/internal/pta/ptset"
 	"repro/internal/simple"
@@ -1137,4 +1138,14 @@ func (w *walker) assignLocs(st tstate, lls []pta.BaseLoc, tv taintVal) {
 			st.t[l] = ptset.P // may have been overwritten with clean data
 		}
 	}
+}
+
+// DemandSeeds returns the demand the taint client places on a points-to
+// analysis run in demand mode. The walker applies a taint transfer at
+// every reachable statement, reading its per-context points-to annotation
+// to resolve pointer stores, loads and sink arguments, so its demand is
+// the degenerate all-statements seed; liveness pruning still drops facts
+// of dead non-address-taken locals, which no taint transfer can read.
+func DemandSeeds(prog *simple.Program) *live.Seeds {
+	return live.SeedAllStatements(prog)
 }

@@ -1,0 +1,247 @@
+package pointsto
+
+// Demand-driven mode: Config.Demand switches the engine to the
+// liveness-pruned analysis (pta.Options.Demand). The demand — which
+// statements need annotations, and which variables need exact facts there
+// — is the union of the seeds of the registered DemandClients and the
+// statements named by Queries. Exhaustive mode stays the default and is
+// the correctness oracle: every fact a demand run reports is bit-identical
+// to the exhaustive run's.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/check"
+	"repro/internal/pta/live"
+	"repro/internal/pta/ptset"
+	"repro/internal/race"
+	"repro/internal/simple"
+	"repro/internal/taint"
+)
+
+// Query names a points-to query: the targets of variable Var in the
+// points-to set flowing into the statement(s) at Pos. Pos is
+// "file:line" or "file:line:col"; Var is a local, parameter or temporary
+// of the enclosing function, or a global.
+type Query struct {
+	Pos string `json:"pos"`
+	Var string `json:"var"`
+}
+
+// ParseQuery parses the CLI form "file:line[:col]:var".
+func ParseQuery(s string) (Query, error) {
+	i := strings.LastIndex(s, ":")
+	if i <= 0 || i == len(s)-1 {
+		return Query{}, fmt.Errorf("pointsto: malformed query %q (want file:line[:col]:var)", s)
+	}
+	q := Query{Pos: s[:i], Var: s[i+1:]}
+	if _, _, _, err := splitPos(q.Pos); err != nil {
+		return Query{}, fmt.Errorf("pointsto: malformed query %q: %v", s, err)
+	}
+	return q, nil
+}
+
+// QueryResult is the answer to one Query.
+type QueryResult struct {
+	Query
+	// Targets is the pointed-to locations, sorted by name; NULL omitted.
+	Targets []Target `json:"targets"`
+	// Err explains an unresolved query ("" on success): unknown position,
+	// unknown variable, or statement not covered by the registered demand.
+	Err string `json:"err,omitempty"`
+}
+
+// DemandConfigError reports a demand-mode configuration the analysis
+// rejects rather than silently falling back to an exhaustive run.
+type DemandConfigError struct{ Reason string }
+
+func (e *DemandConfigError) Error() string { return "pointsto: " + e.Reason }
+
+// ErrNoDemand is returned when Config.Demand is set but neither Queries
+// nor DemandClients registers any demand: the pruned analysis would keep
+// nothing, which is never what the caller meant.
+var ErrNoDemand = &DemandConfigError{
+	Reason: "Demand set but no demand registered (set Queries or DemandClients)",
+}
+
+// ClientDemandError is returned when an annotation-reading client (Check,
+// Races, Taint) is invoked on a demand-mode analysis whose seeds did not
+// include that client. Re-running exhaustively behind the caller's back
+// would defeat the point of demand mode, so the mismatch is an error:
+// register the client in Config.DemandClients and re-analyze.
+type ClientDemandError struct{ Client string }
+
+func (e *ClientDemandError) Error() string {
+	return fmt.Sprintf("pointsto: %s needs per-context annotations but the demand-mode analysis was not seeded for it (add %q to Config.DemandClients)",
+		e.Client, e.Client)
+}
+
+// demandState is what a demand-mode Analysis remembers about its seeds.
+type demandState struct {
+	clients map[string]bool
+	seeds   *live.Seeds
+}
+
+// demandSeeds derives the engine seeds for cfg over prog. Returns nil
+// seeds when cfg does not request demand mode.
+func demandSeeds(prog *simple.Program, cfg *Config) (*demandState, error) {
+	if cfg == nil || !cfg.Demand {
+		return nil, nil
+	}
+	if len(cfg.Queries) == 0 && len(cfg.DemandClients) == 0 {
+		return nil, ErrNoDemand
+	}
+	st := &demandState{clients: make(map[string]bool), seeds: live.NewSeeds()}
+	for _, c := range cfg.DemandClients {
+		switch c {
+		case "check":
+			st.seeds.Merge(check.DemandSeeds(prog))
+		case "race":
+			st.seeds.Merge(race.DemandSeeds(prog))
+		case "taint":
+			st.seeds.Merge(taint.DemandSeeds(prog))
+		default:
+			return nil, &DemandConfigError{Reason: fmt.Sprintf("unknown demand client %q (want check, race or taint)", c)}
+		}
+		st.clients[c] = true
+	}
+	if len(cfg.DemandClients) > 0 && cfg.ShareContexts {
+		return nil, &DemandConfigError{
+			Reason: "DemandClients need per-context annotations, which ShareContexts cache hits skip; unset ShareContexts",
+		}
+	}
+	for _, q := range cfg.Queries {
+		stmts, fn, err := resolvePos(prog, q.Pos)
+		if err != nil {
+			return nil, &DemandConfigError{Reason: fmt.Sprintf("query %s:%s: %v", q.Pos, q.Var, err)}
+		}
+		obj := lookupVarIn(prog, fn, q.Var)
+		if obj == nil {
+			return nil, &DemandConfigError{Reason: fmt.Sprintf("query %s:%s: no variable %q in scope", q.Pos, q.Var, q.Var)}
+		}
+		// The queried variable is demanded at every statement the position
+		// names: a line can span several basics, and the query merges
+		// their annotations, so the variable's facts must be exact at each
+		// one or the merge would weaken definiteness.
+		for _, b := range stmts {
+			st.seeds.AddStmtRefs(b)
+			st.seeds.Add(b, obj)
+		}
+	}
+	return st, nil
+}
+
+// splitPos parses "file:line" or "file:line:col".
+func splitPos(pos string) (file string, line, col int, err error) {
+	parts := strings.Split(pos, ":")
+	if len(parts) < 2 {
+		return "", 0, 0, fmt.Errorf("malformed position %q (want file:line[:col])", pos)
+	}
+	// The column, when present, is the last numeric component; the line
+	// the one before it. Everything earlier is the file name.
+	if len(parts) >= 3 {
+		if c, cerr := strconv.Atoi(parts[len(parts)-1]); cerr == nil {
+			if l, lerr := strconv.Atoi(parts[len(parts)-2]); lerr == nil {
+				return strings.Join(parts[:len(parts)-2], ":"), l, c, nil
+			}
+		}
+	}
+	l, lerr := strconv.Atoi(parts[len(parts)-1])
+	if lerr != nil {
+		return "", 0, 0, fmt.Errorf("malformed position %q: %v", pos, lerr)
+	}
+	return strings.Join(parts[:len(parts)-1], ":"), l, 0, nil
+}
+
+// resolvePos returns the basic statements at pos and their enclosing
+// function ("" for the global initializer). A position with no column
+// matches every basic on the line.
+func resolvePos(prog *simple.Program, pos string) ([]*simple.Basic, string, error) {
+	file, lineNo, col, err := splitPos(pos)
+	if err != nil {
+		return nil, "", err
+	}
+	var stmts []*simple.Basic
+	fn := ""
+	match := func(body *simple.Seq, name string) {
+		simple.WalkStmts(body, func(s simple.Stmt) {
+			b, ok := s.(*simple.Basic)
+			if !ok || b.Pos.Line != lineNo || b.Pos.File != file {
+				return
+			}
+			if col != 0 && b.Pos.Col != col {
+				return
+			}
+			stmts = append(stmts, b)
+			fn = name
+		})
+	}
+	match(prog.GlobalInit, "")
+	for _, f := range prog.Functions {
+		match(f.Body, f.Name())
+	}
+	if len(stmts) == 0 {
+		return nil, "", fmt.Errorf("no statement at %s", pos)
+	}
+	return stmts, fn, nil
+}
+
+// QueryPointsTo returns the points-to targets of variable name in the
+// merged points-to set flowing into the statement(s) at pos ("file:line"
+// or "file:line:col"). It works in both modes; in demand mode the
+// statement must be covered by the registered demand (a Config.Queries
+// entry or a client seed), otherwise no annotation was kept for it.
+func (a *Analysis) QueryPointsTo(pos, name string) ([]Target, error) {
+	stmts, fn, err := resolvePos(a.Program, pos)
+	if err != nil {
+		return nil, err
+	}
+	obj := a.lookupVar(fn, name)
+	if obj == nil {
+		return nil, fmt.Errorf("pointsto: no variable %q in scope at %s", name, pos)
+	}
+	var merged ptset.Set
+	found := false
+	for _, b := range stmts {
+		// In demand mode the variable's facts must have survived pruning
+		// at every statement the position names, or the merged answer
+		// could be weaker than the exhaustive one.
+		if a.Result.Live != nil && a.Result.Live.Prunable(b, obj) {
+			return nil, fmt.Errorf("pointsto: %q not demanded at %s (register the query in Config.Queries)", name, pos)
+		}
+		in, ok := a.Result.Annots.At(b)
+		if !ok {
+			continue
+		}
+		if !found {
+			merged, found = in, true
+		} else {
+			merged = ptset.Merge(merged, in)
+		}
+	}
+	if !found {
+		if a.Result.Opts.Demand != nil && !a.Result.Opts.Demand.Seeded(stmts[0]) {
+			return nil, fmt.Errorf("pointsto: no annotation at %s: statement not covered by the demand (register it in Config.Queries)", pos)
+		}
+		return nil, fmt.Errorf("pointsto: no annotation at %s: statement never reached", pos)
+	}
+	return a.targets(merged, obj), nil
+}
+
+// QueryAll answers a batch of queries. Per-query failures are reported in
+// QueryResult.Err rather than aborting the batch.
+func (a *Analysis) QueryAll(queries []Query) []QueryResult {
+	out := make([]QueryResult, len(queries))
+	for i, q := range queries {
+		out[i].Query = q
+		ts, err := a.QueryPointsTo(q.Pos, q.Var)
+		if err != nil {
+			out[i].Err = err.Error()
+			continue
+		}
+		out[i].Targets = ts
+	}
+	return out
+}

@@ -1,0 +1,176 @@
+package pointsto
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const demandSrc = `
+int x, y;
+int *gp;
+int main() {
+    int *p;
+    int *q;
+    int v;
+    p = &x;
+    q = &y;
+    gp = p;
+    v = *p;
+    v = v + *q;
+    return v;
+}
+`
+
+func TestQueryPointsTo(t *testing.T) {
+	ex, err := AnalyzeSource("q.c", demandSrc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, err := AnalyzeSource("q.c", demandSrc, &Config{
+		Demand:  true,
+		Queries: []Query{{Pos: "q.c:11", Var: "p"}, {Pos: "q.c:12", Var: "q"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []Query{{Pos: "q.c:11", Var: "p"}, {Pos: "q.c:12", Var: "q"}} {
+		exT, err := ex.QueryPointsTo(q.Pos, q.Var)
+		if err != nil {
+			t.Fatalf("exhaustive %v: %v", q, err)
+		}
+		dmT, err := dm.QueryPointsTo(q.Pos, q.Var)
+		if err != nil {
+			t.Fatalf("demand %v: %v", q, err)
+		}
+		if fmt.Sprint(exT) != fmt.Sprint(dmT) {
+			t.Errorf("%v: exhaustive %v, demand %v", q, exT, dmT)
+		}
+		if len(exT) == 0 {
+			t.Errorf("%v: no targets", q)
+		}
+	}
+	// Position with explicit column and a batched query.
+	res := dm.QueryAll([]Query{{Pos: "q.c:11", Var: "p"}, {Pos: "q.c:99", Var: "p"}, {Pos: "q.c:11", Var: "nosuch"}})
+	if res[0].Err != "" || len(res[0].Targets) == 0 {
+		t.Errorf("batch q1 = %+v", res[0])
+	}
+	if res[1].Err == "" {
+		t.Errorf("batch q2: expected position error")
+	}
+	if res[2].Err == "" {
+		t.Errorf("batch q3: expected unknown-variable error")
+	}
+	// An unseeded statement must be reported as uncovered, not answered.
+	if _, err := dm.QueryPointsTo("q.c:10", "gp"); err == nil {
+		t.Errorf("unseeded statement answered in demand mode")
+	}
+}
+
+func TestDemandConfigValidation(t *testing.T) {
+	if _, err := AnalyzeSource("q.c", demandSrc, &Config{Demand: true}); !errors.Is(err, ErrNoDemand) {
+		t.Errorf("no-demand config: got %v, want ErrNoDemand", err)
+	}
+	_, err := AnalyzeSource("q.c", demandSrc, &Config{Demand: true, DemandClients: []string{"bogus"}})
+	var cfgErr *DemandConfigError
+	if !errors.As(err, &cfgErr) {
+		t.Errorf("unknown client: got %v, want DemandConfigError", err)
+	}
+	_, err = AnalyzeSource("q.c", demandSrc, &Config{Demand: true, DemandClients: []string{"check"}, ShareContexts: true})
+	if !errors.As(err, &cfgErr) {
+		t.Errorf("ShareContexts+clients: got %v, want DemandConfigError", err)
+	}
+	_, err = AnalyzeSource("q.c", demandSrc, &Config{Demand: true, Queries: []Query{{Pos: "nosuch.c:1", Var: "p"}}})
+	if !errors.As(err, &cfgErr) {
+		t.Errorf("unresolvable query: got %v, want DemandConfigError", err)
+	}
+
+	// A client not registered in the demand must be a typed error, never a
+	// silent exhaustive re-run.
+	a, err := AnalyzeSource("q.c", demandSrc, &Config{Demand: true, DemandClients: []string{"check"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Check(); err != nil {
+		t.Errorf("registered client: %v", err)
+	}
+	_, err = a.Races()
+	var cliErr *ClientDemandError
+	if !errors.As(err, &cliErr) || cliErr.Client != "race" {
+		t.Errorf("unregistered client: got %v, want ClientDemandError{race}", err)
+	}
+}
+
+func TestParseQuery(t *testing.T) {
+	q, err := ParseQuery("a.c:12:5:ptr")
+	if err != nil || q.Pos != "a.c:12:5" || q.Var != "ptr" {
+		t.Errorf("ParseQuery = %+v, %v", q, err)
+	}
+	q, err = ParseQuery("a.c:12:ptr")
+	if err != nil || q.Pos != "a.c:12" || q.Var != "ptr" {
+		t.Errorf("ParseQuery = %+v, %v", q, err)
+	}
+	for _, bad := range []string{"", "ptr", "a.c:ptr", "a.c:12:"} {
+		if _, err := ParseQuery(bad); err == nil {
+			t.Errorf("ParseQuery(%q) accepted", bad)
+		}
+	}
+}
+
+// TestDemandClientsMatchExhaustive runs the three clients over every
+// example program in both modes and requires identical diagnostics.
+func TestDemandClientsMatchExhaustive(t *testing.T) {
+	for _, dir := range []string{"check", "race", "taint"} {
+		files, err := filepath.Glob(filepath.Join("..", "examples", dir, "*.c"))
+		if err != nil || len(files) == 0 {
+			t.Fatalf("no examples in %s: %v", dir, err)
+		}
+		for _, f := range files {
+			src, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			name := filepath.Base(f)
+			ex, err := AnalyzeSource(name, string(src), nil)
+			if err != nil {
+				t.Fatalf("%s: %v", f, err)
+			}
+			dm, err := AnalyzeSource(name, string(src), &Config{Demand: true, DemandClients: []string{dir}})
+			if err != nil {
+				t.Fatalf("%s: demand: %v", f, err)
+			}
+			exD, dmD := runClient(t, ex, dir), runClient(t, dm, dir)
+			if exD != dmD {
+				t.Errorf("%s: diagnostics diverge\nexhaustive:\n%s\ndemand:\n%s", f, exD, dmD)
+			}
+		}
+	}
+}
+
+func runClient(t *testing.T, a *Analysis, client string) string {
+	t.Helper()
+	switch client {
+	case "check":
+		ds, err := a.Check()
+		if err != nil {
+			t.Fatalf("check: %v", err)
+		}
+		return fmt.Sprint(ds)
+	case "race":
+		ds, err := a.Races()
+		if err != nil {
+			t.Fatalf("race: %v", err)
+		}
+		return fmt.Sprint(ds)
+	case "taint":
+		ds, err := a.Taint()
+		if err != nil {
+			t.Fatalf("taint: %v", err)
+		}
+		return fmt.Sprint(ds)
+	}
+	t.Fatalf("unknown client %s", client)
+	return ""
+}

@@ -102,6 +102,23 @@ type Config struct {
 	StallWindow time.Duration
 	// StallKill makes a detected stall abort the analysis with an error.
 	StallKill bool
+	// Demand switches the engine to demand-driven, liveness-pruned mode:
+	// the fixpoint only maintains points-to facts for pointers that are
+	// live and demanded, pruned at statement granularity, and records
+	// annotations only at seeded statements. The demand is the union of
+	// the DemandClients' seeds and the Queries. Every fact a demand run
+	// reports is bit-identical to the exhaustive run's; setting Demand
+	// with neither Queries nor DemandClients is an error (ErrNoDemand).
+	Demand bool
+	// Queries pre-registers points-to queries; in demand mode they seed
+	// the statements they name. Answer them with Analysis.QueryAll or
+	// QueryPointsTo (both also work on exhaustive analyses).
+	Queries []Query
+	// DemandClients names the annotation-reading clients whose seeds the
+	// demand must include: "check", "race", "taint". Invoking a client
+	// not registered here on a demand-mode analysis is a typed error
+	// (ClientDemandError), never a silent exhaustive re-run.
+	DemandClients []string
 }
 
 func (c *Config) options() (pta.Options, error) {
@@ -165,6 +182,10 @@ type Analysis struct {
 	// Source is the C source text when the analysis came in through
 	// AnalyzeSource, "" otherwise. Taint() scans it for sanitizer pragmas.
 	Source string
+
+	// demand remembers the registered demand when the analysis ran in
+	// demand mode (nil for exhaustive analyses).
+	demand *demandState
 }
 
 // Metrics returns the analysis metrics snapshot (never nil).
@@ -218,6 +239,18 @@ func AnalyzeProgram(prog *simple.Program, cfg *Config) (*Analysis, error) {
 	if err != nil {
 		return nil, err
 	}
+	demand, err := demandSeeds(prog, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if demand != nil {
+		opts.Demand = demand.seeds
+		// The clients' error/warning splits read per-context annotations;
+		// demand mode records them only at the seeded statements.
+		if len(demand.clients) > 0 {
+			opts.RecordContexts = true
+		}
+	}
 	// The observability attachments are consume-once: nil them out before
 	// the run so a pooled Config reused for a later Analyze cannot report
 	// into a registry that already accumulated this run (double accounting).
@@ -229,13 +262,17 @@ func AnalyzeProgram(prog *simple.Program, cfg *Config) (*Analysis, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Analysis{Result: res, Program: prog, Tracer: opts.Tracer}, nil
+	return &Analysis{Result: res, Program: prog, Tracer: opts.Tracer, demand: demand}, nil
 }
 
 // lookupVar finds a variable: fn=="" searches globals only.
 func (a *Analysis) lookupVar(fn, name string) *ast.Object {
+	return lookupVarIn(a.Program, fn, name)
+}
+
+func lookupVarIn(prog *simple.Program, fn, name string) *ast.Object {
 	if fn != "" {
-		if f := a.Program.Lookup(fn); f != nil {
+		if f := prog.Lookup(fn); f != nil {
 			for _, p := range f.Params {
 				if p.Name == name {
 					return p
@@ -248,7 +285,7 @@ func (a *Analysis) lookupVar(fn, name string) *ast.Object {
 			}
 		}
 	}
-	for _, g := range a.Program.Globals {
+	for _, g := range prog.Globals {
 		if g.Name == name {
 			return g
 		}
@@ -362,7 +399,7 @@ func (a *Analysis) Dependences() *deptest.Result {
 // hits skip the per-context re-analysis) the points-to analysis is re-run
 // internally with the required options; the re-run does not disturb Result.
 func (a *Analysis) Check() ([]check.Diag, error) {
-	res, err := a.contextResult()
+	res, err := a.contextResult("check")
 	if err != nil {
 		return nil, err
 	}
@@ -376,7 +413,7 @@ func (a *Analysis) Check() ([]check.Diag, error) {
 // so an analysis run without them (or with ShareContexts) is re-run
 // internally with the required options; the re-run does not disturb Result.
 func (a *Analysis) Races() ([]race.Diag, error) {
-	res, err := a.contextResult()
+	res, err := a.contextResult("race")
 	if err != nil {
 		return nil, err
 	}
@@ -399,17 +436,26 @@ func (a *Analysis) Taint() ([]taint.Diag, error) {
 // TaintWith is Taint with caller-supplied source/sink/sanitizer tables (nil
 // means the defaults, without pragma scanning).
 func (a *Analysis) TaintWith(cfg *taint.Config) ([]taint.Diag, error) {
-	res, err := a.contextResult()
+	res, err := a.contextResult("taint")
 	if err != nil {
 		return nil, err
 	}
 	return taint.Run(res, cfg)
 }
 
-// contextResult returns a Result carrying per-context annotations, re-running
-// the analysis when this one was run without them.
-func (a *Analysis) contextResult() (*pta.Result, error) {
+// contextResult returns a Result carrying per-context annotations for the
+// named client, re-running the analysis when this one was run without
+// them. A demand-mode analysis is never silently re-run exhaustively: the
+// client must have been registered in Config.DemandClients, in which case
+// the demand result already carries the annotations it needs.
+func (a *Analysis) contextResult(client string) (*pta.Result, error) {
 	res := a.Result
+	if a.demand != nil {
+		if !a.demand.clients[client] {
+			return nil, &ClientDemandError{Client: client}
+		}
+		return res, nil
+	}
 	if !res.Annots.ContextsEnabled() || res.Opts.ShareContexts {
 		opts := res.Opts
 		opts.ShareContexts = false
